@@ -1,0 +1,281 @@
+//! Radix-2 evaluation domains for polynomial arithmetic over [`PrimeField`]s
+//! with sufficient 2-adicity (BN254 `Fr` supports sizes up to 2²⁸).
+//!
+//! Used by the QAP reduction in `waku-snark`: the Groth16 prover evaluates
+//! the constraint polynomials over a smooth multiplicative subgroup and the
+//! quotient over a coset of it.
+
+use crate::traits::{Field, PrimeField};
+
+/// A multiplicative subgroup `{1, ω, ω², …}` of size `2^log_size` plus the
+/// precomputed constants needed for (i)FFT and coset (i)FFT.
+///
+/// # Examples
+///
+/// ```
+/// use waku_arith::{fft::Radix2Domain, fields::Fr, traits::PrimeField};
+/// let domain = Radix2Domain::<Fr>::new(5).unwrap(); // size ≥ 5 → 8
+/// assert_eq!(domain.size(), 8);
+/// let mut poly = vec![Fr::from_u64(3), Fr::from_u64(1)]; // 3 + x
+/// let evals = domain.fft(&poly);
+/// let back = domain.ifft(&evals);
+/// assert_eq!(&back[..2], &poly[..]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Radix2Domain<F: PrimeField> {
+    size: usize,
+    log_size: u32,
+    omega: F,
+    omega_inv: F,
+    size_inv: F,
+    coset_gen: F,
+    coset_gen_inv: F,
+}
+
+impl<F: PrimeField> Radix2Domain<F> {
+    /// Builds the smallest power-of-two domain with at least `min_size`
+    /// elements. Returns `None` when the field's 2-adicity is insufficient.
+    pub fn new(min_size: usize) -> Option<Self> {
+        let size = min_size.max(1).next_power_of_two();
+        let log_size = size.trailing_zeros();
+        if log_size > F::TWO_ADICITY {
+            return None;
+        }
+        let mut omega = F::two_adic_root_of_unity();
+        for _ in log_size..F::TWO_ADICITY {
+            omega = omega.square();
+        }
+        let omega_inv = omega.inverse().expect("root of unity is nonzero");
+        let size_inv = F::from_u64(size as u64)
+            .inverse()
+            .expect("domain size nonzero in field");
+        let coset_gen = F::multiplicative_generator();
+        let coset_gen_inv = coset_gen.inverse().expect("generator nonzero");
+        Some(Radix2Domain {
+            size,
+            log_size,
+            omega,
+            omega_inv,
+            size_inv,
+            coset_gen,
+            coset_gen_inv,
+        })
+    }
+
+    /// Number of evaluation points.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The domain generator ω.
+    pub fn group_gen(&self) -> F {
+        self.omega
+    }
+
+    /// In-place iterative Cooley–Tukey butterfly.
+    fn fft_in_place(values: &mut [F], omega: F) {
+        let n = values.len();
+        let log_n = n.trailing_zeros();
+        // bit-reversal permutation
+        for i in 0..n {
+            let j = i.reverse_bits() >> (usize::BITS - log_n);
+            if i < j {
+                values.swap(i, j);
+            }
+        }
+        let mut m = 1usize;
+        for s in 0..log_n {
+            let w_m = {
+                let mut w = omega;
+                for _ in (s + 1)..log_n {
+                    w = w.square();
+                }
+                w
+            };
+            let mut k = 0usize;
+            while k < n {
+                let mut w = F::one();
+                for j in 0..m {
+                    let t = w * values[k + j + m];
+                    let u = values[k + j];
+                    values[k + j] = u + t;
+                    values[k + j + m] = u - t;
+                    w *= w_m;
+                }
+                k += 2 * m;
+            }
+            m <<= 1;
+        }
+    }
+
+    /// Evaluates the polynomial with the given coefficients over the domain.
+    /// Input shorter than the domain is zero-padded; longer input panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() > self.size()`.
+    pub fn fft(&self, coeffs: &[F]) -> Vec<F> {
+        assert!(coeffs.len() <= self.size, "polynomial larger than domain");
+        let mut v = coeffs.to_vec();
+        v.resize(self.size, <F as Field>::zero());
+        Self::fft_in_place(&mut v, self.omega);
+        v
+    }
+
+    /// Interpolates evaluations back to coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals.len() != self.size()`.
+    pub fn ifft(&self, evals: &[F]) -> Vec<F> {
+        assert_eq!(evals.len(), self.size, "evaluation count must match domain");
+        let mut v = evals.to_vec();
+        Self::fft_in_place(&mut v, self.omega_inv);
+        for x in v.iter_mut() {
+            *x *= self.size_inv;
+        }
+        v
+    }
+
+    /// Evaluates over the coset `g·H` (g the field's multiplicative
+    /// generator), which avoids the zeros of the vanishing polynomial.
+    pub fn coset_fft(&self, coeffs: &[F]) -> Vec<F> {
+        assert!(coeffs.len() <= self.size, "polynomial larger than domain");
+        let mut v = coeffs.to_vec();
+        v.resize(self.size, F::zero());
+        let mut factor = F::one();
+        for x in v.iter_mut() {
+            *x *= factor;
+            factor *= self.coset_gen;
+        }
+        Self::fft_in_place(&mut v, self.omega);
+        v
+    }
+
+    /// Inverse of [`Radix2Domain::coset_fft`].
+    pub fn coset_ifft(&self, evals: &[F]) -> Vec<F> {
+        let mut v = self.ifft(evals);
+        let mut factor = F::one();
+        for x in v.iter_mut() {
+            *x *= factor;
+            factor *= self.coset_gen_inv;
+        }
+        v
+    }
+
+    /// The vanishing polynomial `Z(X) = X^n − 1` evaluated anywhere on the
+    /// coset `g·H` (constant there: `g^n − 1`).
+    pub fn z_on_coset(&self) -> F {
+        self.coset_gen.pow(&[self.size as u64]) - F::one()
+    }
+
+    /// Evaluates `Z(X) = X^n − 1` at an arbitrary point.
+    pub fn z_at(&self, x: F) -> F {
+        x.pow(&[self.size as u64]) - F::one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fr;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn eval_poly(coeffs: &[Fr], x: Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for &c in coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    #[test]
+    fn fft_matches_naive_evaluation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain = Radix2Domain::<Fr>::new(8).unwrap();
+        let coeffs: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let evals = domain.fft(&coeffs);
+        let mut x = Fr::one();
+        for e in &evals {
+            assert_eq!(*e, eval_poly(&coeffs, x));
+            x *= domain.group_gen();
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for log in 1..=10 {
+            let n = 1usize << log;
+            let domain = Radix2Domain::<Fr>::new(n).unwrap();
+            let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            assert_eq!(domain.ifft(&domain.fft(&coeffs)), coeffs);
+        }
+    }
+
+    #[test]
+    fn coset_fft_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = Radix2Domain::<Fr>::new(64).unwrap();
+        let coeffs: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
+        assert_eq!(domain.coset_ifft(&domain.coset_fft(&coeffs)), coeffs);
+    }
+
+    #[test]
+    fn coset_fft_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let domain = Radix2Domain::<Fr>::new(4).unwrap();
+        let coeffs: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let evals = domain.coset_fft(&coeffs);
+        let g = Fr::multiplicative_generator();
+        let mut x = g;
+        for e in &evals {
+            assert_eq!(*e, eval_poly(&coeffs, x));
+            x *= domain.group_gen();
+        }
+    }
+
+    #[test]
+    fn vanishing_poly_is_zero_on_domain_constant_on_coset() {
+        let domain = Radix2Domain::<Fr>::new(16).unwrap();
+        let mut x = Fr::one();
+        for _ in 0..16 {
+            assert!(domain.z_at(x).is_zero());
+            x *= domain.group_gen();
+        }
+        let g = Fr::multiplicative_generator();
+        assert_eq!(domain.z_at(g), domain.z_on_coset());
+        assert_eq!(
+            domain.z_at(g * domain.group_gen()),
+            domain.z_on_coset(),
+            "Z is constant on the whole coset"
+        );
+        assert!(!domain.z_on_coset().is_zero());
+    }
+
+    #[test]
+    fn padding_with_zeros() {
+        let domain = Radix2Domain::<Fr>::new(8).unwrap();
+        let short = vec![Fr::from_u64(5)];
+        let evals = domain.fft(&short);
+        for e in evals {
+            assert_eq!(e, Fr::from_u64(5)); // constant polynomial
+        }
+    }
+
+    #[test]
+    fn domain_size_rounds_up() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n: usize = rng.gen_range(3..100);
+        let domain = Radix2Domain::<Fr>::new(n).unwrap();
+        assert!(domain.size() >= n);
+        assert!(domain.size().is_power_of_two());
+    }
+
+    #[test]
+    fn too_large_domain_fails() {
+        assert!(Radix2Domain::<Fr>::new(1usize << 29).is_none());
+        assert!(Radix2Domain::<crate::fields::Fq>::new(4).is_none(), "Fq has 2-adicity 1");
+    }
+}

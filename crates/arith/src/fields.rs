@@ -1,0 +1,106 @@
+//! The two BN254 prime fields.
+//!
+//! * [`Fq`] — the base field over which the curve coordinates live
+//!   (`q = 21888242871839275222246405745257275088696311157297823662689037894645226208583`).
+//! * [`Fr`] — the scalar field, which is also the field the RLN circuit,
+//!   Poseidon hash and Shamir shares operate in
+//!   (`r = 21888242871839275222246405745257275088548364400416034343698204186575808495617`).
+
+use crate::fp::{Fp, FpParams};
+
+/// Parameters of the BN254 base field `Fq`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct FqParams;
+
+impl FpParams for FqParams {
+    const MODULUS: [u64; 4] = [
+        0x3c208c16d87cfd47,
+        0x97816a916871ca8d,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ];
+    const GENERATOR: u64 = 3;
+    // q − 1 = 2 · odd.
+    const TWO_ADICITY: u32 = 1;
+    const NUM_BITS: u32 = 254;
+}
+
+/// Parameters of the BN254 scalar field `Fr`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct FrParams;
+
+impl FpParams for FrParams {
+    const MODULUS: [u64; 4] = [
+        0x43e1f593f0000001,
+        0x2833e84879b97091,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ];
+    const GENERATOR: u64 = 5;
+    // r − 1 = 2²⁸ · odd, which is what makes radix-2 FFTs possible.
+    const TWO_ADICITY: u32 = 28;
+    const NUM_BITS: u32 = 254;
+}
+
+/// BN254 base-field element.
+pub type Fq = Fp<FqParams>;
+/// BN254 scalar-field element.
+pub type Fr = Fp<FrParams>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biguint::BigUint;
+    use crate::traits::PrimeField;
+
+    const Q_DECIMAL: &str =
+        "21888242871839275222246405745257275088696311157297823662689037894645226208583";
+    const R_DECIMAL: &str =
+        "21888242871839275222246405745257275088548364400416034343698204186575808495617";
+
+    #[test]
+    fn fq_modulus_matches_decimal() {
+        let expected = BigUint::from_decimal(Q_DECIMAL).unwrap();
+        assert_eq!(Fq::modulus_biguint(), expected);
+    }
+
+    #[test]
+    fn fr_modulus_matches_decimal() {
+        let expected = BigUint::from_decimal(R_DECIMAL).unwrap();
+        assert_eq!(Fr::modulus_biguint(), expected);
+    }
+
+    #[test]
+    fn fr_two_adicity_is_28() {
+        let r_minus_1 = Fr::modulus_biguint().sub(&BigUint::one());
+        // 2^28 divides r-1 but 2^29 does not.
+        assert!(!r_minus_1.bit(0));
+        for i in 0..28 {
+            assert!(!r_minus_1.bit(i), "bit {i} should be zero");
+        }
+        assert!(r_minus_1.bit(28));
+    }
+
+    #[test]
+    fn fq_two_adicity_is_1() {
+        let q_minus_1 = Fq::modulus_biguint().sub(&BigUint::one());
+        assert!(!q_minus_1.bit(0));
+        assert!(q_minus_1.bit(1));
+    }
+
+    #[test]
+    fn generators_are_nonresidues() {
+        use crate::traits::Field;
+        // g^((p-1)/2) must be -1 for the 2-adic root derivation to work.
+        let exp_q = Fq::modulus_biguint().sub(&BigUint::one()).shr(1);
+        assert_eq!(
+            Fq::multiplicative_generator().pow(exp_q.limbs()),
+            -Fq::ONE
+        );
+        let exp_r = Fr::modulus_biguint().sub(&BigUint::one()).shr(1);
+        assert_eq!(
+            Fr::multiplicative_generator().pow(exp_r.limbs()),
+            -Fr::ONE
+        );
+    }
+}

@@ -1,0 +1,615 @@
+//! Generic 256-bit prime-field arithmetic in Montgomery form.
+//!
+//! The implementation is CIOS (coarsely integrated operand scanning)
+//! Montgomery multiplication over four 64-bit limbs. All derived constants
+//! (`-p⁻¹ mod 2⁶⁴`, `R = 2²⁵⁶ mod p`, `R² mod p`, `p − 2`) are computed by
+//! `const fn`s from the modulus, so instantiating a field only requires the
+//! modulus limbs, a small multiplicative generator, and the 2-adicity.
+//!
+//! Requirement: the modulus must be odd and below `2²⁵⁴` (both BN254 fields
+//! are), which keeps all intermediate sums inside 256 bits.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use crate::biguint::BigUint;
+use crate::traits::{Field, PrimeField};
+
+/// Static parameters describing one prime field.
+pub trait FpParams:
+    Copy + Clone + Eq + PartialEq + Hash + fmt::Debug + Default + Send + Sync + 'static
+{
+    /// Modulus, little-endian limbs. Must be odd and `< 2^254`.
+    const MODULUS: [u64; 4];
+    /// Small multiplicative generator (e.g. 3 for BN254 Fq, 5 for Fr).
+    const GENERATOR: u64;
+    /// Largest `k` with `2^k | (modulus - 1)`.
+    const TWO_ADICITY: u32;
+    /// Bit length of the modulus.
+    const NUM_BITS: u32;
+}
+
+/// An element of the prime field described by `P`, in Montgomery form.
+pub struct Fp<P: FpParams>(pub(crate) [u64; 4], PhantomData<P>);
+
+// Manual impls: derives would needlessly bound on `P` via `PhantomData`.
+impl<P: FpParams> Copy for Fp<P> {}
+impl<P: FpParams> Clone for Fp<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: FpParams> PartialEq for Fp<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<P: FpParams> Eq for Fp<P> {}
+impl<P: FpParams> Hash for Fp<P> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+impl<P: FpParams> Default for Fp<P> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+// ---------------------------------------------------------------------------
+// const helpers (run at compile time per instantiation)
+// ---------------------------------------------------------------------------
+
+/// `-p[0]^{-1} mod 2^64` for odd `p[0]`.
+const fn mont_inv(p0: u64) -> u64 {
+    // x_{k+1} = x_k² · p0 gives p0^(2^k − 1); at k = 63 that is p0⁻¹ mod 2⁶⁴.
+    let mut inv = 1u64;
+    let mut i = 0;
+    while i < 63 {
+        inv = inv.wrapping_mul(inv);
+        inv = inv.wrapping_mul(p0);
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+const fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    let mut i = 3usize;
+    loop {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+        if i == 0 {
+            return true; // equal
+        }
+        i -= 1;
+    }
+}
+
+const fn sub_limbs(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+        i += 1;
+    }
+    out
+}
+
+/// `2a mod p`, assuming `a < p < 2^255`.
+const fn double_mod(a: &[u64; 4], p: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        out[i] = (a[i] << 1) | carry;
+        carry = a[i] >> 63;
+        i += 1;
+    }
+    // p < 2^255 and a < p ⇒ 2a < 2^256: no carry out of the top limb.
+    if geq(&out, p) {
+        out = sub_limbs(&out, p);
+    }
+    out
+}
+
+/// `2^bits mod p`.
+const fn pow2_mod(bits: u32, p: &[u64; 4]) -> [u64; 4] {
+    let mut v = [1u64, 0, 0, 0];
+    let mut i = 0;
+    while i < bits {
+        v = double_mod(&v, p);
+        i += 1;
+    }
+    v
+}
+
+const fn p_minus_2(p: &[u64; 4]) -> [u64; 4] {
+    sub_limbs(p, &[2, 0, 0, 0])
+}
+
+// ---------------------------------------------------------------------------
+// limb primitives
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let (d1, b1) = a.overflowing_sub(b);
+    let (d2, b2) = d1.overflowing_sub(borrow);
+    (d2, (b1 as u64) | (b2 as u64))
+}
+
+impl<P: FpParams> Fp<P> {
+    /// `-p^{-1} mod 2^64`.
+    pub const INV: u64 = mont_inv(P::MODULUS[0]);
+    /// `R = 2^256 mod p` (canonical limbs; also the Montgomery form of 1).
+    pub const R: [u64; 4] = pow2_mod(256, &P::MODULUS);
+    /// `R² = 2^512 mod p`, used to enter Montgomery form.
+    pub const R2: [u64; 4] = pow2_mod(512, &P::MODULUS);
+    const P_MINUS_2: [u64; 4] = p_minus_2(&P::MODULUS);
+
+    /// The zero element.
+    pub const ZERO: Self = Fp([0; 4], PhantomData);
+    /// The one element.
+    pub const ONE: Self = Fp(Self::R, PhantomData);
+
+    /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod p`.
+    #[inline]
+    fn mont_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+        let p = P::MODULUS;
+        let mut t = [0u64; 4];
+        let mut t4 = 0u64;
+        for i in 0..4 {
+            // t += a * b[i]
+            let mut carry = 0u64;
+            for j in 0..4 {
+                let (lo, hi) = mac(t[j], a[j], b[i], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (s, c) = adc(t4, carry, 0);
+            t4 = s;
+            let t5 = c;
+            // reduce one limb
+            let m = t[0].wrapping_mul(Self::INV);
+            let (_, mut carry) = mac(t[0], m, p[0], 0);
+            for j in 1..4 {
+                let (lo, hi) = mac(t[j], m, p[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+            }
+            let (s, c) = adc(t4, carry, 0);
+            t[3] = s;
+            t4 = t5 + c;
+        }
+        if t4 != 0 || geq(&t, &p) {
+            t = sub_limbs(&t, &p);
+        }
+        debug_assert!(!geq(&t, &p) || t == [0; 4] && p == [0; 4]);
+        t
+    }
+
+    /// Raw Montgomery limbs (advanced use: serialization of proving keys).
+    pub fn to_mont_limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Rebuilds an element from raw Montgomery limbs.
+    ///
+    /// The caller must guarantee the limbs were produced by
+    /// [`Fp::to_mont_limbs`]; out-of-range limbs yield an invalid element.
+    pub fn from_mont_limbs(limbs: [u64; 4]) -> Self {
+        Fp(limbs, PhantomData)
+    }
+
+    /// Reduces a canonical 256-bit value modulo `p` (at most a few
+    /// conditional subtractions since `p > 2^253`).
+    fn reduce_canonical(mut limbs: [u64; 4]) -> [u64; 4] {
+        while geq(&limbs, &P::MODULUS) {
+            limbs = sub_limbs(&limbs, &P::MODULUS);
+        }
+        limbs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// operators
+// ---------------------------------------------------------------------------
+
+impl<P: FpParams> std::ops::Add for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s, c) = adc(self.0[i], rhs.0[i], carry);
+            out[i] = s;
+            carry = c;
+        }
+        // p < 2^255 and both operands < p, so no carry out.
+        debug_assert_eq!(carry, 0);
+        if geq(&out, &P::MODULUS) {
+            out = sub_limbs(&out, &P::MODULUS);
+        }
+        Fp(out, PhantomData)
+    }
+}
+
+impl<P: FpParams> std::ops::Sub for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d, b) = sbb(self.0[i], rhs.0[i], borrow);
+            out[i] = d;
+            borrow = b;
+        }
+        if borrow != 0 {
+            let mut carry = 0u64;
+            for i in 0..4 {
+                let (s, c) = adc(out[i], P::MODULUS[i], carry);
+                out[i] = s;
+                carry = c;
+            }
+        }
+        Fp(out, PhantomData)
+    }
+}
+
+impl<P: FpParams> std::ops::Mul for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Fp(Self::mont_mul(&self.0, &rhs.0), PhantomData)
+    }
+}
+
+impl<P: FpParams> std::ops::Neg for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.is_zero() {
+            self
+        } else {
+            Fp(sub_limbs(&P::MODULUS, &self.0), PhantomData)
+        }
+    }
+}
+
+impl<P: FpParams> std::ops::AddAssign for Fp<P> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl<P: FpParams> std::ops::SubAssign for Fp<P> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl<P: FpParams> std::ops::MulAssign for Fp<P> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<P: FpParams> std::iter::Sum for Fp<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<P: FpParams> std::iter::Product for Fp<P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl<P: FpParams> fmt::Debug for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", BigUint::from_limbs(&self.to_canonical_limbs()))
+    }
+}
+
+impl<P: FpParams> fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", BigUint::from_limbs(&self.to_canonical_limbs()))
+    }
+}
+
+impl<P: FpParams> PartialOrd for Fp<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ordering compares *canonical* integer values, so nullifier-map keys and
+/// similar structures sort in the natural numeric order.
+impl<P: FpParams> Ord for Fp<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a = self.to_canonical_limbs();
+        let b = other.to_canonical_limbs();
+        for i in (0..4).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<P: FpParams> Field for Fp<P> {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+
+    fn one() -> Self {
+        Self::ONE
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    fn square(&self) -> Self {
+        Fp(Self::mont_mul(&self.0, &self.0), PhantomData)
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            // Fermat: a^(p-2) mod p.
+            Some(self.pow(&Self::P_MINUS_2))
+        }
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let limbs = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+        // Raw random limbs interpreted as Montgomery form are still uniform
+        // after reduction bias; for our simulation purposes the ~2⁻² bias of
+        // rejection-free reduction is irrelevant, but rejection sampling is
+        // cheap enough to do properly.
+        let mut limbs = limbs;
+        loop {
+            if !geq(&limbs, &P::MODULUS) {
+                return Fp(limbs, PhantomData);
+            }
+            limbs = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+        }
+    }
+}
+
+impl<P: FpParams> PrimeField for Fp<P> {
+    const MODULUS: [u64; 4] = P::MODULUS;
+    const TWO_ADICITY: u32 = P::TWO_ADICITY;
+    const NUM_BITS: u32 = P::NUM_BITS;
+
+    fn from_u64(v: u64) -> Self {
+        Fp(Self::mont_mul(&[v, 0, 0, 0], &Self::R2), PhantomData)
+    }
+
+    fn to_canonical_limbs(&self) -> [u64; 4] {
+        // Montgomery reduction by multiplying with 1 (non-Montgomery).
+        Self::mont_mul(&self.0, &[1, 0, 0, 0])
+    }
+
+    fn from_canonical_limbs(limbs: [u64; 4]) -> Option<Self> {
+        if geq(&limbs, &P::MODULUS) {
+            return None;
+        }
+        Some(Fp(Self::mont_mul(&limbs, &Self::R2), PhantomData))
+    }
+
+    fn from_le_bytes_mod_order(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 64, "input longer than 64 bytes");
+        let mut lo = [0u8; 32];
+        let mut hi = [0u8; 32];
+        for (i, &b) in bytes.iter().enumerate() {
+            if i < 32 {
+                lo[i] = b;
+            } else {
+                hi[i - 32] = b;
+            }
+        }
+        let limbs_of = |bs: &[u8; 32]| {
+            let mut l = [0u64; 4];
+            for i in 0..4 {
+                l[i] = u64::from_le_bytes(bs[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            l
+        };
+        let f_lo = Fp::<P>(
+            Self::mont_mul(&Self::reduce_canonical(limbs_of(&lo)), &Self::R2),
+            PhantomData,
+        );
+        let f_hi = Fp::<P>(
+            Self::mont_mul(&Self::reduce_canonical(limbs_of(&hi)), &Self::R2),
+            PhantomData,
+        );
+        // value = lo + hi·2²⁵⁶; 2²⁵⁶ mod p is exactly the canonical value R.
+        let two_256 = Fp::<P>(
+            Self::mont_mul(&Self::R, &Self::R2), // R in Montgomery form
+            PhantomData,
+        );
+        f_lo + f_hi * two_256
+    }
+
+    fn to_le_bytes(&self) -> [u8; 32] {
+        let limbs = self.to_canonical_limbs();
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limbs[i].to_le_bytes());
+        }
+        out
+    }
+
+    fn from_le_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        Self::from_canonical_limbs(limbs)
+    }
+
+    fn multiplicative_generator() -> Self {
+        Self::from_u64(P::GENERATOR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{Fq, Fr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constants_against_biguint() {
+        // R and R² recomputed independently with the bignum path.
+        let p = Fq::modulus_biguint();
+        let r = BigUint::from(2u64).pow(0).shl(256).rem(&p);
+        assert_eq!(BigUint::from_limbs(&Fq::R), r);
+        let r2 = BigUint::one().shl(512).rem(&p);
+        assert_eq!(BigUint::from_limbs(&Fq::R2), r2);
+    }
+
+    #[test]
+    fn mont_inv_property() {
+        let inv = Fq::INV;
+        let p0 = <Fq as PrimeField>::MODULUS[0];
+        assert_eq!(p0.wrapping_mul(inv.wrapping_neg()), 1);
+    }
+
+    #[test]
+    fn one_times_one() {
+        assert_eq!(Fq::ONE * Fq::ONE, Fq::ONE);
+        assert_eq!(Fr::ONE * Fr::ONE, Fr::ONE);
+    }
+
+    #[test]
+    fn add_sub_mul_small_values() {
+        let a = Fr::from_u64(1234567);
+        let b = Fr::from_u64(7654321);
+        assert_eq!((a + b).to_canonical_limbs()[0], 1234567 + 7654321);
+        assert_eq!((b - a).to_canonical_limbs()[0], 7654321 - 1234567);
+        assert_eq!(
+            (a * b).to_canonical_limbs()[0],
+            1234567u64 * 7654321u64
+        );
+    }
+
+    #[test]
+    fn mul_matches_biguint_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = Fr::modulus_biguint();
+        for _ in 0..50 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            let ab = a * b;
+            let big = BigUint::from_limbs(&a.to_canonical_limbs())
+                .mul(&BigUint::from_limbs(&b.to_canonical_limbs()))
+                .rem(&p);
+            assert_eq!(BigUint::from_limbs(&ab.to_canonical_limbs()), big);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let a = Fq::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fq::ONE);
+        }
+        assert!(Fq::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn negation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Fr::random(&mut rng);
+        assert!((a + (-a)).is_zero());
+        assert_eq!(-Fr::ZERO, Fr::ZERO);
+    }
+
+    #[test]
+    fn pow_small() {
+        let a = Fr::from_u64(3);
+        assert_eq!(a.pow(&[5]), Fr::from_u64(243));
+        assert_eq!(a.pow(&[0]), Fr::ONE);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let a = Fr::random(&mut rng);
+            let bytes = a.to_le_bytes();
+            assert_eq!(Fr::from_le_bytes(&bytes).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn from_le_bytes_rejects_modulus() {
+        let p = Fr::modulus_biguint();
+        let limbs = p.to_fixed_limbs(4);
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limbs[i].to_le_bytes());
+        }
+        assert!(Fr::from_le_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn from_le_bytes_mod_order_wide() {
+        // 64 bytes of 0xFF = 2^512 - 1 mod p, cross-checked with BigUint.
+        let bytes = [0xFFu8; 64];
+        let expect = BigUint::one().shl(512).sub(&BigUint::one()).rem(&Fr::modulus_biguint());
+        let got = Fr::from_le_bytes_mod_order(&bytes);
+        assert_eq!(BigUint::from_limbs(&got.to_canonical_limbs()), expect);
+    }
+
+    #[test]
+    fn two_adic_root_has_exact_order() {
+        let omega = Fr::two_adic_root_of_unity();
+        let half = omega.pow(&[1u64 << (Fr::TWO_ADICITY - 1)]);
+        assert_ne!(half, Fr::ONE);
+        assert_eq!(half.square(), Fr::ONE);
+        assert_eq!(half, -Fr::ONE);
+    }
+
+    #[test]
+    fn ordering_is_canonical() {
+        assert!(Fr::from_u64(2) < Fr::from_u64(3));
+        assert!(Fr::from_u64(100) > Fr::from_u64(3));
+        // -1 = p-1 is the largest element.
+        assert!(-Fr::ONE > Fr::from_u64(u64::MAX));
+    }
+}

@@ -1,0 +1,37 @@
+//! # waku-arith
+//!
+//! Finite-field arithmetic substrate for the WAKU-RLN-RELAY reproduction.
+//!
+//! Everything above this crate (curves, pairings, Poseidon, Groth16, the RLN
+//! construction itself) works over the two BN254 prime fields defined here:
+//!
+//! * [`fields::Fq`] — 254-bit base field of the BN254 curve,
+//! * [`fields::Fr`] — 254-bit scalar field (circuit/witness field).
+//!
+//! The crate deliberately has **no third-party dependencies** beyond `rand`
+//! (for sampling): Montgomery multiplication, the big-integer helper used to
+//! derive constants, and the radix-2 FFT are all implemented here from
+//! scratch, as required by the reproduction contract of the paper
+//! (§II-B relies on Groth16 [11], which in turn needs all of this).
+//!
+//! ## Example
+//!
+//! ```
+//! use waku_arith::fields::Fr;
+//! use waku_arith::traits::{Field, PrimeField};
+//!
+//! let a = Fr::from_u64(21);
+//! let b = Fr::from_u64(2);
+//! assert_eq!(a * b, Fr::from_u64(42));
+//! assert_eq!(a * a.inverse().unwrap(), Fr::one());
+//! ```
+
+pub mod biguint;
+pub mod fft;
+pub mod fields;
+pub mod fp;
+pub mod traits;
+
+pub use biguint::BigUint;
+pub use fields::{Fq, Fr};
+pub use traits::{Field, PrimeField};

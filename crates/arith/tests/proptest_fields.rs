@@ -1,0 +1,99 @@
+//! Property-based tests: field axioms for Fr/Fq and big-integer division
+//! invariants, over randomized inputs.
+
+use proptest::prelude::*;
+use waku_arith::biguint::BigUint;
+use waku_arith::fields::{Fq, Fr};
+use waku_arith::traits::{Field, PrimeField};
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    proptest::array::uniform32(any::<u8>())
+        .prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
+}
+
+fn arb_fq() -> impl Strategy<Value = Fq> {
+    proptest::array::uniform32(any::<u8>())
+        .prop_map(|bytes| Fq::from_le_bytes_mod_order(&bytes))
+}
+
+proptest! {
+    #[test]
+    fn fr_addition_commutes(a in arb_fr(), b in arb_fr()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn fr_multiplication_associates(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn fr_distributive(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn fr_additive_inverse(a in arb_fr()) {
+        prop_assert!((a + (-a)).is_zero());
+    }
+
+    #[test]
+    fn fr_multiplicative_inverse(a in arb_fr()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fr::one());
+        }
+    }
+
+    #[test]
+    fn fr_square_matches_self_multiplication(a in arb_fr()) {
+        prop_assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn fr_byte_roundtrip(a in arb_fr()) {
+        prop_assert_eq!(Fr::from_le_bytes(&a.to_le_bytes()), Some(a));
+    }
+
+    #[test]
+    fn fq_field_axioms_smoke(a in arb_fq(), b in arb_fq()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a - a, Fq::zero());
+    }
+
+    #[test]
+    fn fr_pow_adds_exponents(a in arb_fr(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        if !a.is_zero() {
+            let lhs = a.pow(&[e1]) * a.pow(&[e2]);
+            let rhs = a.pow(&[e1 + e2]);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in proptest::collection::vec(any::<u64>(), 1..8),
+                                 b in proptest::collection::vec(any::<u64>(), 1..4)) {
+        let a = BigUint::from_limbs(&a);
+        let b = BigUint::from_limbs(&b);
+        if !b.is_zero() {
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+            prop_assert!(r < b);
+        }
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 1..6),
+                               shift in 0usize..200) {
+        let v = BigUint::from_limbs(&limbs);
+        prop_assert_eq!(v.shl(shift).shr(shift), v);
+    }
+
+    #[test]
+    fn fr_canonical_limbs_below_modulus(a in arb_fr()) {
+        let limbs = a.to_canonical_limbs();
+        let value = BigUint::from_limbs(&limbs);
+        prop_assert!(value < Fr::modulus_biguint());
+        prop_assert_eq!(Fr::from_canonical_limbs(limbs), Some(a));
+    }
+}

@@ -1,0 +1,79 @@
+//! E5 criterion benches: membership-contract execution throughput for both
+//! storage designs (flat list vs on-chain tree). The *gas* comparison is
+//! deterministic and printed by `exp_gas_costs`; this measures wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waku_arith::fields::Fr;
+use waku_arith::traits::PrimeField;
+use waku_chain::{Address, ContractKind, MembershipContract, ETHER};
+
+fn bench_register(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_register");
+    for kind in [ContractKind::FlatList, ContractKind::OnChainTree] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut contract = MembershipContract::new(kind, ETHER, 16);
+                let owner = Address::from_seed(b"bench");
+                let mut i = 0u64;
+                b.iter(|| {
+                    if contract.len() >= 60_000 {
+                        contract = MembershipContract::new(kind, ETHER, 16);
+                    }
+                    i += 1;
+                    contract
+                        .register(owner, Fr::from_u64(i), ETHER)
+                        .expect("capacity not reached")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_slash(c: &mut Criterion) {
+    c.bench_function("contract_slash_plain", |b| {
+        let owner = Address::from_seed(b"owner");
+        let slasher = Address::from_seed(b"slasher");
+        // depth-24 flat list: room for millions of appended slots, since
+        // every slash + fresh registration consumes a new index.
+        let fresh = |pool: u64| {
+            let mut contract = MembershipContract::new(ContractKind::FlatList, ETHER, 24);
+            for s in 1..=pool {
+                contract
+                    .register(owner, waku_poseidon::poseidon1(Fr::from_u64(s)), ETHER)
+                    .unwrap();
+            }
+            contract
+        };
+        const POOL: u64 = 10_000;
+        let mut contract = fresh(POOL);
+        let mut next_secret = POOL + 1;
+        let mut victim = 1u64;
+        b.iter(|| {
+            if contract.len() >= (1 << 24) - 2 {
+                contract = fresh(POOL);
+                next_secret = POOL + 1;
+                victim = 1;
+            }
+            // slash the oldest member, then register a fresh identity so
+            // the pool never drains
+            contract
+                .slash_plain(Fr::from_u64(victim), slasher)
+                .expect("victim registered");
+            victim += 1;
+            contract
+                .register(owner, waku_poseidon::poseidon1(Fr::from_u64(next_secret)), ETHER)
+                .unwrap();
+            next_secret += 1;
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_register, bench_slash
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E9 criterion benches: Merkle tree operation costs (the measurement the
+//! paper defers to future work in §IV-A, "Evaluating Merkle tree
+//! computation overhead").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+use waku_merkle::{DenseTree, FrontierTree, PartialViewTree, TreeUpdate};
+
+fn bench_dense_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_dense");
+    for depth in [10usize, 16, 20] {
+        let mut rng = StdRng::seed_from_u64(depth as u64);
+        let mut tree = DenseTree::new(depth);
+        for i in 0..64 {
+            tree.set(i, Fr::random(&mut rng));
+        }
+        group.bench_with_input(BenchmarkId::new("insert", depth), &depth, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                tree.set(i % 64, Fr::random(&mut rng));
+                i += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("proof", depth), &depth, |b, _| {
+            b.iter(|| tree.proof(13))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_frontier");
+    for depth in [20usize, 32] {
+        group.bench_with_input(BenchmarkId::new("append", depth), &depth, |b, &d| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut tree = FrontierTree::new(d);
+            b.iter(|| {
+                if tree.len() == 1 << 10 {
+                    tree = FrontierTree::new(d); // stay far from capacity
+                }
+                tree.append(Fr::random(&mut rng)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partial_view_update(c: &mut Criterion) {
+    let depth = 16;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut dense = DenseTree::new(depth);
+    dense.set(5, Fr::from_random_bench(&mut rng));
+    let mut view = PartialViewTree::new(5, dense.leaf(5), dense.proof(5));
+    c.bench_function("merkle_partial_view/update", |b| {
+        b.iter(|| {
+            let j = rng.gen_range(0..dense.capacity());
+            if j == 5 {
+                return;
+            }
+            let leaf = Fr::from_random_bench(&mut rng);
+            dense.set(j, leaf);
+            let update = TreeUpdate {
+                index: j,
+                new_leaf: leaf,
+                path: dense.proof(j),
+            };
+            view.apply_update(&update).unwrap();
+        })
+    });
+}
+
+// small local helper: keep the bench file self-contained
+trait RandomExt {
+    fn from_random_bench(rng: &mut StdRng) -> Self;
+}
+impl RandomExt for Fr {
+    fn from_random_bench(rng: &mut StdRng) -> Self {
+        Fr::random(rng)
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dense_ops, bench_frontier_append, bench_partial_view_update
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation A2: nullifier-map cost — insert/check throughput and the
+//! effect of the pruning window (paper §III-F: the map only needs the last
+//! `Thr` epochs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+use waku_curve::{G1Affine, G2Affine};
+use waku_rln::{derive, external_nullifier, message_hash, NullifierMap, RlnMessageBundle};
+use waku_snark::groth16::Proof;
+
+fn synthetic_bundle(sk: Fr, payload: &[u8], epoch: u64) -> RlnMessageBundle {
+    let x = message_hash(payload);
+    let (_, phi, y) = derive(sk, external_nullifier(epoch), x);
+    RlnMessageBundle {
+        payload: payload.to_vec(),
+        y,
+        nullifier: phi,
+        epoch,
+        root: Fr::zero(),
+        proof: Proof {
+            a: G1Affine::generator(),
+            b: G2Affine::generator(),
+            c: G1Affine::generator(),
+        },
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let sks: Vec<Fr> = (0..1000).map(|_| Fr::random(&mut rng)).collect();
+    c.bench_function("nullifier_map/check_and_insert", |b| {
+        let mut map = NullifierMap::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let sk = sks[i % sks.len()];
+            let epoch = (i / sks.len()) as u64;
+            let bundle = synthetic_bundle(sk, format!("m{i}").as_bytes(), epoch);
+            i += 1;
+            map.check_and_insert(&bundle)
+        })
+    });
+}
+
+fn bench_prune_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nullifier_map/prune");
+    for window in [1u64, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut map = NullifierMap::new();
+            // populate 200 epochs × 20 peers
+            for epoch in 0..200u64 {
+                for _ in 0..20 {
+                    let sk = Fr::random(&mut rng);
+                    let bundle = synthetic_bundle(sk, b"x", epoch);
+                    map.check_and_insert(&bundle);
+                }
+            }
+            b.iter(|| {
+                let mut m = map.clone();
+                m.prune(200, w);
+                m.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_prune_windows
+}
+criterion_main!(benches);

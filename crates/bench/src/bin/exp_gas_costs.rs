@@ -1,0 +1,117 @@
+//! E5 + ablation A1: membership gas costs.
+//!
+//! Paper (§IV-A): registration ≈40k gas (>$20 at the time of writing);
+//! batch insertion cuts it to ≈20k; the flat-list design makes
+//! insertion/deletion O(1) versus the Semaphore on-chain tree's O(depth)
+//! (§III-A, adjustment 1).
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::PrimeField;
+use waku_chain::{gas_to_usd, Address, Chain, ChainConfig, ContractKind, TxKind, ETHER};
+
+const GAS_PRICE_GWEI: u64 = 150;
+const ETH_USD: f64 = 3_400.0;
+
+fn fresh_chain(kind: ContractKind) -> (Chain, Address) {
+    let mut chain = Chain::new(ChainConfig {
+        contract: kind,
+        tree_depth: 20,
+        ..ChainConfig::default()
+    });
+    let user = Address::from_seed(b"gas-user");
+    chain.fund(user, 10_000 * ETHER);
+    (chain, user)
+}
+
+fn single_register_gas(kind: ContractKind) -> u64 {
+    let (mut chain, user) = fresh_chain(kind);
+    let tx = chain.submit(
+        user,
+        TxKind::Register {
+            commitment: Fr::from_u64(1),
+        },
+        GAS_PRICE_GWEI,
+    );
+    chain.mine_block();
+    chain.receipt(tx).unwrap().gas_used
+}
+
+fn batch_register_gas_per_member(kind: ContractKind, batch: usize) -> u64 {
+    let (mut chain, user) = fresh_chain(kind);
+    let tx = chain.submit(
+        user,
+        TxKind::RegisterBatch {
+            commitments: (1..=batch as u64).map(Fr::from_u64).collect(),
+        },
+        GAS_PRICE_GWEI,
+    );
+    chain.mine_block();
+    chain.receipt(tx).unwrap().gas_used / batch as u64
+}
+
+fn removal_gas(kind: ContractKind) -> u64 {
+    let (mut chain, user) = fresh_chain(kind);
+    chain.submit(
+        user,
+        TxKind::Register {
+            commitment: Fr::from_u64(1),
+        },
+        GAS_PRICE_GWEI,
+    );
+    chain.mine_block();
+    let tx = chain.submit(user, TxKind::Withdraw { index: 0 }, GAS_PRICE_GWEI);
+    chain.mine_block();
+    chain.receipt(tx).unwrap().gas_used
+}
+
+fn main() {
+    println!("# E5 — membership contract gas costs");
+    println!();
+    println!(
+        "conditions: {GAS_PRICE_GWEI} gwei, ETH = ${ETH_USD} (early-2022, matching the paper's \">$20\" claim)"
+    );
+    println!();
+    println!("| operation | contract | paper | gas | USD |");
+    println!("|---|---|---|---|---|");
+
+    let flat_single = single_register_gas(ContractKind::FlatList);
+    println!(
+        "| register (single) | flat list (paper design) | ≈40k gas, >$20 | {} | ${:.2} |",
+        flat_single,
+        gas_to_usd(flat_single, GAS_PRICE_GWEI, ETH_USD)
+    );
+    let tree_single = single_register_gas(ContractKind::OnChainTree);
+    println!(
+        "| register (single) | on-chain tree (Semaphore) | O(depth), costlier | {} | ${:.2} |",
+        tree_single,
+        gas_to_usd(tree_single, GAS_PRICE_GWEI, ETH_USD)
+    );
+    for batch in [10usize, 100] {
+        let per = batch_register_gas_per_member(ContractKind::FlatList, batch);
+        println!(
+            "| register (batch of {batch}, per member) | flat list | ≈20k gas | {} | ${:.2} |",
+            per,
+            gas_to_usd(per, GAS_PRICE_GWEI, ETH_USD)
+        );
+    }
+    let flat_removal = removal_gas(ContractKind::FlatList);
+    println!(
+        "| remove/withdraw | flat list | O(1), not batchable issue avoided | {} | ${:.2} |",
+        flat_removal,
+        gas_to_usd(flat_removal, GAS_PRICE_GWEI, ETH_USD)
+    );
+    let tree_removal = removal_gas(ContractKind::OnChainTree);
+    println!(
+        "| remove/withdraw | on-chain tree | O(depth), unbatchable (random leaves) | {} | ${:.2} |",
+        tree_removal,
+        gas_to_usd(tree_removal, GAS_PRICE_GWEI, ETH_USD)
+    );
+
+    println!();
+    println!(
+        "flat-list removal advantage: {:.1}× cheaper ({} vs {} gas)",
+        tree_removal as f64 / flat_removal as f64,
+        flat_removal,
+        tree_removal
+    );
+}

@@ -1,0 +1,74 @@
+//! E9: Merkle-tree operation overhead — the benchmark the paper lists as
+//! future work ("Evaluating Merkle tree computation overhead", §IV-A).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+use waku_bench::{fmt_duration, time_mean};
+use waku_merkle::{DenseTree, FrontierTree, PartialViewTree, TreeUpdate};
+
+fn main() {
+    println!("# E9 — Merkle tree computation overhead (paper future work, §IV-A)");
+    println!();
+    println!("| depth | dense insert | dense proof | frontier append | partial-view update | full rebuild (1k leaves) |");
+    println!("|---|---|---|---|---|---|");
+
+    for depth in [10usize, 16, 20] {
+        let mut rng = StdRng::seed_from_u64(depth as u64);
+
+        let mut dense = DenseTree::new(depth);
+        for i in 0..256u64 {
+            dense.set(i, Fr::random(&mut rng));
+        }
+        let insert = time_mean(200, || {
+            dense.set(128, Fr::random(&mut rng));
+        });
+        let proof = time_mean(200, || {
+            let _ = dense.proof(57);
+        });
+
+        let mut frontier = FrontierTree::new(depth);
+        let append = time_mean(200, || {
+            if frontier.len() >= 1 << 9 {
+                frontier = FrontierTree::new(depth);
+            }
+            frontier.append(Fr::random(&mut rng)).unwrap();
+        });
+
+        let mut view = PartialViewTree::new(5, dense.leaf(5), dense.proof(5));
+        let update = time_mean(200, || {
+            let j = rng.gen_range(6..256u64);
+            let leaf = Fr::random(&mut rng);
+            dense.set(j, leaf);
+            view.apply_update(&TreeUpdate {
+                index: j,
+                new_leaf: leaf,
+                path: dense.proof(j),
+            })
+            .unwrap();
+        });
+
+        let rebuild_start = Instant::now();
+        let mut rebuilt = DenseTree::new(depth);
+        let leaves: Vec<Fr> = (0..1000.min(rebuilt.capacity()))
+            .map(|_| Fr::random(&mut rng))
+            .collect();
+        rebuilt.set_batch(0, &leaves);
+        let rebuild = rebuild_start.elapsed();
+
+        println!(
+            "| {depth} | {} | {} | {} | {} | {} |",
+            fmt_duration(insert),
+            fmt_duration(proof),
+            fmt_duration(append),
+            fmt_duration(update),
+            fmt_duration(rebuild),
+        );
+    }
+
+    println!();
+    println!("shape: inserts/appends are O(depth) Poseidon hashes; proofs are O(depth) reads;");
+    println!("batch rebuilds amortize interior hashing across adjacent leaves.");
+}

@@ -1,0 +1,58 @@
+//! E1 + E2: RLN proof generation/verification time across tree depths.
+//!
+//! Paper (§IV): generation ≈0.5 s for group size 2³² on an iPhone 8;
+//! verification constant ≈30 ms; circuit over a Poseidon tree.
+//!
+//! We reproduce the *shape*: generation grows mildly with depth (the
+//! circuit adds one Poseidon round trip per level), verification is
+//! constant regardless of depth and group fill.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use waku_bench::{fmt_duration, sparse_single_member_path, time_mean};
+use waku_rln::{Identity, RlnProver};
+
+fn main() {
+    println!("# E1/E2 — proof generation and verification times");
+    println!();
+    println!("paper reference: prove ≈0.5 s @ depth 32 (iPhone 8), verify ≈30 ms constant");
+    println!();
+    println!("| depth | group size | keygen | prove (mean of 3) | verify (mean of 5) | constraints |");
+    println!("|---|---|---|---|---|---|");
+
+    for depth in [10usize, 15, 20, 32] {
+        let mut rng = StdRng::seed_from_u64(depth as u64);
+        let t0 = Instant::now();
+        let (prover, verifier) = RlnProver::keygen(depth, &mut rng);
+        let keygen = t0.elapsed();
+
+        let identity = Identity::random(&mut rng);
+        let path = sparse_single_member_path(depth);
+
+        let mut bundle = None;
+        let prove_time = time_mean(3, || {
+            bundle = Some(
+                prover
+                    .prove_message(&identity, &path, b"experiment message", 1234, &mut rng)
+                    .unwrap(),
+            );
+        });
+        let bundle = bundle.unwrap();
+        let verify_time = time_mean(5, || {
+            assert!(verifier.verify_bundle(&bundle));
+        });
+        let constraints = waku_rln::circuit::build_for_setup(depth).num_constraints();
+        println!(
+            "| {} | 2^{} | {} | {} | {} | {} |",
+            depth,
+            depth,
+            fmt_duration(keygen),
+            fmt_duration(prove_time),
+            fmt_duration(verify_time),
+            constraints,
+        );
+    }
+    println!();
+    println!("(verification time should be constant across rows — E2)");
+}

@@ -1,0 +1,126 @@
+//! E8: the slashing race condition and its commit-reveal fix (paper
+//! §III-F). An honest router recovers a spammer's key; a mempool-watching
+//! attacker tries to steal the reward by re-submitting it with a higher
+//! gas price.
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::PrimeField;
+use waku_chain::{
+    slash_commitment_hash, Address, Chain, ChainConfig, TxKind, ETHER,
+};
+use waku_poseidon::poseidon1;
+
+struct RaceResult {
+    honest_reward: u128,
+    attacker_reward: u128,
+}
+
+fn run_race(commit_reveal: bool) -> RaceResult {
+    let mut chain = Chain::new(ChainConfig {
+        tree_depth: 8,
+        ..ChainConfig::default()
+    });
+    let registrant = Address::from_seed(b"spammer-owner");
+    chain.fund(registrant, 10 * ETHER);
+    let spammer_sk = Fr::from_u64(0xDEAD);
+    chain.submit(
+        registrant,
+        TxKind::Register {
+            commitment: poseidon1(spammer_sk),
+        },
+        100,
+    );
+    chain.mine_block();
+
+    let honest = Address::from_seed(b"honest-router");
+    let attacker = Address::from_seed(b"front-runner");
+    chain.fund(honest, ETHER);
+    chain.fund(attacker, ETHER);
+    let honest_start = chain.balance(honest);
+    let attacker_start = chain.balance(attacker);
+
+    if commit_reveal {
+        let salt = [7u8; 32];
+        let hash = slash_commitment_hash(spammer_sk, honest, &salt);
+        chain.submit(honest, TxKind::SlashCommit { hash }, 50);
+        chain.mine_block(); // commit matures; attacker sees only a hash
+        chain.submit(
+            honest,
+            TxKind::SlashReveal {
+                secret: spammer_sk,
+                salt,
+                beneficiary: honest,
+            },
+            50,
+        );
+        // The attacker copies the now-public opening and outbids 10×.
+        chain.submit(
+            attacker,
+            TxKind::SlashReveal {
+                secret: spammer_sk,
+                salt,
+                beneficiary: attacker,
+            },
+            500,
+        );
+        chain.mine_block();
+    } else {
+        chain.submit(
+            honest,
+            TxKind::SlashPlain {
+                secret: spammer_sk,
+                beneficiary: honest,
+            },
+            50,
+        );
+        // Plain mode: the secret itself sits in the mempool.
+        chain.submit(
+            attacker,
+            TxKind::SlashPlain {
+                secret: spammer_sk,
+                beneficiary: attacker,
+            },
+            500,
+        );
+        chain.mine_block();
+    }
+
+    RaceResult {
+        honest_reward: chain.balance(honest).saturating_sub(honest_start),
+        attacker_reward: chain.balance(attacker).saturating_sub(attacker_start),
+    }
+}
+
+fn main() {
+    println!("# E8 — slashing race condition (§III-F)");
+    println!();
+    println!("scenario: honest router recovers a spammer key; attacker watches the mempool");
+    println!("and re-submits with 10× the gas price.");
+    println!();
+    println!("| scheme | honest reward (ETH) | front-runner reward (ETH) | outcome |");
+    println!("|---|---|---|---|");
+
+    let plain = run_race(false);
+    println!(
+        "| plain submission | {:.3} | {:.3} | {} |",
+        plain.honest_reward as f64 / 1e18,
+        plain.attacker_reward as f64 / 1e18,
+        if plain.attacker_reward > 0 {
+            "reward stolen (the race the paper warns about)"
+        } else {
+            "unexpected"
+        }
+    );
+
+    let cr = run_race(true);
+    println!(
+        "| commit-reveal | {:.3} | {:.3} | {} |",
+        cr.honest_reward as f64 / 1e18,
+        cr.attacker_reward as f64 / 1e18,
+        if cr.honest_reward > 0 && cr.attacker_reward == 0 {
+            "honest slasher protected (paper's mitigation)"
+        } else {
+            "unexpected"
+        }
+    );
+}

@@ -1,0 +1,267 @@
+//! Quadratic extension `Fp12 = Fp6[w]/(w² − v)` — the pairing target field.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+use waku_arith::biguint::BigUint;
+use waku_arith::fields::Fq;
+use waku_arith::traits::{Field, PrimeField};
+
+use crate::fp2::Fp2;
+use crate::fp6::Fp6;
+
+/// An element `c0 + c1·w` of Fp12.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Fp12 {
+    /// Constant coefficient.
+    pub c0: Fp6,
+    /// Coefficient of `w`.
+    pub c1: Fp6,
+}
+
+/// Frobenius constants `γᵢ = ξ^((pⁱ−1)/6)` for i = 0..=3, derived at first
+/// use.
+fn frobenius_coeffs() -> &'static [Fp2; 4] {
+    static CELL: OnceLock<[Fp2; 4]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let p = BigUint::from_limbs(&<Fq as PrimeField>::MODULUS);
+        let six = BigUint::from(6u64);
+        let mut out = [Fp2::one(); 4];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let p_i = p.pow(i as u32);
+            let (e, r) = p_i.sub(&BigUint::one()).div_rem(&six);
+            assert!(r.is_zero(), "p^i - 1 must be divisible by 6");
+            *slot = Fp2::xi().pow(e.limbs());
+        }
+        out
+    })
+}
+
+impl Fp12 {
+    /// Builds an element from its Fp6 coefficients.
+    pub const fn new(c0: Fp6, c1: Fp6) -> Self {
+        Fp12 { c0, c1 }
+    }
+
+    /// Embeds an Fp6 element.
+    pub fn from_fp6(c0: Fp6) -> Self {
+        Fp12 {
+            c0,
+            c1: Fp6::zero(),
+        }
+    }
+
+    /// Embeds an Fq element.
+    pub fn from_base(c: Fq) -> Self {
+        Fp12::from_fp6(Fp6::from_fp2(Fp2::from_base(c)))
+    }
+
+    /// Conjugation `c0 − c1·w`; equals the `p⁶`-power Frobenius, and for
+    /// elements in the cyclotomic subgroup equals inversion.
+    pub fn conjugate(&self) -> Self {
+        Fp12 {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// Frobenius endomorphism `x ↦ x^(p^power)` for `power ≤ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power > 3`.
+    pub fn frobenius_map(&self, power: usize) -> Self {
+        assert!(power <= 3, "frobenius power out of precomputed range");
+        let g = frobenius_coeffs()[power];
+        Fp12 {
+            c0: self.c0.frobenius_map(power),
+            c1: self.c1.frobenius_map(power).scale(g),
+        }
+    }
+}
+
+impl Add for Fp12 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fp12 {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
+    }
+}
+
+impl Sub for Fp12 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fp12 {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
+    }
+}
+
+impl Mul for Fp12 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba with w² = v.
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let s = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Fp12 {
+            c0: v0 + v1.mul_by_v(),
+            c1: s - v0 - v1,
+        }
+    }
+}
+
+impl Neg for Fp12 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fp12 {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
+    }
+}
+
+impl AddAssign for Fp12 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fp12 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fp12 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Debug for Fp12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp12({:?} + ({:?})·w)", self.c0, self.c1)
+    }
+}
+
+impl fmt::Display for Fp12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) + ({})·w", self.c0, self.c1)
+    }
+}
+
+impl Field for Fp12 {
+    fn zero() -> Self {
+        Fp12 {
+            c0: Fp6::zero(),
+            c1: Fp6::zero(),
+        }
+    }
+
+    fn one() -> Self {
+        Fp12 {
+            c0: Fp6::one(),
+            c1: Fp6::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        // Complex squaring: (c0 + c1 w)² = (c0² + c1²·v) + 2c0c1·w.
+        let ab = self.c0 * self.c1;
+        let a = self.c0 + self.c1;
+        let b = self.c0 + self.c1.mul_by_v();
+        let t = a * b - ab - ab.mul_by_v();
+        Fp12 {
+            c0: t,
+            c1: ab.double(),
+        }
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // 1/(c0 + c1 w) = (c0 − c1 w)/(c0² − c1²·v)
+        let t = self.c0.square() - self.c1.square().mul_by_v();
+        let t_inv = t.inverse()?;
+        Some(Fp12 {
+            c0: self.c0 * t_inv,
+            c1: -(self.c1 * t_inv),
+        })
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Fp12 {
+            c0: Fp6::random(rng),
+            c1: Fp6::random(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn w_squared_is_v() {
+        let w = Fp12::new(Fp6::zero(), Fp6::one());
+        let v = Fp12::from_fp6(Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero()));
+        assert_eq!(w.square(), v);
+        assert_eq!(w * w, v);
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let a = Fp12::random(&mut rng);
+            assert_eq!(a.square(), a * a);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let a = Fp12::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fp12::one());
+        }
+    }
+
+    #[test]
+    fn associativity_distributivity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Fp12::random(&mut rng);
+        let b = Fp12::random(&mut rng);
+        let c = Fp12::random(&mut rng);
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn frobenius_is_pth_power() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Fp12::random(&mut rng);
+        assert_eq!(a.frobenius_map(1), a.pow(&<Fq as PrimeField>::MODULUS));
+        assert_eq!(a.frobenius_map(1).frobenius_map(1), a.frobenius_map(2));
+        assert_eq!(a.frobenius_map(2).frobenius_map(1), a.frobenius_map(3));
+    }
+
+    #[test]
+    fn conjugate_is_p6_frobenius() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Fp12::random(&mut rng);
+        let f3 = a.frobenius_map(3);
+        // p⁶ = (p³)²; conjugation flips the sign of c1.
+        assert_eq!(f3.frobenius_map(3), a.conjugate());
+    }
+}

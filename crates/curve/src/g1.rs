@@ -1,0 +1,116 @@
+//! The BN254 G1 group: `y² = x³ + 3` over Fq, generator `(1, 2)`.
+
+use waku_arith::fields::Fq;
+use waku_arith::traits::PrimeField;
+
+use crate::point::{Affine, CurveParams, Projective};
+
+/// Curve parameters for G1.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct G1Params;
+
+impl CurveParams for G1Params {
+    type Base = Fq;
+    const NAME: &'static str = "G1";
+
+    fn b() -> Fq {
+        Fq::from_u64(3)
+    }
+
+    fn generator() -> (Fq, Fq) {
+        (Fq::from_u64(1), Fq::from_u64(2))
+    }
+}
+
+/// A G1 point in affine coordinates.
+pub type G1Affine = Affine<G1Params>;
+/// A G1 point in Jacobian coordinates.
+pub type G1Projective = Projective<G1Params>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use waku_arith::traits::Field;
+    use rand::SeedableRng;
+    use waku_arith::fields::Fr;
+
+    #[test]
+    fn generator_on_curve_and_in_subgroup() {
+        let g = G1Affine::generator();
+        assert!(g.is_on_curve());
+        assert!(g.is_in_subgroup(), "BN254 G1 has prime order r");
+    }
+
+    #[test]
+    fn group_laws() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = G1Projective::generator();
+        let a = g.mul(Fr::random(&mut rng));
+        let b = g.mul(Fr::random(&mut rng));
+        let c = g.mul(Fr::random(&mut rng));
+        assert_eq!(a.add(&b), b.add(&a), "commutativity");
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)), "associativity");
+        assert_eq!(a.add(&a), a.double(), "doubling consistency");
+        assert!(a.add(&a.neg()).is_identity(), "inverse");
+        assert_eq!(a.add(&G1Projective::identity()), a, "identity");
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = G1Projective::generator();
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(g.mul(a).add(&g.mul(b)), g.mul(a + b));
+        assert_eq!(g.mul(a).mul(b), g.mul(a * b));
+    }
+
+    #[test]
+    fn mixed_addition_matches_general() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = G1Projective::generator();
+        let a = g.mul(Fr::random(&mut rng));
+        let b = g.mul(Fr::random(&mut rng));
+        let b_affine = b.to_affine();
+        assert_eq!(a.add_mixed(&b_affine), a.add(&b));
+        // degenerate cases
+        assert_eq!(a.add_mixed(&a.to_affine()), a.double());
+        assert!(a.add_mixed(&a.neg().to_affine()).is_identity());
+        assert_eq!(a.add_mixed(&G1Affine::identity()), a);
+    }
+
+    #[test]
+    fn affine_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = G1Projective::generator().mul(Fr::random(&mut rng));
+        assert_eq!(p.to_affine().to_projective(), p);
+        assert!(G1Projective::identity().to_affine().is_identity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = G1Projective::generator();
+        let mut points: Vec<G1Projective> =
+            (0..10).map(|_| g.mul(Fr::random(&mut rng))).collect();
+        points.insert(3, G1Projective::identity());
+        let batch = G1Projective::batch_to_affine(&points);
+        for (p, a) in points.iter().zip(&batch) {
+            assert_eq!(p.to_affine(), *a);
+        }
+    }
+
+    #[test]
+    fn order_annihilates() {
+        let g = G1Projective::generator();
+        let r = <Fr as PrimeField>::MODULUS;
+        assert!(g.mul_limbs(&r).is_identity());
+    }
+
+    #[test]
+    fn point_validation() {
+        assert!(G1Affine::new(Fq::from_u64(1), Fq::from_u64(2)).is_some());
+        assert!(G1Affine::new(Fq::from_u64(1), Fq::from_u64(3)).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! The BN254 G2 group: `y² = x³ + 3/ξ` over Fp2 (the sextic D-twist).
+//!
+//! The generator coordinates are the standard values used by every BN254
+//! implementation (EIP-197, arkworks, zerokit); they are stored as decimal
+//! strings and parsed through the big-integer path so they remain
+//! cross-checkable against public sources.
+
+use std::sync::OnceLock;
+
+use waku_arith::biguint::BigUint;
+use waku_arith::fields::Fq;
+use waku_arith::traits::{Field, PrimeField};
+
+use crate::fp2::Fp2;
+use crate::point::{Affine, CurveParams, Projective};
+
+const G2_X_C0: &str =
+    "10857046999023057135944570762232829481370756359578518086990519993285655852781";
+const G2_X_C1: &str =
+    "11559732032986387107991004021392285783925812861821192530917403151452391805634";
+const G2_Y_C0: &str =
+    "8495653923123431417604973247489272438418190587263600148770280649306958101930";
+const G2_Y_C1: &str =
+    "4082367875863433681332203403145435568316851327593401208105741076214120093531";
+
+fn fq_from_decimal(s: &str) -> Fq {
+    let big = BigUint::from_decimal(s).expect("valid decimal");
+    let limbs = big.to_fixed_limbs(4);
+    Fq::from_canonical_limbs([limbs[0], limbs[1], limbs[2], limbs[3]])
+        .expect("coordinate below modulus")
+}
+
+fn g2_generator() -> &'static (Fp2, Fp2) {
+    static CELL: OnceLock<(Fp2, Fp2)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let x = Fp2::new(fq_from_decimal(G2_X_C0), fq_from_decimal(G2_X_C1));
+        let y = Fp2::new(fq_from_decimal(G2_Y_C0), fq_from_decimal(G2_Y_C1));
+        (x, y)
+    })
+}
+
+fn g2_b() -> &'static Fp2 {
+    static CELL: OnceLock<Fp2> = OnceLock::new();
+    CELL.get_or_init(|| {
+        // b' = 3/ξ (D-type twist).
+        Fp2::from_base(Fq::from_u64(3)) * Fp2::xi().inverse().expect("ξ nonzero")
+    })
+}
+
+/// Curve parameters for G2.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct G2Params;
+
+impl CurveParams for G2Params {
+    type Base = Fp2;
+    const NAME: &'static str = "G2";
+
+    fn b() -> Fp2 {
+        *g2_b()
+    }
+
+    fn generator() -> (Fp2, Fp2) {
+        *g2_generator()
+    }
+}
+
+/// A G2 point in affine coordinates.
+pub type G2Affine = Affine<G2Params>;
+/// A G2 point in Jacobian coordinates.
+pub type G2Projective = Projective<G2Params>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use waku_arith::traits::Field;
+    use rand::SeedableRng;
+    use waku_arith::fields::Fr;
+
+    #[test]
+    fn generator_on_curve_and_in_subgroup() {
+        let g = G2Affine::generator();
+        assert!(g.is_on_curve(), "published G2 generator satisfies y² = x³ + 3/ξ");
+        assert!(g.is_in_subgroup(), "generator lies in the order-r subgroup");
+    }
+
+    #[test]
+    fn group_laws() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = G2Projective::generator();
+        let a = g.mul(Fr::random(&mut rng));
+        let b = g.mul(Fr::random(&mut rng));
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&a), a.double());
+        assert!(a.add(&a.neg()).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = G2Projective::generator();
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(g.mul(a).add(&g.mul(b)), g.mul(a + b));
+    }
+
+    #[test]
+    fn order_annihilates() {
+        let g = G2Projective::generator();
+        assert!(g.mul_limbs(&<Fr as PrimeField>::MODULUS).is_identity());
+    }
+
+    #[test]
+    fn affine_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = G2Projective::generator().mul(Fr::random(&mut rng));
+        assert_eq!(p.to_affine().to_projective(), p);
+    }
+}

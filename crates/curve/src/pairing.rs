@@ -1,0 +1,319 @@
+//! The optimal ate pairing on BN254.
+//!
+//! Strategy: correctness over micro-optimization. G2 points are *untwisted*
+//! into `E(Fp12)` (for the D-twist the map is `(x', y') ↦ (x'·w², y'·w³)`,
+//! which is coefficient shuffling, not multiplication), G1 points are
+//! embedded via the base field, and Miller's algorithm runs in plain affine
+//! coordinates over Fp12. The Frobenius steps of the optimal ate formula
+//! then reduce to coordinate-wise Frobenius maps — no twist-specific
+//! correction constants to get wrong. The final exponentiation does the easy
+//! part with Frobenius/conjugation and the hard part by a straight
+//! square-and-multiply over the derived exponent `(p⁴ − p² + 1)/r`.
+//!
+//! The BN parameter is `x = 4965661367192848881`; the Miller loop runs over
+//! `6x + 2 = 29793968203157093288`.
+
+use std::sync::OnceLock;
+
+use waku_arith::biguint::BigUint;
+use waku_arith::fields::{Fq, Fr};
+use waku_arith::traits::{Field, PrimeField};
+
+use crate::fp12::Fp12;
+use crate::fp6::Fp6;
+use crate::g1::G1Affine;
+use crate::g2::G2Affine;
+
+/// The BN curve parameter `x`.
+pub const BN_X: u64 = 4965661367192848881;
+/// Miller loop count `6x + 2` (65 bits, hence `u128`).
+pub const ATE_LOOP_COUNT: u128 = 6 * (BN_X as u128) + 2;
+
+/// A (never-infinite during the loop) affine point on `E(Fp12)`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+struct EPoint {
+    x: Fp12,
+    y: Fp12,
+    infinity: bool,
+}
+
+impl EPoint {
+    fn infinity() -> Self {
+        EPoint {
+            x: Fp12::zero(),
+            y: Fp12::one(),
+            infinity: true,
+        }
+    }
+
+    fn neg(&self) -> Self {
+        EPoint {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+
+    /// Coordinate-wise Frobenius: the image of an `E(Fp12)` point under
+    /// `π_p^power` is again on `E` because the curve is defined over Fq.
+    fn frobenius(&self, power: usize) -> Self {
+        EPoint {
+            x: self.x.frobenius_map(power),
+            y: self.y.frobenius_map(power),
+            infinity: self.infinity,
+        }
+    }
+}
+
+/// Untwists a G2 point to `E(Fp12)`: `(x', y') ↦ (x'·w², y'·w³)`.
+/// `w² = v` and `w³ = v·w`, so this just places the Fp2 coefficients.
+fn untwist(q: &G2Affine) -> EPoint {
+    if q.is_identity() {
+        return EPoint::infinity();
+    }
+    let x = Fp12::new(
+        Fp6::new(crate::fp2::Fp2::zero(), q.x, crate::fp2::Fp2::zero()),
+        Fp6::zero(),
+    );
+    let y = Fp12::new(
+        Fp6::zero(),
+        Fp6::new(crate::fp2::Fp2::zero(), q.y, crate::fp2::Fp2::zero()),
+    );
+    EPoint {
+        x,
+        y,
+        infinity: false,
+    }
+}
+
+/// Embeds a G1 point's coordinates into Fp12.
+fn embed(p: &G1Affine) -> (Fp12, Fp12) {
+    (Fp12::from_base(p.x), Fp12::from_base(p.y))
+}
+
+/// Tangent line at `t` evaluated at `(px, py)`; advances `t ← 2t`.
+fn line_double(t: &mut EPoint, px: Fp12, py: Fp12) -> Fp12 {
+    debug_assert!(!t.infinity);
+    let three = Fp12::from_base(Fq::from_u64(3));
+    let two = Fp12::from_base(Fq::from_u64(2));
+    let lambda = three * t.x.square() * (two * t.y).inverse().expect("2y ≠ 0 on prime-order point");
+    let x3 = lambda.square() - t.x.double();
+    let y3 = lambda * (t.x - x3) - t.y;
+    let l = py - t.y - lambda * (px - t.x);
+    t.x = x3;
+    t.y = y3;
+    l
+}
+
+/// Chord line through `t` and `q` evaluated at `(px, py)`; advances
+/// `t ← t + q`. Handles the vertical-line case defensively.
+fn line_add(t: &mut EPoint, q: &EPoint, px: Fp12, py: Fp12) -> Fp12 {
+    debug_assert!(!t.infinity && !q.infinity);
+    if t.x == q.x {
+        if t.y == q.y {
+            return line_double(t, px, py);
+        }
+        // Vertical line x − x_T; resulting point is infinity.
+        let l = px - t.x;
+        *t = EPoint::infinity();
+        return l;
+    }
+    let lambda = (q.y - t.y) * (q.x - t.x).inverse().expect("distinct x");
+    let x3 = lambda.square() - t.x - q.x;
+    let y3 = lambda * (t.x - x3) - t.y;
+    let l = py - t.y - lambda * (px - t.x);
+    t.x = x3;
+    t.y = y3;
+    l
+}
+
+/// Product of Miller loops `∏ f_{6x+2, Qᵢ}(Pᵢ) · (frobenius line steps)`,
+/// *without* the final exponentiation. Pairs with an identity element on
+/// either side are skipped (contribute the neutral factor 1).
+pub fn miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
+    let active: Vec<((Fp12, Fp12), EPoint)> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+        .map(|(p, q)| (embed(p), untwist(q)))
+        .collect();
+    if active.is_empty() {
+        return Fp12::one();
+    }
+
+    let mut f = Fp12::one();
+    let mut ts: Vec<EPoint> = active.iter().map(|(_, q)| *q).collect();
+
+    let loop_bits = 128 - ATE_LOOP_COUNT.leading_zeros();
+    // Standard double-and-add over the bits of 6x+2, MSB (skipped) downward.
+    for i in (0..loop_bits - 1).rev() {
+        f = f.square();
+        for (((px, py), _), t) in active.iter().zip(ts.iter_mut()) {
+            f *= line_double(t, *px, *py);
+        }
+        if (ATE_LOOP_COUNT >> i) & 1 == 1 {
+            for (((px, py), q), t) in active.iter().zip(ts.iter_mut()) {
+                f *= line_add(t, q, *px, *py);
+            }
+        }
+    }
+
+    // Optimal-ate correction: two Frobenius addition steps.
+    for (((px, py), q), t) in active.iter().zip(ts.iter_mut()) {
+        let q1 = q.frobenius(1);
+        let q2 = q.frobenius(2).neg();
+        f *= line_add(t, &q1, *px, *py);
+        f *= line_add(t, &q2, *px, *py);
+    }
+    f
+}
+
+/// The hard-part exponent `(p⁴ − p² + 1) / r`, derived once.
+fn hard_part_exponent() -> &'static Vec<u64> {
+    static CELL: OnceLock<Vec<u64>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let p = BigUint::from_limbs(&<Fq as PrimeField>::MODULUS);
+        let r = BigUint::from_limbs(&<Fr as PrimeField>::MODULUS);
+        let num = p.pow(4).sub(&p.pow(2)).add(&BigUint::one());
+        let (q, rem) = num.div_rem(&r);
+        assert!(rem.is_zero(), "BN identity: r | p⁴ − p² + 1");
+        q.limbs().to_vec()
+    })
+}
+
+/// Final exponentiation `f ↦ f^((p¹²−1)/r)`.
+///
+/// Returns `None` if `f` is zero (which a Miller loop never produces for
+/// valid points).
+pub fn final_exponentiation(f: &Fp12) -> Option<Fp12> {
+    // Easy part: f^(p⁶−1) = conj(f)·f⁻¹, then ^(p²+1).
+    let f_inv = f.inverse()?;
+    let f1 = f.conjugate() * f_inv;
+    let f2 = f1.frobenius_map(2) * f1;
+    // Hard part: ^( (p⁴−p²+1)/r ).
+    Some(f2.pow(hard_part_exponent()))
+}
+
+/// The full optimal ate pairing `e: G1 × G2 → μ_r ⊂ Fp12`.
+///
+/// # Examples
+///
+/// ```
+/// use waku_curve::{g1::G1Affine, g2::G2Affine, pairing::pairing};
+/// use waku_arith::traits::Field;
+/// let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+/// assert!(!e.is_zero());
+/// ```
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    final_exponentiation(&miller_loop(&[(*p, *q)])).expect("miller loop output is nonzero")
+}
+
+/// Product of pairings `∏ e(Pᵢ, Qᵢ)` sharing a single final exponentiation
+/// (the shape Groth16 verification needs).
+pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
+    final_exponentiation(&miller_loop(pairs)).expect("miller loop output is nonzero")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g1::G1Projective;
+    use crate::g2::G2Projective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairing_is_nondegenerate() {
+        let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+        assert_ne!(e, Fp12::one(), "e(G1, G2) must be a primitive r-th root");
+        assert!(!e.is_zero());
+        // It must have order dividing r.
+        assert_eq!(e.pow(&<Fr as PrimeField>::MODULUS), Fp12::one());
+    }
+
+    #[test]
+    fn pairing_with_identity_is_one() {
+        assert_eq!(
+            pairing(&G1Affine::identity(), &G2Affine::generator()),
+            Fp12::one()
+        );
+        assert_eq!(
+            pairing(&G1Affine::generator(), &G2Affine::identity()),
+            Fp12::one()
+        );
+    }
+
+    #[test]
+    fn bilinearity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let p = G1Projective::generator().mul(a).to_affine();
+        let q = G2Projective::generator().mul(b).to_affine();
+        let lhs = pairing(&p, &q);
+        let base = pairing(&G1Affine::generator(), &G2Affine::generator());
+        let ab = a * b;
+        let rhs = base.pow(&ab.to_canonical_limbs());
+        assert_eq!(lhs, rhs, "e(aG, bH) = e(G, H)^(ab)");
+    }
+
+    #[test]
+    fn linearity_in_first_argument() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let g = G1Projective::generator();
+        let q = G2Affine::generator();
+        let sum = g.mul(a).add(&g.mul(b)).to_affine();
+        let lhs = pairing(&sum, &q);
+        let rhs = pairing(&g.mul(a).to_affine(), &q) * pairing(&g.mul(b).to_affine(), &q);
+        assert_eq!(lhs, rhs, "e(P1+P2, Q) = e(P1,Q)·e(P2,Q)");
+    }
+
+    #[test]
+    fn inverse_point_inverts_pairing() {
+        let p = G1Affine::generator();
+        let q = G2Affine::generator();
+        let e = pairing(&p, &q);
+        let e_neg = pairing(&p.neg(), &q);
+        assert_eq!(e * e_neg, Fp12::one(), "e(-P, Q) = e(P, Q)^(-1)");
+    }
+
+    #[test]
+    fn multi_pairing_matches_product() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p1 = G1Projective::generator().mul(Fr::random(&mut rng)).to_affine();
+        let p2 = G1Projective::generator().mul(Fr::random(&mut rng)).to_affine();
+        let q1 = G2Projective::generator().mul(Fr::random(&mut rng)).to_affine();
+        let q2 = G2Projective::generator().mul(Fr::random(&mut rng)).to_affine();
+        let combined = multi_pairing(&[(p1, q1), (p2, q2)]);
+        let separate = pairing(&p1, &q1) * pairing(&p2, &q2);
+        assert_eq!(combined, separate);
+    }
+
+    #[test]
+    fn untwisted_generator_is_on_e_fp12() {
+        let q = untwist(&G2Affine::generator());
+        let b = Fp12::from_base(Fq::from_u64(3));
+        assert_eq!(
+            q.y.square(),
+            q.x.square() * q.x + b,
+            "untwist must land on y² = x³ + 3 over Fp12"
+        );
+    }
+
+    #[test]
+    fn groth16_shape_identity() {
+        // e(aP, bQ) · e(-abP, Q) = 1 — the cancellation pattern the
+        // verifier relies on.
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let left = multi_pairing(&[
+            (g1.mul(a).to_affine(), g2.mul(b).to_affine()),
+            (g1.mul(a * b).neg().to_affine(), G2Affine::generator()),
+        ]);
+        assert_eq!(left, Fp12::one());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the BN254 group law and pairing bilinearity,
+//! randomized over scalars (complementing the fixed-case unit tests).
+
+use proptest::prelude::*;
+use waku_arith::fields::Fr;
+use waku_arith::traits::{Field, PrimeField};
+use waku_curve::pairing::{multi_pairing, pairing};
+use waku_curve::{Fp12, G1Affine, G1Projective, G2Affine, G2Projective};
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    proptest::array::uniform32(any::<u8>())
+        .prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn g1_scalar_distributivity(a in arb_fr(), b in arb_fr()) {
+        let g = G1Projective::generator();
+        prop_assert_eq!(g.mul(a).add(&g.mul(b)), g.mul(a + b));
+    }
+
+    #[test]
+    fn g1_mixed_add_matches_general(a in arb_fr(), b in arb_fr()) {
+        let g = G1Projective::generator();
+        let p = g.mul(a);
+        let q = g.mul(b);
+        prop_assert_eq!(p.add_mixed(&q.to_affine()), p.add(&q));
+    }
+
+    #[test]
+    fn g1_affine_roundtrip_preserves_curve_membership(a in arb_fr()) {
+        let p = G1Projective::generator().mul(a).to_affine();
+        prop_assert!(p.is_on_curve());
+        prop_assert_eq!(p.to_projective().to_affine(), p);
+    }
+
+    #[test]
+    fn g2_scalar_distributivity(a in arb_fr(), b in arb_fr()) {
+        let g = G2Projective::generator();
+        prop_assert_eq!(g.mul(a).add(&g.mul(b)), g.mul(a + b));
+    }
+
+    #[test]
+    fn g2_points_stay_on_curve(a in arb_fr()) {
+        let p = G2Projective::generator().mul(a).to_affine();
+        prop_assert!(p.is_on_curve());
+    }
+}
+
+proptest! {
+    // pairings are ~6 ms each; keep the case count low
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pairing_bilinearity_randomized(a in arb_fr(), b in arb_fr()) {
+        let p = G1Projective::generator().mul(a).to_affine();
+        let q = G2Projective::generator().mul(b).to_affine();
+        let lhs = pairing(&p, &q);
+        let base = pairing(&G1Affine::generator(), &G2Affine::generator());
+        let ab = a * b;
+        prop_assert_eq!(lhs, base.pow(&ab.to_canonical_limbs()));
+    }
+
+    #[test]
+    fn groth16_cancellation_identity(a in arb_fr(), b in arb_fr()) {
+        // e(aG, bH)·e(−abG, H) = 1 — the structure verification relies on.
+        let g1 = G1Projective::generator();
+        let g2 = G2Projective::generator();
+        let product = multi_pairing(&[
+            (g1.mul(a).to_affine(), g2.mul(b).to_affine()),
+            (g1.mul(a * b).neg().to_affine(), G2Affine::generator()),
+        ]);
+        prop_assert_eq!(product, Fp12::one());
+    }
+}

@@ -1,0 +1,24 @@
+//! # waku-gossip
+//!
+//! A deterministic discrete-event simulation of a GossipSub network — the
+//! transport substrate of WAKU-RELAY (paper §I: "a thin layer over the
+//! libp2p GossipSub routing protocol").
+//!
+//! * [`network`] — event-queue simulator: latency, clock drift, topology,
+//!   the GossipSub mesh/heartbeat/IHAVE-IWANT machinery, and per-class
+//!   delivery accounting.
+//! * [`scoring`] — the peer-scoring defense (gossipsub v1.1, reference [2])
+//!   that the paper both compares against and composes with.
+//! * [`message`] — message/RPC types and the `Validator` verdicts that the
+//!   RLN validation pipeline plugs into (§III-F).
+//!
+//! Every run is seeded and reproducible; experiment binaries in
+//! `waku-bench` rely on that.
+
+pub mod message;
+pub mod network;
+pub mod scoring;
+
+pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
+pub use network::{DeliveryRecord, GossipConfig, Network, NetworkConfig, PeerStats, Validator};
+pub use scoring::{PeerScore, ScoreParams};

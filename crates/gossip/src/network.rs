@@ -1,0 +1,852 @@
+//! The discrete-event network simulator running a GossipSub mesh on every
+//! peer (paper references [2]; WAKU-RELAY is "a thin layer over libp2p
+//! GossipSub", §I).
+//!
+//! Fidelity targets for the evaluation:
+//!
+//! * per-link latency (configurable base + jitter) → `NetworkDelay` of the
+//!   §III-F epoch-gap formula,
+//! * per-peer clock drift → `ClockAsynchrony` of the same formula,
+//! * mesh flooding + IHAVE/IWANT gossip → realistic propagation shape,
+//! * pluggable per-peer validators → RLN / PoW / scoring-only defenses
+//!   slot in without touching routing code,
+//! * bandwidth/delivery accounting per traffic class → §IV's containment
+//!   claims become measurable.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
+use crate::scoring::{PeerScore, ScoreParams};
+
+/// GossipSub protocol parameters (libp2p defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    /// Target mesh degree.
+    pub d: usize,
+    /// Mesh low watermark.
+    pub d_lo: usize,
+    /// Mesh high watermark.
+    pub d_hi: usize,
+    /// Gossip fan-out (IHAVE targets per heartbeat).
+    pub d_lazy: usize,
+    /// Heartbeat interval (ms).
+    pub heartbeat_ms: u64,
+    /// Number of heartbeat windows a message stays gossip-able.
+    pub mcache_gossip: usize,
+    /// Number of heartbeat windows a message stays retrievable.
+    pub mcache_len: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            d: 6,
+            d_lo: 4,
+            d_hi: 12,
+            d_lazy: 6,
+            heartbeat_ms: 1_000,
+            mcache_gossip: 3,
+            mcache_len: 5,
+        }
+    }
+}
+
+/// Network construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Connections per peer (the gossip mesh is a subset of these).
+    pub degree: usize,
+    /// Minimum one-way link latency (ms).
+    pub latency_min_ms: u64,
+    /// Maximum one-way link latency (ms).
+    pub latency_max_ms: u64,
+    /// Clock drift is sampled uniformly from ±this (ms).
+    pub clock_drift_ms: u64,
+    /// GossipSub parameters.
+    pub gossip: GossipConfig,
+    /// Scoring parameters.
+    pub scoring: ScoreParams,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            peers: 50,
+            degree: 8,
+            latency_min_ms: 20,
+            latency_max_ms: 120,
+            clock_drift_ms: 100,
+            gossip: GossipConfig::default(),
+            scoring: ScoreParams::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A message validator: `(from, message, local_time_ms) → verdict`.
+///
+/// `local_time_ms` already includes the peer's clock drift, so epoch
+/// checks observe asynchrony exactly as §III-F describes.
+pub type Validator = Box<dyn FnMut(PeerId, &Message, SimTime) -> Validation>;
+
+/// Per-peer delivery/bandwidth statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PeerStats {
+    /// First deliveries of honest messages.
+    pub honest_delivered: u64,
+    /// First deliveries of spam (rate-violating) messages.
+    pub spam_delivered: u64,
+    /// First deliveries of invalid-proof messages.
+    pub invalid_delivered: u64,
+    /// Messages this peer rejected at validation.
+    pub rejected: u64,
+    /// Messages ignored (duplicates etc.).
+    pub ignored: u64,
+    /// Total bytes received (all RPCs).
+    pub bytes_received: u64,
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Validator invocations (cost proxy — each one is a proof check under
+    /// RLN).
+    pub validations: u64,
+}
+
+struct Peer {
+    neighbors: Vec<PeerId>,
+    subscriptions: BTreeSet<Topic>,
+    mesh: BTreeMap<Topic, BTreeSet<PeerId>>,
+    seen: HashSet<MessageId>,
+    mcache: VecDeque<Vec<Message>>,
+    current_window: Vec<Message>,
+    scores: HashMap<PeerId, PeerScore>,
+    validator: Option<Validator>,
+    drift_ms: i64,
+    stats: PeerStats,
+    next_seq: u64,
+}
+
+impl Peer {
+    fn score_of(&self, peer: PeerId, params: &ScoreParams) -> f64 {
+        self.scores
+            .get(&peer)
+            .map(|s| s.score(params))
+            .unwrap_or(0.0)
+    }
+
+    fn local_time(&self, now: SimTime) -> SimTime {
+        (now as i64 + self.drift_ms).max(0) as SimTime
+    }
+
+    fn find_cached(&self, id: &MessageId) -> Option<&Message> {
+        self.current_window
+            .iter()
+            .chain(self.mcache.iter().flatten())
+            .find(|m| m.id == *id)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SimEvent {
+    Rpc {
+        from: PeerId,
+        to: PeerId,
+        rpc: Rpc,
+    },
+    Heartbeat {
+        peer: PeerId,
+    },
+    Publish {
+        peer: PeerId,
+        topic: Topic,
+        data: Vec<u8>,
+        class: TrafficClass,
+    },
+}
+
+/// First-delivery record for latency analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryRecord {
+    /// The receiving peer.
+    pub peer: PeerId,
+    /// Network time of the delivery.
+    pub at: SimTime,
+    /// Network time the message was published.
+    pub published_at: SimTime,
+}
+
+/// The simulated network.
+pub struct Network {
+    config: NetworkConfig,
+    peers: Vec<Peer>,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<SimEvent>>,
+    now: SimTime,
+    next_tick: u64,
+    rng: StdRng,
+    publish_times: HashMap<MessageId, SimTime>,
+    deliveries: HashMap<MessageId, Vec<DeliveryRecord>>,
+}
+
+impl Network {
+    /// Builds the network: peers, random `degree`-regular-ish topology,
+    /// staggered heartbeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers < 2` or `degree >= peers`.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.peers >= 2, "need at least two peers");
+        assert!(config.degree < config.peers, "degree must be < peers");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut peers: Vec<Peer> = (0..config.peers)
+            .map(|_| Peer {
+                neighbors: Vec::new(),
+                subscriptions: BTreeSet::new(),
+                mesh: BTreeMap::new(),
+                seen: HashSet::new(),
+                mcache: VecDeque::new(),
+                current_window: Vec::new(),
+                scores: HashMap::new(),
+                validator: None,
+                drift_ms: rng.gen_range(-(config.clock_drift_ms as i64)..=config.clock_drift_ms as i64),
+                stats: PeerStats::default(),
+                next_seq: 0,
+            })
+            .collect();
+
+        // Random connected topology: ring (guarantees connectivity) plus
+        // random extra edges up to the target degree.
+        let n = config.peers;
+        let mut adjacency: Vec<HashSet<PeerId>> = vec![HashSet::new(); n];
+        for i in 0..n {
+            let j = (i + 1) % n;
+            adjacency[i].insert(j);
+            adjacency[j].insert(i);
+        }
+        for i in 0..n {
+            let mut guard = 0;
+            while adjacency[i].len() < config.degree && guard < 100 {
+                let j = rng.gen_range(0..n);
+                if j != i && adjacency[j].len() < config.degree + 2 {
+                    adjacency[i].insert(j);
+                    adjacency[j].insert(i);
+                }
+                guard += 1;
+            }
+        }
+        for (peer, adj) in peers.iter_mut().zip(adjacency) {
+            peer.neighbors = adj.into_iter().collect();
+            peer.neighbors.sort_unstable();
+        }
+
+        let mut net = Network {
+            config,
+            peers,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            now: 0,
+            next_tick: 0,
+            rng,
+            publish_times: HashMap::new(),
+            deliveries: HashMap::new(),
+        };
+        // Stagger heartbeats so the whole network doesn't thunder at once.
+        for p in 0..net.config.peers {
+            let offset = net.rng.gen_range(0..net.config.gossip.heartbeat_ms);
+            net.schedule(offset, SimEvent::Heartbeat { peer: p });
+        }
+        net
+    }
+
+    /// Current network time (ms).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The peer's local (drifted) clock.
+    pub fn local_time(&self, peer: PeerId) -> SimTime {
+        self.peers[peer].local_time(self.now)
+    }
+
+    /// A peer's clock drift in ms.
+    pub fn drift_ms(&self, peer: PeerId) -> i64 {
+        self.peers[peer].drift_ms
+    }
+
+    /// Neighbor list of a peer.
+    pub fn neighbors(&self, peer: PeerId) -> &[PeerId] {
+        &self.peers[peer].neighbors
+    }
+
+    /// Subscribes a peer to a topic (it will join the mesh at heartbeats).
+    pub fn subscribe(&mut self, peer: PeerId, topic: Topic) {
+        self.peers[peer].subscriptions.insert(topic);
+        self.peers[peer].mesh.entry(topic).or_default();
+    }
+
+    /// Subscribes every peer to a topic.
+    pub fn subscribe_all(&mut self, topic: Topic) {
+        for p in 0..self.peers.len() {
+            self.subscribe(p, topic);
+        }
+    }
+
+    /// Installs a message validator for a peer.
+    pub fn set_validator(&mut self, peer: PeerId, validator: Validator) {
+        self.peers[peer].validator = Some(validator);
+    }
+
+    /// Schedules a publish at an absolute network time.
+    pub fn publish_at(
+        &mut self,
+        at: SimTime,
+        peer: PeerId,
+        topic: Topic,
+        data: Vec<u8>,
+        class: TrafficClass,
+    ) {
+        let delay = at.saturating_sub(self.now);
+        self.schedule(
+            delay,
+            SimEvent::Publish {
+                peer,
+                topic,
+                data,
+                class,
+            },
+        );
+    }
+
+    /// Runs the event loop until (at least) the given network time.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(&Reverse((at, _, _))) = self.queue.peek() {
+            if at > t {
+                break;
+            }
+            let Reverse((at, _, idx)) = self.queue.pop().expect("peeked");
+            self.now = at;
+            let event = self.events[idx].take().expect("event present");
+            self.dispatch(event);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Per-peer statistics.
+    pub fn stats(&self, peer: PeerId) -> &PeerStats {
+        &self.peers[peer].stats
+    }
+
+    /// Aggregated statistics over all peers.
+    pub fn total_stats(&self) -> PeerStats {
+        let mut total = PeerStats::default();
+        for p in &self.peers {
+            total.honest_delivered += p.stats.honest_delivered;
+            total.spam_delivered += p.stats.spam_delivered;
+            total.invalid_delivered += p.stats.invalid_delivered;
+            total.rejected += p.stats.rejected;
+            total.ignored += p.stats.ignored;
+            total.bytes_received += p.stats.bytes_received;
+            total.bytes_sent += p.stats.bytes_sent;
+            total.validations += p.stats.validations;
+        }
+        total
+    }
+
+    /// First-delivery records for a message.
+    pub fn deliveries(&self, id: MessageId) -> &[DeliveryRecord] {
+        self.deliveries.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All observed first-delivery latencies (ms), for Thr estimation
+    /// (§III-F: `NetworkDelay`).
+    pub fn delivery_latencies(&self) -> Vec<u64> {
+        self.deliveries
+            .values()
+            .flatten()
+            .map(|d| d.at - d.published_at)
+            .collect()
+    }
+
+    /// Score neighbor `of` currently assigns to `subject`.
+    pub fn score(&self, of: PeerId, subject: PeerId) -> f64 {
+        self.peers[of].score_of(subject, &self.config.scoring)
+    }
+
+    fn schedule(&mut self, delay: SimTime, event: SimEvent) {
+        let at = self.now + delay;
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.events.push(Some(event));
+        self.queue.push(Reverse((at, tick, self.events.len() - 1)));
+    }
+
+    fn link_latency(&mut self) -> SimTime {
+        self.rng
+            .gen_range(self.config.latency_min_ms..=self.config.latency_max_ms)
+    }
+
+    fn send_rpc(&mut self, from: PeerId, to: PeerId, rpc: Rpc) {
+        let size = rpc.size() as u64;
+        self.peers[from].stats.bytes_sent += size;
+        let latency = self.link_latency();
+        self.schedule(latency, SimEvent::Rpc { from, to, rpc });
+    }
+
+    fn dispatch(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::Publish {
+                peer,
+                topic,
+                data,
+                class,
+            } => self.handle_local_publish(peer, topic, data, class),
+            SimEvent::Heartbeat { peer } => self.handle_heartbeat(peer),
+            SimEvent::Rpc { from, to, rpc } => self.handle_rpc(from, to, rpc),
+        }
+    }
+
+    fn handle_local_publish(
+        &mut self,
+        peer: PeerId,
+        topic: Topic,
+        data: Vec<u8>,
+        class: TrafficClass,
+    ) {
+        let seq = self.peers[peer].next_seq;
+        self.peers[peer].next_seq += 1;
+        let message = Message::new(topic, data, peer, seq, class);
+        self.publish_times.entry(message.id).or_insert(self.now);
+        self.peers[peer].seen.insert(message.id);
+        self.peers[peer].current_window.push(message.clone());
+        let targets = self.mesh_targets(peer, topic, None);
+        for t in targets {
+            self.send_rpc(peer, t, Rpc::Publish(message.clone()));
+        }
+    }
+
+    /// Mesh peers for forwarding (fallback: random subscribed neighbors
+    /// when the mesh hasn't formed yet).
+    fn mesh_targets(&mut self, peer: PeerId, topic: Topic, exclude: Option<PeerId>) -> Vec<PeerId> {
+        let p = &self.peers[peer];
+        let mut targets: Vec<PeerId> = p
+            .mesh
+            .get(&topic)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default();
+        if targets.is_empty() {
+            targets = p.neighbors.clone();
+            targets.shuffle(&mut self.rng);
+            targets.truncate(self.config.gossip.d);
+        }
+        targets.retain(|t| Some(*t) != exclude && *t != peer);
+        targets
+    }
+
+    fn handle_rpc(&mut self, from: PeerId, to: PeerId, rpc: Rpc) {
+        self.peers[to].stats.bytes_received += rpc.size() as u64;
+        // Graylisted peers are ignored outright (scoring defense).
+        let score = self.peers[to].score_of(from, &self.config.scoring);
+        if score < self.config.scoring.graylist_threshold {
+            return;
+        }
+        match rpc {
+            Rpc::Publish(message) => self.handle_publish(from, to, message),
+            Rpc::IHave(topic, ids) => {
+                if !self.peers[to].subscriptions.contains(&topic) {
+                    return;
+                }
+                let wanted: Vec<MessageId> = ids
+                    .into_iter()
+                    .filter(|id| !self.peers[to].seen.contains(id))
+                    .collect();
+                if !wanted.is_empty() {
+                    self.send_rpc(to, from, Rpc::IWant(wanted));
+                }
+            }
+            Rpc::IWant(ids) => {
+                let messages: Vec<Message> = ids
+                    .iter()
+                    .filter_map(|id| self.peers[to].find_cached(id).cloned())
+                    .collect();
+                for m in messages {
+                    self.send_rpc(to, from, Rpc::Publish(m));
+                }
+            }
+            Rpc::Graft(topic) => {
+                let subscribed = self.peers[to].subscriptions.contains(&topic);
+                let acceptable = score >= self.config.scoring.prune_threshold;
+                if subscribed && acceptable {
+                    self.peers[to].mesh.entry(topic).or_default().insert(from);
+                } else {
+                    self.send_rpc(to, from, Rpc::Prune(topic));
+                }
+            }
+            Rpc::Prune(topic) => {
+                if let Some(mesh) = self.peers[to].mesh.get_mut(&topic) {
+                    mesh.remove(&from);
+                }
+            }
+        }
+    }
+
+    fn handle_publish(&mut self, from: PeerId, to: PeerId, message: Message) {
+        if !self.peers[to].subscriptions.contains(&message.topic) {
+            return;
+        }
+        if self.peers[to].seen.contains(&message.id) {
+            return; // duplicate floods are absorbed by the seen-cache
+        }
+        // Validate (the RLN pipeline plugs in here, §III-F). The validator
+        // is temporarily moved out so it can run while stats are updated.
+        let local = self.peers[to].local_time(self.now);
+        let mut validator = self.peers[to].validator.take();
+        let verdict = match validator.as_mut() {
+            Some(v) => {
+                self.peers[to].stats.validations += 1;
+                v(from, &message, local)
+            }
+            None => Validation::Accept,
+        };
+        self.peers[to].validator = validator;
+        match verdict {
+            Validation::Accept => {
+                self.peers[to].seen.insert(message.id);
+                self.peers[to].current_window.push(message.clone());
+                match message.class {
+                    TrafficClass::Honest => self.peers[to].stats.honest_delivered += 1,
+                    TrafficClass::Spam => self.peers[to].stats.spam_delivered += 1,
+                    TrafficClass::Invalid => self.peers[to].stats.invalid_delivered += 1,
+                }
+                self.peers[to]
+                    .scores
+                    .entry(from)
+                    .or_default()
+                    .on_first_delivery();
+                if let Some(published_at) = self.publish_times.get(&message.id).copied() {
+                    self.deliveries.entry(message.id).or_default().push(
+                        DeliveryRecord {
+                            peer: to,
+                            at: self.now,
+                            published_at,
+                        },
+                    );
+                }
+                let targets = self.mesh_targets(to, message.topic, Some(from));
+                for t in targets {
+                    if t != message.origin {
+                        self.send_rpc(to, t, Rpc::Publish(message.clone()));
+                    }
+                }
+            }
+            Validation::Reject => {
+                // Not marked seen: the spam signature (nullifier clash) must
+                // keep triggering detection, and scoring punishes repeats.
+                self.peers[to].stats.rejected += 1;
+                self.peers[to]
+                    .scores
+                    .entry(from)
+                    .or_default()
+                    .on_invalid_message();
+            }
+            Validation::Ignore => {
+                self.peers[to].seen.insert(message.id);
+                self.peers[to].stats.ignored += 1;
+            }
+        }
+    }
+
+    fn handle_heartbeat(&mut self, peer: PeerId) {
+        let heartbeat_ms = self.config.gossip.heartbeat_ms;
+        let scoring = self.config.scoring;
+        let (d, d_lo, d_hi, d_lazy) = (
+            self.config.gossip.d,
+            self.config.gossip.d_lo,
+            self.config.gossip.d_hi,
+            self.config.gossip.d_lazy,
+        );
+
+        let topics: Vec<Topic> = self.peers[peer].subscriptions.iter().copied().collect();
+        for topic in topics {
+            // 1. prune negative-score mesh members
+            let mesh: Vec<PeerId> = self.peers[peer]
+                .mesh
+                .get(&topic)
+                .map(|m| m.iter().copied().collect())
+                .unwrap_or_default();
+            let mut to_prune = Vec::new();
+            for m in &mesh {
+                if self.peers[peer].score_of(*m, &scoring) < scoring.prune_threshold {
+                    to_prune.push(*m);
+                }
+            }
+            for m in to_prune {
+                self.peers[peer]
+                    .mesh
+                    .get_mut(&topic)
+                    .expect("mesh exists")
+                    .remove(&m);
+                self.send_rpc(peer, m, Rpc::Prune(topic));
+            }
+
+            // 2. degree maintenance
+            let current: BTreeSet<PeerId> = self.peers[peer]
+                .mesh
+                .get(&topic)
+                .cloned()
+                .unwrap_or_default();
+            if current.len() < d_lo {
+                let mut candidates: Vec<PeerId> = self.peers[peer]
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|n| {
+                        !current.contains(n)
+                            && self.peers[peer].score_of(*n, &scoring) >= scoring.prune_threshold
+                    })
+                    .collect();
+                candidates.shuffle(&mut self.rng);
+                for c in candidates.into_iter().take(d - current.len()) {
+                    self.peers[peer].mesh.entry(topic).or_default().insert(c);
+                    self.send_rpc(peer, c, Rpc::Graft(topic));
+                }
+            } else if current.len() > d_hi {
+                let mut members: Vec<PeerId> = current.iter().copied().collect();
+                members.shuffle(&mut self.rng);
+                for m in members.into_iter().take(current.len() - d) {
+                    self.peers[peer]
+                        .mesh
+                        .get_mut(&topic)
+                        .expect("mesh exists")
+                        .remove(&m);
+                    self.send_rpc(peer, m, Rpc::Prune(topic));
+                }
+            }
+
+            // 3. IHAVE gossip to non-mesh subscribed neighbors
+            let gossip_ids: Vec<MessageId> = self.peers[peer]
+                .mcache
+                .iter()
+                .take(self.config.gossip.mcache_gossip)
+                .flatten()
+                .filter(|m| m.topic == topic)
+                .map(|m| m.id)
+                .collect();
+            if !gossip_ids.is_empty() {
+                let mesh_now: BTreeSet<PeerId> = self.peers[peer]
+                    .mesh
+                    .get(&topic)
+                    .cloned()
+                    .unwrap_or_default();
+                let mut lazy: Vec<PeerId> = self.peers[peer]
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|n| !mesh_now.contains(n))
+                    .collect();
+                lazy.shuffle(&mut self.rng);
+                for l in lazy.into_iter().take(d_lazy) {
+                    self.send_rpc(peer, l, Rpc::IHave(topic, gossip_ids.clone()));
+                }
+            }
+        }
+
+        // 4. mesh-time accrual + decay
+        let mesh_members: Vec<PeerId> = self.peers[peer]
+            .mesh
+            .values()
+            .flat_map(|m| m.iter().copied())
+            .collect();
+        for m in mesh_members {
+            self.peers[peer]
+                .scores
+                .entry(m)
+                .or_default()
+                .on_mesh_time(heartbeat_ms as f64 / 1000.0);
+        }
+        for s in self.peers[peer].scores.values_mut() {
+            s.decay(&scoring);
+        }
+
+        // 5. rotate the mcache window
+        let window = std::mem::take(&mut self.peers[peer].current_window);
+        self.peers[peer].mcache.push_front(window);
+        self.peers[peer].mcache.truncate(self.config.gossip.mcache_len);
+
+        self.schedule(heartbeat_ms, SimEvent::Heartbeat { peer });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPIC: Topic = 1;
+
+    fn small_net(seed: u64) -> Network {
+        let mut net = Network::new(NetworkConfig {
+            peers: 30,
+            degree: 6,
+            seed,
+            ..NetworkConfig::default()
+        });
+        net.subscribe_all(TOPIC);
+        net
+    }
+
+    #[test]
+    fn message_reaches_everyone() {
+        let mut net = small_net(1);
+        net.run_until(3_000); // let meshes form
+        net.publish_at(3_000, 0, TOPIC, b"hello".to_vec(), TrafficClass::Honest);
+        net.run_until(20_000);
+        let total = net.total_stats();
+        // 29 receivers (origin counts its own copy as publisher, not a
+        // delivery).
+        assert_eq!(total.honest_delivered, 29, "full propagation");
+    }
+
+    #[test]
+    fn no_duplicate_deliveries() {
+        let mut net = small_net(2);
+        net.run_until(3_000);
+        net.publish_at(3_000, 5, TOPIC, b"x".to_vec(), TrafficClass::Honest);
+        net.run_until(20_000);
+        for p in 0..30 {
+            assert!(net.stats(p).honest_delivered <= 1, "peer {p}");
+        }
+    }
+
+    #[test]
+    fn rejected_messages_do_not_propagate() {
+        let mut net = small_net(3);
+        // every peer rejects everything
+        for p in 0..30 {
+            net.set_validator(p, Box::new(|_, _, _| Validation::Reject));
+        }
+        net.run_until(3_000);
+        net.publish_at(3_000, 0, TOPIC, b"bad".to_vec(), TrafficClass::Invalid);
+        net.run_until(20_000);
+        let total = net.total_stats();
+        assert_eq!(total.invalid_delivered, 0);
+        // Only the publisher's direct mesh saw it (≤ d_hi validations),
+        // §IV: "limited to their direct connections".
+        assert!(total.validations <= 12, "got {}", total.validations);
+        assert!(total.rejected >= 1);
+    }
+
+    #[test]
+    fn repeated_invalid_senders_get_graylisted() {
+        let mut net = small_net(4);
+        for p in 1..30 {
+            net.set_validator(p, Box::new(|_, _, _| Validation::Reject));
+        }
+        net.run_until(3_000);
+        // peer 0 floods garbage
+        for i in 0..50u64 {
+            net.publish_at(
+                3_000 + i * 200,
+                0,
+                TOPIC,
+                format!("junk{i}").into_bytes(),
+                TrafficClass::Invalid,
+            );
+        }
+        // Measure right at flood end, before decay forgives (§IV: scoring
+        // "easily addresses" invalid-proof floods).
+        net.run_until(13_000);
+        let neighbors: Vec<PeerId> = net.neighbors(0).to_vec();
+        let graylisted = neighbors
+            .iter()
+            .filter(|n| net.score(**n, 0) < net.config.scoring.graylist_threshold)
+            .count();
+        assert!(
+            graylisted >= 1,
+            "at least the mesh members graylist the flooder"
+        );
+        // Graylisting means later floods are dropped *before* validation:
+        // far fewer proof checks than messages sent.
+        let total = net.total_stats();
+        assert!(
+            total.validations < 150,
+            "graylisting caps validation work: {}",
+            total.validations
+        );
+        // And nothing propagated.
+        assert_eq!(total.invalid_delivered, 0);
+    }
+
+    #[test]
+    fn meshes_form_and_stay_bounded() {
+        let mut net = small_net(5);
+        net.run_until(10_000);
+        for p in 0..30 {
+            let mesh_size = net.peers[p].mesh.get(&TOPIC).map(|m| m.len()).unwrap_or(0);
+            assert!(
+                mesh_size >= 1 && mesh_size <= net.config.gossip.d_hi + net.config.degree,
+                "peer {p} mesh size {mesh_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn latencies_are_recorded() {
+        let mut net = small_net(6);
+        net.run_until(3_000);
+        net.publish_at(3_000, 0, TOPIC, b"timed".to_vec(), TrafficClass::Honest);
+        net.run_until(20_000);
+        let lats = net.delivery_latencies();
+        assert_eq!(lats.len(), 29);
+        assert!(lats.iter().all(|&l| l >= net.config.latency_min_ms));
+    }
+
+    #[test]
+    fn clock_drift_is_bounded_and_deterministic() {
+        let a = small_net(7);
+        let b = small_net(7);
+        for p in 0..30 {
+            assert_eq!(a.drift_ms(p), b.drift_ms(p), "determinism");
+            assert!(a.drift_ms(p).abs() <= a.config.clock_drift_ms as i64);
+        }
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = |seed| {
+            let mut net = small_net(seed);
+            net.run_until(3_000);
+            net.publish_at(3_000, 0, TOPIC, b"d".to_vec(), TrafficClass::Honest);
+            net.run_until(20_000);
+            let t = net.total_stats();
+            (t.honest_delivered, t.bytes_sent, t.validations)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn ignore_verdict_stops_propagation_without_penalty() {
+        let mut net = small_net(8);
+        for p in 1..30 {
+            net.set_validator(p, Box::new(|_, _, _| Validation::Ignore));
+        }
+        net.run_until(3_000);
+        net.publish_at(3_000, 0, TOPIC, b"dup".to_vec(), TrafficClass::Spam);
+        net.run_until(20_000);
+        let total = net.total_stats();
+        assert_eq!(total.spam_delivered, 0);
+        assert!(total.ignored >= 1);
+        // no scoring penalty for ignored messages
+        let neighbors: Vec<PeerId> = net.neighbors(0).to_vec();
+        for n in neighbors {
+            assert!(net.score(n, 0) >= 0.0);
+        }
+    }
+}

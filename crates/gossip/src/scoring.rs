@@ -1,0 +1,184 @@
+//! GossipSub v1.1 peer scoring (Vyzovitis et al., reference [2] of the
+//! paper) — the mechanism the paper compares against and also recommends
+//! as the defense-in-depth against invalid-proof floods (§IV).
+//!
+//! Implemented counters (per neighbor, per topic aggregated):
+//!
+//! * **P1** — time in mesh (positive, capped),
+//! * **P2** — first message deliveries (positive, capped),
+//! * **P4** — invalid messages (negative, squared),
+//! * behavioural penalty (negative, squared) for protocol abuse.
+//!
+//! Scores decay multiplicatively every heartbeat. Negative-score peers are
+//! pruned from meshes; below the graylist threshold their RPCs are ignored
+//! entirely.
+
+/// Scoring weights and thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct ScoreParams {
+    /// P1 weight per second of mesh membership.
+    pub time_in_mesh_weight: f64,
+    /// P1 cap.
+    pub time_in_mesh_cap: f64,
+    /// P2 weight per first delivery.
+    pub first_message_weight: f64,
+    /// P2 cap.
+    pub first_message_cap: f64,
+    /// P4 weight (must be negative); applied to the *square* of the count.
+    pub invalid_message_weight: f64,
+    /// Behavioural penalty weight (negative, squared).
+    pub behaviour_penalty_weight: f64,
+    /// Multiplicative decay applied every heartbeat to P2/P4/behaviour.
+    pub decay: f64,
+    /// Counters below this are zeroed after decay.
+    pub decay_to_zero: f64,
+    /// Mesh membership requires score ≥ this.
+    pub prune_threshold: f64,
+    /// RPCs from peers below this are dropped entirely.
+    pub graylist_threshold: f64,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        ScoreParams {
+            time_in_mesh_weight: 0.01,
+            time_in_mesh_cap: 300.0,
+            first_message_weight: 1.0,
+            first_message_cap: 100.0,
+            invalid_message_weight: -10.0,
+            behaviour_penalty_weight: -5.0,
+            decay: 0.9,
+            decay_to_zero: 0.01,
+            prune_threshold: 0.0,
+            graylist_threshold: -100.0,
+        }
+    }
+}
+
+/// Per-neighbor score state.
+#[derive(Clone, Debug, Default)]
+pub struct PeerScore {
+    /// Seconds this peer has been in our mesh (accumulated).
+    pub time_in_mesh_secs: f64,
+    /// First-delivery counter (decaying).
+    pub first_deliveries: f64,
+    /// Invalid-message counter (decaying).
+    pub invalid_messages: f64,
+    /// Behaviour penalty counter (decaying).
+    pub behaviour_penalty: f64,
+}
+
+impl PeerScore {
+    /// Computes the current score.
+    pub fn score(&self, p: &ScoreParams) -> f64 {
+        let p1 = self.time_in_mesh_secs.min(p.time_in_mesh_cap) * p.time_in_mesh_weight;
+        let p2 = self.first_deliveries.min(p.first_message_cap) * p.first_message_weight;
+        let p4 = self.invalid_messages * self.invalid_messages * p.invalid_message_weight;
+        let pb = self.behaviour_penalty * self.behaviour_penalty * p.behaviour_penalty_weight;
+        p1 + p2 + p4 + pb
+    }
+
+    /// Registers a first delivery (P2).
+    pub fn on_first_delivery(&mut self) {
+        self.first_deliveries += 1.0;
+    }
+
+    /// Registers an invalid message (P4).
+    pub fn on_invalid_message(&mut self) {
+        self.invalid_messages += 1.0;
+    }
+
+    /// Registers a behavioural violation.
+    pub fn on_behaviour_penalty(&mut self) {
+        self.behaviour_penalty += 1.0;
+    }
+
+    /// Accumulates mesh time (called at heartbeat while in mesh).
+    pub fn on_mesh_time(&mut self, seconds: f64) {
+        self.time_in_mesh_secs += seconds;
+    }
+
+    /// Applies the per-heartbeat decay.
+    pub fn decay(&mut self, p: &ScoreParams) {
+        for counter in [
+            &mut self.first_deliveries,
+            &mut self.invalid_messages,
+            &mut self.behaviour_penalty,
+        ] {
+            *counter *= p.decay;
+            if *counter < p.decay_to_zero {
+                *counter = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_peer_scores_zero() {
+        let s = PeerScore::default();
+        assert_eq!(s.score(&ScoreParams::default()), 0.0);
+    }
+
+    #[test]
+    fn deliveries_raise_score() {
+        let p = ScoreParams::default();
+        let mut s = PeerScore::default();
+        s.on_first_delivery();
+        s.on_first_delivery();
+        assert!(s.score(&p) > 0.0);
+    }
+
+    #[test]
+    fn invalid_messages_dominate_quadratically() {
+        let p = ScoreParams::default();
+        let mut s = PeerScore::default();
+        for _ in 0..50 {
+            s.on_first_delivery();
+        }
+        let good = s.score(&p);
+        for _ in 0..5 {
+            s.on_invalid_message();
+        }
+        assert!(s.score(&p) < 0.0, "good was {good}, now {}", s.score(&p));
+    }
+
+    #[test]
+    fn p2_is_capped() {
+        let p = ScoreParams::default();
+        let mut s = PeerScore::default();
+        for _ in 0..10_000 {
+            s.on_first_delivery();
+        }
+        assert!(s.score(&p) <= p.first_message_cap * p.first_message_weight + p.time_in_mesh_cap * p.time_in_mesh_weight);
+    }
+
+    #[test]
+    fn decay_forgives_over_time() {
+        let p = ScoreParams::default();
+        let mut s = PeerScore::default();
+        for _ in 0..3 {
+            s.on_invalid_message();
+        }
+        let before = s.score(&p);
+        for _ in 0..100 {
+            s.decay(&p);
+        }
+        assert!(s.score(&p) > before);
+        assert_eq!(s.invalid_messages, 0.0, "decays to zero");
+    }
+
+    #[test]
+    fn mesh_time_accumulates_capped() {
+        let p = ScoreParams::default();
+        let mut s = PeerScore::default();
+        s.on_mesh_time(1_000_000.0);
+        assert_eq!(
+            s.score(&p),
+            p.time_in_mesh_cap * p.time_in_mesh_weight
+        );
+    }
+}

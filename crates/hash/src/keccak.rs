@@ -1,0 +1,237 @@
+//! Keccak-256 (the pre-FIPS padding variant used by Ethereum).
+//!
+//! The simulated chain in `waku-chain` uses it for addresses, transaction
+//! hashes, event topics, and the commit-reveal commitments of the slashing
+//! flow (§III-F of the paper); the Whisper-style PoW baseline uses it for
+//! envelope work computation (EIP-627).
+
+const RC: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]`.
+const R: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+const RATE: usize = 136; // 1088-bit rate for Keccak-256
+
+fn keccak_f(a: &mut [[u64; 5]; 5]) {
+    for rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x][y] ^= d[x];
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = a[x][y].rotate_left(R[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        a[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use waku_hash::keccak::Keccak256;
+/// let mut h = Keccak256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(digest, waku_hash::keccak::keccak256(b"abc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; RATE],
+    buffer_len: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0; 5]; 5],
+            buffer: [0; RATE],
+            buffer_len: 0,
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8; RATE]) {
+        for i in 0..RATE / 8 {
+            let lane = u64::from_le_bytes(block[i * 8..(i + 1) * 8].try_into().unwrap());
+            let (x, y) = (i % 5, i / 5);
+            self.state[x][y] ^= lane;
+        }
+        keccak_f(&mut self.state);
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffer_len > 0 {
+            let take = (RATE - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == RATE {
+                let block = self.buffer;
+                self.absorb_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= RATE {
+            let mut block = [0u8; RATE];
+            block.copy_from_slice(&data[..RATE]);
+            self.absorb_block(&block);
+            data = &data[RATE..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Completes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // Original Keccak multi-rate padding: 0x01 … 0x80.
+        let mut block = [0u8; RATE];
+        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        block[self.buffer_len] ^= 0x01;
+        block[RATE - 1] ^= 0x80;
+        self.absorb_block(&block);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let (x, y) = (i % 5, i / 5);
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.state[x][y].to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot Keccak-256.
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn ethereum_address_style() {
+        // keccak256("hello") — widely published Ethereum test value.
+        assert_eq!(
+            hex(&keccak256(b"hello")),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+        );
+    }
+
+    #[test]
+    fn long_input_spanning_blocks() {
+        let data = vec![0x61u8; 500]; // crosses 136-byte rate multiple times
+        let d = keccak256(&data);
+        // self-consistency with incremental interface
+        let mut h = Keccak256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), d);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 135, 136, 137, 271, 272, 500, 1000] {
+            let mut h = Keccak256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), keccak256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn rate_boundary_input() {
+        let exactly_rate = vec![0x11u8; 136];
+        let d1 = keccak256(&exactly_rate);
+        let d2 = keccak256(&vec![0x11u8; 135]);
+        let d3 = keccak256(&vec![0x11u8; 137]);
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+}

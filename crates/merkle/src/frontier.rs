@@ -1,0 +1,406 @@
+//! Storage-optimized trees per the paper's reference [18]
+//! ("storage efficient merkle tree update", vacp2p research): peers keep an
+//! O(log N) view instead of the 67 MB full tree (§IV-A, *Lowering the
+//! storage overhead per peer*).
+//!
+//! Two structures:
+//!
+//! * [`FrontierTree`] — append-only incremental tree: one pending node per
+//!   level. Enough to track the root across registrations.
+//! * [`PartialViewTree`] — a peer's own-leaf view: own authentication path
+//!   plus the root, updated on arbitrary-index changes (registrations *and*
+//!   slashing deletions) from update notifications that carry the changed
+//!   leaf's new path, as supplied by a resourceful full-view peer (the
+//!   hybrid architecture of §IV-A).
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+use waku_poseidon::poseidon2;
+
+use crate::path::MerklePath;
+use crate::zeros::zero_hashes;
+
+/// Append-only incremental Merkle tree storing one frontier node per level.
+///
+/// # Examples
+///
+/// ```
+/// use waku_merkle::{dense::DenseTree, frontier::FrontierTree};
+/// use waku_arith::{fields::Fr, traits::PrimeField};
+///
+/// let mut frontier = FrontierTree::new(8);
+/// let mut dense = DenseTree::new(8);
+/// for i in 0..5u64 {
+///     frontier.append(Fr::from_u64(100 + i)).unwrap();
+///     dense.set(i, Fr::from_u64(100 + i));
+/// }
+/// assert_eq!(frontier.root(), dense.root());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrontierTree {
+    depth: usize,
+    frontier: Vec<Fr>,
+    next_index: u64,
+    root: Fr,
+}
+
+/// Error returned when appending to a full tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeFullError;
+
+impl std::fmt::Display for TreeFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "merkle tree capacity exhausted")
+    }
+}
+
+impl std::error::Error for TreeFullError {}
+
+impl FrontierTree {
+    /// Creates an empty tree of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or exceeds 32.
+    pub fn new(depth: usize) -> Self {
+        assert!((1..=32).contains(&depth), "depth must be 1..=32");
+        let zeros = zero_hashes(depth);
+        FrontierTree {
+            depth,
+            frontier: vec![Fr::zero(); depth],
+            next_index: 0,
+            root: zeros[depth],
+        }
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of appended leaves.
+    pub fn len(&self) -> u64 {
+        self.next_index
+    }
+
+    /// True when no leaves have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.next_index == 0
+    }
+
+    /// Current root.
+    pub fn root(&self) -> Fr {
+        self.root
+    }
+
+    /// Appends a leaf at the next free index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeFullError`] when `2^depth` leaves have been inserted.
+    pub fn append(&mut self, leaf: Fr) -> Result<u64, TreeFullError> {
+        if self.next_index >= (1u64 << self.depth) {
+            return Err(TreeFullError);
+        }
+        let zeros = zero_hashes(self.depth);
+        let index = self.next_index;
+        let mut node = leaf;
+        let mut idx = index;
+        for level in 0..self.depth {
+            if idx & 1 == 0 {
+                self.frontier[level] = node;
+                node = poseidon2(node, zeros[level]);
+            } else {
+                node = poseidon2(self.frontier[level], node);
+            }
+            idx >>= 1;
+        }
+        self.root = node;
+        self.next_index += 1;
+        Ok(index)
+    }
+
+    /// Bytes of state this view keeps (frontier + root + counter) — the
+    /// §IV-A "0.128 KB-scale" storage claim.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.frontier.len() as u64) * 32 + 32 + 8
+    }
+}
+
+/// A single update notification: leaf `index` changed to `new_leaf`, with
+/// the leaf's *new* authentication path (from a full-view peer).
+#[derive(Clone, Debug)]
+pub struct TreeUpdate {
+    /// Index of the changed leaf.
+    pub index: u64,
+    /// New leaf value (zero for deletions).
+    pub new_leaf: Fr,
+    /// The changed leaf's authentication path after the update.
+    pub path: MerklePath,
+}
+
+/// Errors from applying an update to a [`PartialViewTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartialViewError {
+    /// The update's path length does not match the tree depth.
+    DepthMismatch,
+    /// The update's path disagrees with this peer's view of the tree.
+    InconsistentUpdate,
+}
+
+impl std::fmt::Display for PartialViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartialViewError::DepthMismatch => write!(f, "update path depth mismatch"),
+            PartialViewError::InconsistentUpdate => {
+                write!(f, "update path inconsistent with local view")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartialViewError {}
+
+/// O(log N) per-peer view: own leaf, own authentication path, current root.
+///
+/// Keeping the path current is what lets a resource-restricted peer keep
+/// producing *fresh* membership proofs — the paper stresses (§III-C) that
+/// proving against an old root risks exposing the peer's leaf index.
+#[derive(Clone, Debug)]
+pub struct PartialViewTree {
+    depth: usize,
+    own_index: u64,
+    own_leaf: Fr,
+    own_path: MerklePath,
+    root: Fr,
+}
+
+impl PartialViewTree {
+    /// Builds a view from the peer's own leaf and its current path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path length is 0 or exceeds 32.
+    pub fn new(own_index: u64, own_leaf: Fr, own_path: MerklePath) -> Self {
+        let depth = own_path.depth();
+        assert!((1..=32).contains(&depth), "depth must be 1..=32");
+        let root = own_path.compute_root(own_leaf);
+        PartialViewTree {
+            depth,
+            own_index,
+            own_leaf,
+            own_path,
+            root,
+        }
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current root.
+    pub fn root(&self) -> Fr {
+        self.root
+    }
+
+    /// This peer's leaf index.
+    pub fn own_index(&self) -> u64 {
+        self.own_index
+    }
+
+    /// This peer's current authentication path.
+    pub fn own_path(&self) -> &MerklePath {
+        &self.own_path
+    }
+
+    /// This peer's leaf value.
+    pub fn own_leaf(&self) -> Fr {
+        self.own_leaf
+    }
+
+    /// Applies a leaf update elsewhere in the tree.
+    ///
+    /// # Errors
+    ///
+    /// * [`PartialViewError::DepthMismatch`] — path of the wrong depth.
+    /// * [`PartialViewError::InconsistentUpdate`] — the provided path
+    ///   disagrees with this peer's current view (at the level where the
+    ///   two paths diverge, the update's sibling must be this peer's own
+    ///   current node).
+    pub fn apply_update(&mut self, update: &TreeUpdate) -> Result<(), PartialViewError> {
+        if update.path.depth() != self.depth {
+            return Err(PartialViewError::DepthMismatch);
+        }
+        if update.index == self.own_index {
+            // Our own leaf changed (e.g. we were slashed): trust the new
+            // path only if it matches ours; the leaf value updates.
+            if update.path.siblings != self.own_path.siblings {
+                return Err(PartialViewError::InconsistentUpdate);
+            }
+            self.own_leaf = update.new_leaf;
+            self.root = self.own_path.compute_root(self.own_leaf);
+            return Ok(());
+        }
+        // Level where the two leaf indices diverge.
+        let diff = update.index ^ self.own_index;
+        let m = (63 - diff.leading_zeros()) as usize;
+        // Consistency: at level m the updated leaf's path must reference
+        // *our* current node as the sibling.
+        let our_nodes = self.own_path.nodes_on_path(self.own_leaf);
+        if update.path.siblings[m] != our_nodes[m] {
+            return Err(PartialViewError::InconsistentUpdate);
+        }
+        // The updated leaf's new path nodes give us the new value of our
+        // sibling at level m.
+        let their_nodes = update.path.nodes_on_path(update.new_leaf);
+        self.own_path.siblings[m] = their_nodes[m];
+        self.root = self.own_path.compute_root(self.own_leaf);
+        debug_assert_eq!(
+            self.root,
+            update.path.compute_root(update.new_leaf),
+            "both views must converge on the same root"
+        );
+        Ok(())
+    }
+
+    /// Bytes of state this view keeps (own path + leaf + root + index).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.own_path.siblings.len() as u64) * 32 + 32 + 32 + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseTree;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use waku_arith::traits::PrimeField;
+
+    #[test]
+    fn frontier_matches_dense_incrementally() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut frontier = FrontierTree::new(6);
+        let mut dense = DenseTree::new(6);
+        for i in 0..40u64 {
+            let leaf = Fr::random(&mut rng);
+            frontier.append(leaf).unwrap();
+            dense.set(i, leaf);
+            assert_eq!(frontier.root(), dense.root(), "after {} appends", i + 1);
+        }
+    }
+
+    #[test]
+    fn frontier_capacity_enforced() {
+        let mut tree = FrontierTree::new(2);
+        for _ in 0..4 {
+            tree.append(Fr::from_u64(1)).unwrap();
+        }
+        assert_eq!(tree.append(Fr::from_u64(1)), Err(TreeFullError));
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn frontier_storage_is_logarithmic() {
+        let tree = FrontierTree::new(20);
+        assert!(tree.storage_bytes() < 1024, "depth-20 frontier under 1 KB");
+        // vs the dense tree's ≈67 MB (see dense.rs test).
+    }
+
+    #[test]
+    fn partial_view_tracks_dense_under_random_updates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let depth = 5;
+        let own_index = 11u64;
+        let own_leaf = Fr::from_u64(999);
+        let mut dense = DenseTree::new(depth);
+        dense.set(own_index, own_leaf);
+        let mut view = PartialViewTree::new(own_index, own_leaf, dense.proof(own_index));
+        assert_eq!(view.root(), dense.root());
+
+        for _ in 0..100 {
+            let j = rng.gen_range(0..dense.capacity());
+            if j == own_index {
+                continue;
+            }
+            // mix of inserts and deletions
+            let leaf = if rng.gen_bool(0.3) {
+                Fr::zero()
+            } else {
+                Fr::random(&mut rng)
+            };
+            dense.set(j, leaf);
+            let update = TreeUpdate {
+                index: j,
+                new_leaf: leaf,
+                path: dense.proof(j),
+            };
+            view.apply_update(&update).unwrap();
+            assert_eq!(view.root(), dense.root());
+            assert!(view.own_path().verify(own_leaf, dense.root()));
+        }
+    }
+
+    #[test]
+    fn partial_view_own_slash() {
+        let depth = 4;
+        let mut dense = DenseTree::new(depth);
+        dense.set(3, Fr::from_u64(5));
+        let mut view = PartialViewTree::new(3, Fr::from_u64(5), dense.proof(3));
+        dense.remove(3);
+        let update = TreeUpdate {
+            index: 3,
+            new_leaf: Fr::zero(),
+            path: dense.proof(3),
+        };
+        view.apply_update(&update).unwrap();
+        assert_eq!(view.root(), dense.root());
+        assert!(view.own_leaf().is_zero());
+    }
+
+    #[test]
+    fn partial_view_rejects_inconsistent_update() {
+        let depth = 4;
+        let mut dense = DenseTree::new(depth);
+        dense.set(0, Fr::from_u64(1));
+        let mut view = PartialViewTree::new(0, Fr::from_u64(1), dense.proof(0));
+        // A forged update whose path does not reference our current node.
+        let mut bogus_path = dense.proof(9);
+        bogus_path.siblings[3] += Fr::from_u64(1);
+        let update = TreeUpdate {
+            index: 9,
+            new_leaf: Fr::from_u64(2),
+            path: bogus_path,
+        };
+        assert_eq!(
+            view.apply_update(&update),
+            Err(PartialViewError::InconsistentUpdate)
+        );
+    }
+
+    #[test]
+    fn partial_view_rejects_depth_mismatch() {
+        let mut dense4 = DenseTree::new(4);
+        let dense5 = DenseTree::new(5);
+        dense4.set(0, Fr::from_u64(1));
+        let mut view = PartialViewTree::new(0, Fr::from_u64(1), dense4.proof(0));
+        let update = TreeUpdate {
+            index: 1,
+            new_leaf: Fr::from_u64(2),
+            path: dense5.proof(1),
+        };
+        assert_eq!(
+            view.apply_update(&update),
+            Err(PartialViewError::DepthMismatch)
+        );
+    }
+
+    #[test]
+    fn partial_view_storage_is_logarithmic() {
+        let mut dense = DenseTree::new(20);
+        dense.set(0, Fr::from_u64(1));
+        let view = PartialViewTree::new(0, Fr::from_u64(1), dense.proof(0));
+        assert!(view.storage_bytes() < 1024);
+    }
+}

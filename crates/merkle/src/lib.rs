@@ -1,0 +1,28 @@
+//! # waku-merkle
+//!
+//! The identity-commitment tree of WAKU-RLN-RELAY (paper §II-B, §III-C).
+//!
+//! In the paper's design the membership *contract* stores only a flat list
+//! of identity commitments; the Merkle tree over them is maintained
+//! **off-chain by every peer**. This crate provides the three storage
+//! strategies the paper discusses:
+//!
+//! * [`dense::DenseTree`] — the full tree (what §IV measures at 67 MB for
+//!   depth 20),
+//! * [`frontier::FrontierTree`] — append-only O(log N) frontier,
+//! * [`frontier::PartialViewTree`] — a peer's own-path O(log N) view that
+//!   stays current under arbitrary insertions *and* deletions, following
+//!   the storage-efficient update proposal of reference [18] / the hybrid
+//!   architecture of §IV-A.
+//!
+//! All trees hash nodes with Poseidon (`waku-poseidon`), matching the RLN
+//! circuit in `waku-rln`.
+
+pub mod dense;
+pub mod frontier;
+pub mod path;
+pub mod zeros;
+
+pub use dense::DenseTree;
+pub use frontier::{FrontierTree, PartialViewTree, TreeUpdate};
+pub use path::MerklePath;

@@ -1,0 +1,59 @@
+//! Merkle authentication paths (`auth` in the paper's notation, §II-B).
+
+use waku_arith::fields::Fr;
+use waku_poseidon::poseidon2;
+
+/// An authentication path connecting a leaf to the root.
+///
+/// `siblings[ℓ]` is the sibling node at level ℓ (0 = leaf level); bit ℓ of
+/// `index` says whether our node is the right child (`1`) or left child
+/// (`0`) at that level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerklePath {
+    /// Leaf position in the tree.
+    pub index: u64,
+    /// Sibling hashes from leaf level upward.
+    pub siblings: Vec<Fr>,
+}
+
+impl MerklePath {
+    /// Tree depth this path belongs to.
+    pub fn depth(&self) -> usize {
+        self.siblings.len()
+    }
+
+    /// Recomputes the root implied by this path for the given leaf value.
+    pub fn compute_root(&self, leaf: Fr) -> Fr {
+        let mut node = leaf;
+        for (level, sibling) in self.siblings.iter().enumerate() {
+            node = if (self.index >> level) & 1 == 0 {
+                poseidon2(node, *sibling)
+            } else {
+                poseidon2(*sibling, node)
+            };
+        }
+        node
+    }
+
+    /// Checks the path against an expected root.
+    pub fn verify(&self, leaf: Fr, root: Fr) -> bool {
+        self.compute_root(leaf) == root
+    }
+
+    /// All node values along the path from the leaf (level 0) up to and
+    /// including the root, given the leaf value.
+    pub fn nodes_on_path(&self, leaf: Fr) -> Vec<Fr> {
+        let mut out = Vec::with_capacity(self.siblings.len() + 1);
+        let mut node = leaf;
+        out.push(node);
+        for (level, sibling) in self.siblings.iter().enumerate() {
+            node = if (self.index >> level) & 1 == 0 {
+                poseidon2(node, *sibling)
+            } else {
+                poseidon2(*sibling, node)
+            };
+            out.push(node);
+        }
+        out
+    }
+}

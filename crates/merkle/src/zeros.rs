@@ -1,0 +1,57 @@
+//! Cascaded zero-subtree hashes: `zeros[0] = 0`,
+//! `zeros[ℓ+1] = H(zeros[ℓ], zeros[ℓ])`.
+
+use std::sync::OnceLock;
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+use waku_poseidon::poseidon2;
+
+/// Maximum tree depth supported anywhere in the workspace.
+pub const MAX_DEPTH: usize = 32;
+
+/// Returns the first `depth + 1` zero-subtree hashes (index = level).
+///
+/// # Panics
+///
+/// Panics if `depth > MAX_DEPTH`.
+pub fn zero_hashes(depth: usize) -> &'static [Fr] {
+    static CELL: OnceLock<Vec<Fr>> = OnceLock::new();
+    assert!(depth <= MAX_DEPTH, "depth exceeds MAX_DEPTH");
+    let all = CELL.get_or_init(|| {
+        let mut zs = Vec::with_capacity(MAX_DEPTH + 1);
+        zs.push(Fr::zero());
+        for i in 0..MAX_DEPTH {
+            let prev = zs[i];
+            zs.push(poseidon2(prev, prev));
+        }
+        zs
+    });
+    &all[..=depth]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_property() {
+        let zs = zero_hashes(8);
+        assert_eq!(zs.len(), 9);
+        assert!(zs[0].is_zero());
+        for i in 0..8 {
+            assert_eq!(zs[i + 1], poseidon2(zs[i], zs[i]));
+        }
+    }
+
+    #[test]
+    fn all_distinct() {
+        let zs = zero_hashes(MAX_DEPTH);
+        let set: std::collections::HashSet<_> =
+            zs.iter().map(|z| {
+                use waku_arith::traits::PrimeField;
+                z.to_le_bytes()
+            }).collect();
+        assert_eq!(set.len(), zs.len());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the Merkle tree implementations: the three
+//! storage strategies must agree on roots under arbitrary operation
+//! sequences, and proofs must verify exactly for the leaf they were
+//! issued for.
+
+use proptest::prelude::*;
+use waku_arith::fields::Fr;
+use waku_arith::traits::{Field, PrimeField};
+use waku_merkle::{DenseTree, FrontierTree, PartialViewTree, TreeUpdate};
+
+const DEPTH: usize = 6;
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    any::<u64>().prop_map(Fr::from_u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frontier_equals_dense_for_any_append_sequence(
+        leaves in proptest::collection::vec(arb_fr(), 1..32)
+    ) {
+        let mut dense = DenseTree::new(DEPTH);
+        let mut frontier = FrontierTree::new(DEPTH);
+        for (i, leaf) in leaves.iter().enumerate() {
+            dense.set(i as u64, *leaf);
+            frontier.append(*leaf).unwrap();
+            prop_assert_eq!(frontier.root(), dense.root());
+        }
+    }
+
+    #[test]
+    fn proofs_verify_only_for_their_leaf(
+        leaves in proptest::collection::vec(arb_fr(), 2..32),
+        probe in any::<proptest::sample::Index>()
+    ) {
+        let mut dense = DenseTree::new(DEPTH);
+        for (i, leaf) in leaves.iter().enumerate() {
+            dense.set(i as u64, *leaf);
+        }
+        let idx = probe.index(leaves.len()) as u64;
+        let proof = dense.proof(idx);
+        prop_assert!(proof.verify(leaves[idx as usize], dense.root()));
+        // a different leaf value must not verify
+        let wrong = leaves[idx as usize] + Fr::one();
+        prop_assert!(!proof.verify(wrong, dense.root()));
+    }
+
+    #[test]
+    fn partial_view_tracks_dense_under_any_update_sequence(
+        updates in proptest::collection::vec((any::<u8>(), arb_fr()), 1..40)
+    ) {
+        let own_index = 7u64;
+        let own_leaf = Fr::from_u64(0xCAFE);
+        let mut dense = DenseTree::new(DEPTH);
+        dense.set(own_index, own_leaf);
+        let mut view = PartialViewTree::new(own_index, own_leaf, dense.proof(own_index));
+        for (raw_index, leaf) in updates {
+            let index = (raw_index as u64) % dense.capacity();
+            if index == own_index {
+                continue;
+            }
+            dense.set(index, leaf);
+            view.apply_update(&TreeUpdate {
+                index,
+                new_leaf: leaf,
+                path: dense.proof(index),
+            }).unwrap();
+            prop_assert_eq!(view.root(), dense.root());
+            prop_assert!(view.own_path().verify(own_leaf, dense.root()));
+        }
+    }
+
+    #[test]
+    fn set_batch_equals_sequential_sets(
+        leaves in proptest::collection::vec(arb_fr(), 1..24),
+        start in 0u64..40
+    ) {
+        let start = start.min((1 << DEPTH) - 24);
+        let mut batched = DenseTree::new(DEPTH);
+        let mut sequential = DenseTree::new(DEPTH);
+        batched.set_batch(start, &leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            sequential.set(start + i as u64, *leaf);
+        }
+        prop_assert_eq!(batched.root(), sequential.root());
+    }
+
+    #[test]
+    fn removal_is_equivalent_to_never_inserting(
+        keep in proptest::collection::vec(arb_fr(), 1..8),
+        transient in arb_fr(),
+        spot in any::<proptest::sample::Index>()
+    ) {
+        // insert `keep` leaves + one transient leaf, remove the transient:
+        // root equals the tree that never saw it.
+        let transient_index = (8 + spot.index(16)) as u64;
+        let mut with_transient = DenseTree::new(DEPTH);
+        let mut without = DenseTree::new(DEPTH);
+        for (i, leaf) in keep.iter().enumerate() {
+            with_transient.set(i as u64, *leaf);
+            without.set(i as u64, *leaf);
+        }
+        with_transient.set(transient_index, transient);
+        with_transient.remove(transient_index);
+        prop_assert_eq!(with_transient.root(), without.root());
+    }
+}

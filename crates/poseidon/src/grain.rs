@@ -1,0 +1,127 @@
+//! Grain LFSR stream for deriving Poseidon round constants and MDS matrices,
+//! following the reference parameter-generation procedure of the Poseidon
+//! paper (`generate_params_poseidon.sage`).
+//!
+//! The 80-bit state is seeded from the instance description
+//! (field type, S-box, field size, width `t`, full/partial round counts) and
+//! clocked 160 times before use; output bits then pass through the
+//! self-shrinking filter (emit the second bit of each pair when the first
+//! bit is 1).
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::PrimeField;
+
+/// The Grain LFSR used for Poseidon parameter generation.
+#[derive(Clone, Debug)]
+pub struct GrainLfsr {
+    state: [bool; 80],
+}
+
+impl GrainLfsr {
+    /// Seeds the stream for a Poseidon instance over a prime field with
+    /// `x⁵` S-box, `n`-bit field, width `t`, `r_f` full and `r_p` partial
+    /// rounds.
+    pub fn new(n: u32, t: u32, r_f: u32, r_p: u32) -> Self {
+        let mut bits = Vec::with_capacity(80);
+        let mut push = |value: u64, width: u32| {
+            for i in (0..width).rev() {
+                bits.push((value >> i) & 1 == 1);
+            }
+        };
+        push(1, 2); // field type: GF(p)
+        push(0, 4); // S-box: x^alpha
+        push(n as u64, 12);
+        push(t as u64, 12);
+        push(r_f as u64, 10);
+        push(r_p as u64, 10);
+        push((1u64 << 30) - 1, 30); // 30 ones
+        debug_assert_eq!(bits.len(), 80);
+        let mut state = [false; 80];
+        state.copy_from_slice(&bits);
+        let mut lfsr = GrainLfsr { state };
+        for _ in 0..160 {
+            lfsr.raw_bit();
+        }
+        lfsr
+    }
+
+    /// One unfiltered LFSR step.
+    fn raw_bit(&mut self) -> bool {
+        let new_bit = self.state[62]
+            ^ self.state[51]
+            ^ self.state[38]
+            ^ self.state[23]
+            ^ self.state[13]
+            ^ self.state[0];
+        self.state.rotate_left(1);
+        self.state[79] = new_bit;
+        new_bit
+    }
+
+    /// One self-shrunk output bit.
+    pub fn bit(&mut self) -> bool {
+        loop {
+            let b1 = self.raw_bit();
+            let b2 = self.raw_bit();
+            if b1 {
+                return b2;
+            }
+        }
+    }
+
+    /// Samples an `Fr` element by drawing 254 bits (MSB first) and
+    /// rejection-sampling against the modulus.
+    pub fn field_element(&mut self) -> Fr {
+        loop {
+            let mut limbs = [0u64; 4];
+            // 254 bits, most significant first.
+            for i in (0..254).rev() {
+                if self.bit() {
+                    limbs[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            if let Some(f) = Fr::from_canonical_limbs(limbs) {
+                return f;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = GrainLfsr::new(254, 3, 8, 57);
+        let mut b = GrainLfsr::new(254, 3, 8, 57);
+        for _ in 0..100 {
+            assert_eq!(a.bit(), b.bit());
+        }
+    }
+
+    #[test]
+    fn different_instances_diverge() {
+        let mut a = GrainLfsr::new(254, 3, 8, 57);
+        let mut b = GrainLfsr::new(254, 2, 8, 56);
+        let bits_a: Vec<bool> = (0..64).map(|_| a.bit()).collect();
+        let bits_b: Vec<bool> = (0..64).map(|_| b.bit()).collect();
+        assert_ne!(bits_a, bits_b);
+    }
+
+    #[test]
+    fn field_elements_in_range_and_distinct() {
+        let mut g = GrainLfsr::new(254, 3, 8, 57);
+        let a = g.field_element();
+        let b = g.field_element();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_is_balanced() {
+        // Sanity: the keystream should not be constant.
+        let mut g = GrainLfsr::new(254, 3, 8, 57);
+        let ones = (0..1000).filter(|_| g.bit()).count();
+        assert!(ones > 300 && ones < 700, "ones = {ones}");
+    }
+}

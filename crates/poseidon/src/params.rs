@@ -1,0 +1,185 @@
+//! Poseidon instance parameters (round counts, round constants, MDS matrix)
+//! for widths `t = 2..=5` over BN254 `Fr`, derived deterministically at
+//! first use from the Grain LFSR.
+//!
+//! Round numbers follow the 128-bit-security table of the Poseidon reference
+//! implementation for a 254-bit prime and `α = 5` (`R_F = 8` everywhere;
+//! `R_P` = 56/57/56/60 for t = 2/3/4/5 — the same table circomlib and
+//! zerokit use).
+
+use std::sync::OnceLock;
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+use crate::grain::GrainLfsr;
+
+/// Maximum supported state width.
+pub const MAX_T: usize = 5;
+
+/// Partial-round counts for t = 2..=5 (index `t - 2`).
+const R_P_TABLE: [u32; 4] = [56, 57, 56, 60];
+/// Full rounds (all widths, 128-bit security).
+const R_F: u32 = 8;
+
+/// Parameters of one Poseidon permutation instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoseidonParams {
+    /// State width (rate + 1 capacity element).
+    pub t: usize,
+    /// Number of full rounds (split evenly before/after the partial rounds).
+    pub r_f: u32,
+    /// Number of partial rounds.
+    pub r_p: u32,
+    /// `t · (r_f + r_p)` round constants, consumed in order.
+    pub round_constants: Vec<Fr>,
+    /// `t × t` Cauchy MDS matrix, row-major.
+    pub mds: Vec<Vec<Fr>>,
+}
+
+impl PoseidonParams {
+    /// Derives the parameters for width `t` from the Grain stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside `2..=5`.
+    pub fn generate(t: usize) -> Self {
+        assert!((2..=MAX_T).contains(&t), "unsupported poseidon width {t}");
+        let r_p = R_P_TABLE[t - 2];
+        let mut grain = GrainLfsr::new(254, t as u32, R_F, r_p);
+        let num_constants = t * (R_F + r_p) as usize;
+        let round_constants: Vec<Fr> = (0..num_constants).map(|_| grain.field_element()).collect();
+
+        // Cauchy matrix M[i][j] = 1/(x_i + y_j) from 2t further stream
+        // elements; regenerate on the (astronomically unlikely) degenerate
+        // draw.
+        let mds = loop {
+            let xs: Vec<Fr> = (0..t).map(|_| grain.field_element()).collect();
+            let ys: Vec<Fr> = (0..t).map(|_| grain.field_element()).collect();
+            if let Some(m) = cauchy_matrix(&xs, &ys) {
+                break m;
+            }
+        };
+
+        PoseidonParams {
+            t,
+            r_f: R_F,
+            r_p,
+            round_constants,
+            mds,
+        }
+    }
+}
+
+/// Builds the Cauchy matrix, returning `None` if any `xᵢ + yⱼ` is zero or
+/// the matrix is singular.
+fn cauchy_matrix(xs: &[Fr], ys: &[Fr]) -> Option<Vec<Vec<Fr>>> {
+    let t = xs.len();
+    let mut m = vec![vec![Fr::zero(); t]; t];
+    for i in 0..t {
+        for j in 0..t {
+            m[i][j] = (xs[i] + ys[j]).inverse()?;
+        }
+    }
+    if is_invertible(&m) {
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// Gaussian elimination invertibility check.
+fn is_invertible(m: &[Vec<Fr>]) -> bool {
+    let t = m.len();
+    let mut a: Vec<Vec<Fr>> = m.to_vec();
+    for col in 0..t {
+        let pivot = (col..t).find(|&r| !a[r][col].is_zero());
+        let Some(p) = pivot else { return false };
+        a.swap(col, p);
+        let inv = a[col][col].inverse().expect("pivot nonzero");
+        for r in (col + 1)..t {
+            let factor = a[r][col] * inv;
+            for c in col..t {
+                let sub = factor * a[col][c];
+                a[r][c] -= sub;
+            }
+        }
+    }
+    true
+}
+
+/// Cached parameters for width `t ∈ 2..=5`.
+///
+/// # Panics
+///
+/// Panics if `t` is outside `2..=5`.
+pub fn params_for(t: usize) -> &'static PoseidonParams {
+    static CELLS: [OnceLock<PoseidonParams>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    assert!((2..=MAX_T).contains(&t), "unsupported poseidon width {t}");
+    CELLS[t - 2].get_or_init(|| PoseidonParams::generate(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(PoseidonParams::generate(3), PoseidonParams::generate(3));
+    }
+
+    #[test]
+    fn constant_counts() {
+        for t in 2..=5usize {
+            let p = params_for(t);
+            assert_eq!(p.round_constants.len(), t * (p.r_f + p.r_p) as usize);
+            assert_eq!(p.mds.len(), t);
+            assert!(p.mds.iter().all(|row| row.len() == t));
+        }
+    }
+
+    #[test]
+    fn mds_is_invertible() {
+        for t in 2..=5usize {
+            assert!(is_invertible(&params_for(t).mds), "t={t}");
+        }
+    }
+
+    #[test]
+    fn round_constants_are_distinct() {
+        let p = params_for(3);
+        // Not a security proof, just a sanity check against stream bugs:
+        // all constants distinct.
+        let mut seen = std::collections::HashSet::new();
+        for c in &p.round_constants {
+            assert!(seen.insert(*c), "duplicate round constant");
+        }
+    }
+
+    #[test]
+    fn widths_have_distinct_parameters() {
+        assert_ne!(
+            params_for(2).round_constants[0],
+            params_for(3).round_constants[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported poseidon width")]
+    fn width_out_of_range_panics() {
+        params_for(7);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        use waku_arith::traits::PrimeField;
+        let one = Fr::from_u64(1);
+        let m = vec![vec![one, one], vec![one, one]];
+        assert!(!is_invertible(&m));
+    }
+}

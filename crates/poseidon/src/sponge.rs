@@ -1,0 +1,114 @@
+//! A duplex-style sponge over the width-3 Poseidon permutation
+//! (rate 2, capacity 1) for hashing variable-length field-element inputs.
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+use crate::params::params_for;
+use crate::permutation::permute;
+
+/// Incremental sponge hasher for `Fr` sequences.
+///
+/// # Examples
+///
+/// ```
+/// use waku_poseidon::sponge::PoseidonSponge;
+/// use waku_arith::{fields::Fr, traits::PrimeField};
+///
+/// let mut sponge = PoseidonSponge::new();
+/// sponge.absorb(&[Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)]);
+/// let digest = sponge.squeeze();
+/// assert!(digest != Fr::from_u64(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PoseidonSponge {
+    state: [Fr; 3],
+    /// Number of rate slots (0 or 1) filled since the last permutation.
+    pending: usize,
+}
+
+impl Default for PoseidonSponge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PoseidonSponge {
+    /// Creates an empty sponge.
+    pub fn new() -> Self {
+        PoseidonSponge {
+            state: [Fr::zero(); 3],
+            pending: 0,
+        }
+    }
+
+    /// Absorbs a sequence of field elements.
+    pub fn absorb(&mut self, inputs: &[Fr]) {
+        for &x in inputs {
+            self.state[1 + self.pending] += x;
+            self.pending += 1;
+            if self.pending == 2 {
+                permute(params_for(3), &mut self.state);
+                self.pending = 0;
+            }
+        }
+    }
+
+    /// Finishes absorption and produces one output element.
+    ///
+    /// Uses 10* padding: a `1` is added into the first unused rate slot, so
+    /// inputs that differ only by trailing zeros (or by length) digest
+    /// differently.
+    pub fn squeeze(mut self) -> Fr {
+        self.state[1 + self.pending] += Fr::one();
+        permute(params_for(3), &mut self.state);
+        self.state[1]
+    }
+}
+
+/// One-shot sponge hash of a field-element sequence.
+pub fn sponge_hash(inputs: &[Fr]) -> Fr {
+    let mut sponge = PoseidonSponge::new();
+    sponge.absorb(inputs);
+    sponge.squeeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waku_arith::traits::PrimeField;
+
+    #[test]
+    fn deterministic() {
+        let xs = [Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)];
+        assert_eq!(sponge_hash(&xs), sponge_hash(&xs));
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        let a = sponge_hash(&[Fr::from_u64(1), Fr::from_u64(2)]);
+        let b = sponge_hash(&[Fr::from_u64(2), Fr::from_u64(1)]);
+        assert_ne!(a, b, "order must matter");
+        let c = sponge_hash(&[Fr::from_u64(1)]);
+        assert_ne!(a, c, "length must matter");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Fr> = (0..7).map(|_| Fr::random(&mut rng)).collect();
+        let mut sponge = PoseidonSponge::new();
+        sponge.absorb(&xs[..3]);
+        sponge.absorb(&xs[3..]);
+        assert_eq!(sponge.squeeze(), sponge_hash(&xs));
+    }
+
+    #[test]
+    fn empty_input_is_defined() {
+        let a = sponge_hash(&[]);
+        let b = sponge_hash(&[Fr::zero()]);
+        assert_ne!(a, b, "empty differs from single zero");
+    }
+}

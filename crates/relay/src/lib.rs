@@ -1,0 +1,23 @@
+//! # waku-relay
+//!
+//! The Waku protocol family on top of the gossip transport (paper §I):
+//!
+//! * [`relay`] — 11/WAKU2-RELAY: pubsub-topic plumbing over GossipSub,
+//! * [`store`] — 13/WAKU2-STORE: history persistence + paginated queries
+//!   for peers that were offline,
+//! * [`filter`] — 12/WAKU2-FILTER: content-topic push filtering for
+//!   bandwidth-restricted peers,
+//! * [`message`] — the Waku message format shared by all of them.
+//!
+//! The spam-protected variant (the paper's contribution) composes these in
+//! `waku-rln-relay`.
+
+pub mod filter;
+pub mod message;
+pub mod relay;
+pub mod store;
+
+pub use filter::{FilterService, LightPeerId};
+pub use message::WakuMessage;
+pub use relay::{decode_from_relay, encode_for_relay, TopicRegistry, DEFAULT_PUBSUB_TOPIC};
+pub use store::{Direction, HistoryQuery, HistoryResponse, MessageStore};

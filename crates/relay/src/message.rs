@@ -1,0 +1,95 @@
+//! The Waku message format (14/WAKU2-MESSAGE): payload + content topic +
+//! timestamp, the unit every Waku protocol (relay, store, filter) moves
+//! around.
+
+/// A Waku application message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WakuMessage {
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// Content topic for application-level routing
+    /// (e.g. `/my-app/1/chat/proto`).
+    pub content_topic: String,
+    /// Sender timestamp (Unix seconds).
+    pub timestamp: u64,
+    /// Format version.
+    pub version: u32,
+}
+
+impl WakuMessage {
+    /// Builds a version-0 message.
+    pub fn new(payload: impl Into<Vec<u8>>, content_topic: impl Into<String>, timestamp: u64) -> Self {
+        WakuMessage {
+            payload: payload.into(),
+            content_topic: content_topic.into(),
+            timestamp,
+            version: 0,
+        }
+    }
+
+    /// Serializes (length-prefixed fields).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let topic = self.content_topic.as_bytes();
+        let mut out = Vec::with_capacity(16 + topic.len() + self.payload.len());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&(topic.len() as u32).to_le_bytes());
+        out.extend_from_slice(topic);
+        out.extend_from_slice(&self.timestamp.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out
+    }
+
+    /// Parses; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*at..*at + n)?;
+            *at += n;
+            Some(s)
+        };
+        let plen = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let payload = take(&mut at, plen)?.to_vec();
+        let tlen = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let content_topic = String::from_utf8(take(&mut at, tlen)?.to_vec()).ok()?;
+        let timestamp = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let version = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?);
+        if at != bytes.len() {
+            return None;
+        }
+        Some(WakuMessage {
+            payload,
+            content_topic,
+            timestamp,
+            version,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = WakuMessage::new(b"hi".to_vec(), "/app/1/chat/proto", 1_644_810_116);
+        assert_eq!(WakuMessage::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let m = WakuMessage::new(b"hi".to_vec(), "/t", 7);
+        let bytes = m.to_bytes();
+        assert!(WakuMessage::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(WakuMessage::from_bytes(&[]).is_none());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(WakuMessage::from_bytes(&extended).is_none());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let m = WakuMessage::new(Vec::new(), "/t", 0);
+        assert_eq!(WakuMessage::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+}

@@ -1,0 +1,102 @@
+//! Epoch management (paper §III-D, §III-F).
+//!
+//! The external nullifier is the *epoch*: `epoch = ⌊UnixTime / T⌋` for an
+//! application-chosen epoch length `T`. (The paper's worked example writes
+//! `⌈1644810116/30⌉ = 54827003`, which is in fact the floor — 1644810116/30
+//! ≈ 54827003.87 — so floor is what we implement.)
+//!
+//! The maximum accepted gap between a routing peer's epoch and a message's
+//! epoch is `Thr = ⌈(NetworkDelay + ClockAsynchrony) / T⌉`.
+
+/// Epoch arithmetic for a fixed epoch length `T` (seconds).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EpochManager {
+    epoch_length_secs: u64,
+}
+
+impl EpochManager {
+    /// Creates a manager with epoch length `T` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_secs` is zero.
+    pub fn new(t_secs: u64) -> Self {
+        assert!(t_secs > 0, "epoch length must be positive");
+        EpochManager {
+            epoch_length_secs: t_secs,
+        }
+    }
+
+    /// Epoch length `T` in seconds.
+    pub fn epoch_length(&self) -> u64 {
+        self.epoch_length_secs
+    }
+
+    /// The epoch containing a Unix timestamp (seconds).
+    pub fn epoch_at(&self, unix_secs: u64) -> u64 {
+        unix_secs / self.epoch_length_secs
+    }
+
+    /// The epoch containing a millisecond timestamp.
+    pub fn epoch_at_millis(&self, unix_millis: u64) -> u64 {
+        self.epoch_at(unix_millis / 1000)
+    }
+
+    /// `Thr = ⌈(NetworkDelay + ClockAsynchrony) / T⌉` (paper §III-F),
+    /// inputs in seconds.
+    pub fn max_epoch_gap(&self, network_delay_secs: f64, clock_asynchrony_secs: f64) -> u64 {
+        ((network_delay_secs + clock_asynchrony_secs) / self.epoch_length_secs as f64).ceil()
+            as u64
+    }
+
+    /// Absolute distance between two epochs.
+    pub fn gap(a: u64, b: u64) -> u64 {
+        a.abs_diff(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §III-D: UnixTime 1644810116 s, T = 30 s → epoch 54827003.
+        let em = EpochManager::new(30);
+        assert_eq!(em.epoch_at(1_644_810_116), 54_827_003);
+    }
+
+    #[test]
+    fn epoch_boundaries() {
+        let em = EpochManager::new(10);
+        assert_eq!(em.epoch_at(0), 0);
+        assert_eq!(em.epoch_at(9), 0);
+        assert_eq!(em.epoch_at(10), 1);
+        assert_eq!(em.epoch_at_millis(10_999), 1);
+    }
+
+    #[test]
+    fn thr_formula() {
+        // §III-F: Thr = ceil((NetworkDelay + ClockAsynchrony)/T)
+        let em = EpochManager::new(30);
+        assert_eq!(em.max_epoch_gap(5.0, 2.0), 1);
+        assert_eq!(em.max_epoch_gap(30.0, 0.0), 1);
+        assert_eq!(em.max_epoch_gap(30.0, 0.1), 2);
+        let em1 = EpochManager::new(1);
+        assert_eq!(em1.max_epoch_gap(0.4, 0.2), 1);
+        assert_eq!(em1.max_epoch_gap(2.5, 0.6), 4);
+    }
+
+    #[test]
+    fn gap_is_symmetric() {
+        assert_eq!(EpochManager::gap(5, 8), 3);
+        assert_eq!(EpochManager::gap(8, 5), 3);
+        assert_eq!(EpochManager::gap(7, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        EpochManager::new(0);
+    }
+}

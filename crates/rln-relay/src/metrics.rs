@@ -1,0 +1,35 @@
+//! Counters for validation and node activity.
+
+/// Validation pipeline counters (one per §III-F decision branch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidationMetrics {
+    /// Bundles examined.
+    pub total: u64,
+    /// Relayed (fresh, valid).
+    pub relayed: u64,
+    /// Dropped by the epoch-gap check.
+    pub epoch_dropped: u64,
+    /// Dropped for an unknown tree root.
+    pub root_dropped: u64,
+    /// Dropped for an invalid proof.
+    pub proof_rejected: u64,
+    /// Exact duplicates discarded.
+    pub duplicates: u64,
+    /// Rate violations detected (slashing evidence produced).
+    pub spam_detected: u64,
+}
+
+/// Node-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Messages this node published.
+    pub published: u64,
+    /// Publishes refused locally because the epoch was already used.
+    pub rate_limited_locally: u64,
+    /// Slashing commits submitted.
+    pub slash_commits: u64,
+    /// Slashing reveals submitted.
+    pub slash_reveals: u64,
+    /// Rewards collected (wei).
+    pub rewards_wei: u128,
+}

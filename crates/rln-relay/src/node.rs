@@ -1,0 +1,440 @@
+//! The WAKU-RLN-RELAY node (the paper's contribution, §III): composes the
+//! RLN prover/verifier, the synced group view, the epoch manager, the
+//! validation pipeline, and the slashing client into one peer.
+
+use rand::Rng;
+use waku_arith::fields::Fr;
+use waku_chain::{Address, Chain, TxKind};
+use waku_rln::{Identity, RlnMessageBundle, RlnProver, RlnVerifier};
+
+use crate::epoch::EpochManager;
+use crate::group::GroupManager;
+use crate::metrics::NodeMetrics;
+use crate::slasher::Slasher;
+use crate::validation::{MessageValidator, Outcome};
+
+/// Node configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// Identity tree depth (must match the prover/verifier keys).
+    pub tree_depth: usize,
+    /// Epoch length `T` in seconds.
+    pub epoch_length_secs: u64,
+    /// Maximum epoch gap `Thr` (see [`EpochManager::max_epoch_gap`]).
+    pub max_epoch_gap: u64,
+    /// Gas price this node bids (gwei).
+    pub gas_price_gwei: u64,
+    /// Use commit-reveal (true, §III-F recommendation) or plain slashing.
+    pub commit_reveal: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            tree_depth: 20,
+            epoch_length_secs: 1,
+            max_epoch_gap: 1,
+            gas_price_gwei: 100,
+            commit_reveal: true,
+        }
+    }
+}
+
+/// Errors from node operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeError {
+    /// Not registered (or registration not yet mined/synced).
+    NotRegistered,
+    /// This epoch's single message has already been used
+    /// (publishing anyway would leak our key — §II-B).
+    RateLimitedLocally,
+    /// Proof generation failed.
+    Proving(waku_snark::SnarkError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::NotRegistered => write!(f, "identity not registered in the group"),
+            NodeError::RateLimitedLocally => {
+                write!(f, "already published in this epoch (rate limit)")
+            }
+            NodeError::Proving(e) => write!(f, "proof generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// A full WAKU-RLN-RELAY peer.
+pub struct WakuRlnRelayNode {
+    config: NodeConfig,
+    identity: Identity,
+    address: Address,
+    group: GroupManager,
+    epochs: EpochManager,
+    validator: MessageValidator,
+    slasher: Slasher,
+    prover: std::sync::Arc<RlnProver>,
+    last_published_epoch: Option<u64>,
+    metrics: NodeMetrics,
+}
+
+impl std::fmt::Debug for WakuRlnRelayNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WakuRlnRelayNode(addr = {:?}, registered = {})",
+            self.address,
+            self.group.own_index().is_some()
+        )
+    }
+}
+
+impl WakuRlnRelayNode {
+    /// Creates a node with a fresh identity.
+    ///
+    /// `prover`/`verifier` come from the shared (simulated MPC) key
+    /// ceremony — every peer uses the same circuit keys.
+    pub fn new<R: Rng + ?Sized>(
+        config: NodeConfig,
+        address: Address,
+        prover: std::sync::Arc<RlnProver>,
+        verifier: RlnVerifier,
+        rng: &mut R,
+    ) -> Self {
+        let identity = Identity::random(rng);
+        let mut group = GroupManager::new(config.tree_depth);
+        group.set_own_commitment(identity.commitment());
+        let epochs = EpochManager::new(config.epoch_length_secs);
+        let validator = MessageValidator::new(verifier, epochs, config.max_epoch_gap);
+        let slasher = Slasher::new(address, config.gas_price_gwei, config.commit_reveal);
+        WakuRlnRelayNode {
+            config,
+            identity,
+            address,
+            group,
+            epochs,
+            validator,
+            slasher,
+            prover,
+            last_published_epoch: None,
+            metrics: NodeMetrics::default(),
+        }
+    }
+
+    /// This node's chain address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// This node's identity commitment.
+    pub fn commitment(&self) -> Fr {
+        self.identity.commitment()
+    }
+
+    /// The node's identity (tests and slashing verification).
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// The group view.
+    pub fn group(&self) -> &GroupManager {
+        &self.group
+    }
+
+    /// Node metrics.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// Validator metrics.
+    pub fn validation_metrics(&self) -> &crate::metrics::ValidationMetrics {
+        self.validator.metrics()
+    }
+
+    /// The epoch manager.
+    pub fn epochs(&self) -> &EpochManager {
+        &self.epochs
+    }
+
+    /// Submits this node's registration transaction (Figure 2, step 1).
+    /// The membership becomes usable only after mining + [`Self::sync`].
+    pub fn register(&mut self, chain: &mut Chain) {
+        chain.submit(
+            self.address,
+            TxKind::Register {
+                commitment: self.identity.commitment(),
+            },
+            self.config.gas_price_gwei,
+        );
+    }
+
+    /// Replays contract events to update the local tree (Figure 2, step 4;
+    /// §III-C). Also advances the slasher's pending commit-reveal flows.
+    pub fn sync(&mut self, chain: &mut Chain) {
+        self.group.sync(chain);
+        let rewards = self.slasher.advance(chain);
+        self.metrics.rewards_wei += rewards;
+        self.metrics.slash_reveals += self.slasher.take_reveal_count();
+    }
+
+    /// True once our registration is mined and synced.
+    pub fn is_registered(&self) -> bool {
+        self.group.own_index().is_some()
+    }
+
+    /// Publishes a message at local Unix time `now_secs` (Figure 3, left):
+    /// derives the share/nullifier for the current epoch, generates the
+    /// proof, and returns the bundle to hand to the relay layer.
+    ///
+    /// # Errors
+    ///
+    /// * [`NodeError::NotRegistered`] — registration not mined/synced.
+    /// * [`NodeError::RateLimitedLocally`] — second publish in one epoch is
+    ///   refused: it would hand out two shares of our own key.
+    /// * [`NodeError::Proving`] — constraint failure (stale tree state).
+    pub fn publish<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        now_secs: u64,
+        rng: &mut R,
+    ) -> Result<RlnMessageBundle, NodeError> {
+        let path = self.group.own_path().ok_or(NodeError::NotRegistered)?;
+        let epoch = self.epochs.epoch_at(now_secs);
+        if self.last_published_epoch == Some(epoch) {
+            self.metrics.rate_limited_locally += 1;
+            return Err(NodeError::RateLimitedLocally);
+        }
+        let bundle = self
+            .prover
+            .prove_message(&self.identity, &path, payload, epoch, rng)
+            .map_err(NodeError::Proving)?;
+        self.last_published_epoch = Some(epoch);
+        self.metrics.published += 1;
+        Ok(bundle)
+    }
+
+    /// Publishes *without* the local rate-limit guard — what a spammer
+    /// does (test/experiment hook; an honest node never calls this).
+    pub fn publish_unchecked<R: Rng + ?Sized>(
+        &mut self,
+        payload: &[u8],
+        now_secs: u64,
+        rng: &mut R,
+    ) -> Result<RlnMessageBundle, NodeError> {
+        let path = self.group.own_path().ok_or(NodeError::NotRegistered)?;
+        let epoch = self.epochs.epoch_at(now_secs);
+        self.prover
+            .prove_message(&self.identity, &path, payload, epoch, rng)
+            .map_err(NodeError::Proving)
+    }
+
+    /// Handles an incoming bundle at local Unix time `now_secs`
+    /// (Figure 3, right). On spam detection the slashing flow starts
+    /// automatically (commit or plain reveal per configuration).
+    pub fn handle_incoming(
+        &mut self,
+        bundle: &RlnMessageBundle,
+        now_secs: u64,
+        chain: &mut Chain,
+    ) -> Outcome {
+        let outcome = self.validator.validate(bundle, &self.group, now_secs);
+        if let Outcome::Spam(evidence) = &outcome {
+            self.metrics.slash_commits += 1;
+            self.slasher.start(evidence.recovered_secret, chain);
+        }
+        outcome
+    }
+
+    /// Validates without side effects on the chain (for pure routing
+    /// decisions in network simulations).
+    pub fn validate_only(&mut self, bundle: &RlnMessageBundle, now_secs: u64) -> Outcome {
+        self.validator.validate(bundle, &self.group, now_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::{Arc, OnceLock};
+    use waku_chain::{ChainConfig, ETHER};
+
+    const DEPTH: usize = 6;
+
+    fn keys() -> &'static (Arc<RlnProver>, RlnVerifier) {
+        static CELL: OnceLock<(Arc<RlnProver>, RlnVerifier)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xFEED);
+            let (p, v) = RlnProver::keygen(DEPTH, &mut rng);
+            (Arc::new(p), v)
+        })
+    }
+
+    fn config() -> NodeConfig {
+        NodeConfig {
+            tree_depth: DEPTH,
+            epoch_length_secs: 10,
+            max_epoch_gap: 1,
+            gas_price_gwei: 100,
+            commit_reveal: true,
+        }
+    }
+
+    fn setup(n: usize, seed: u64) -> (Chain, Vec<WakuRlnRelayNode>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chain = Chain::new(ChainConfig {
+            tree_depth: DEPTH,
+            ..ChainConfig::default()
+        });
+        let (prover, verifier) = keys();
+        let mut nodes: Vec<WakuRlnRelayNode> = (0..n)
+            .map(|i| {
+                let addr = Address::from_seed(&[i as u8, seed as u8]);
+                chain.fund(addr, 100 * ETHER);
+                WakuRlnRelayNode::new(
+                    config(),
+                    addr,
+                    Arc::clone(prover),
+                    verifier.clone(),
+                    &mut rng,
+                )
+            })
+            .collect();
+        for node in nodes.iter_mut() {
+            node.register(&mut chain);
+        }
+        chain.mine_block();
+        for node in nodes.iter_mut() {
+            node.sync(&mut chain);
+        }
+        (chain, nodes)
+    }
+
+    #[test]
+    fn register_publish_validate_roundtrip() {
+        let (mut chain, mut nodes) = setup(2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(nodes[0].is_registered());
+        let bundle = nodes[0].publish(b"hello network", 1000, &mut rng).unwrap();
+        let outcome = nodes[1].handle_incoming(&bundle, 1000, &mut chain);
+        assert_eq!(outcome, Outcome::Relay);
+    }
+
+    #[test]
+    fn cannot_publish_before_sync() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut chain = Chain::new(ChainConfig {
+            tree_depth: DEPTH,
+            ..ChainConfig::default()
+        });
+        let (prover, verifier) = keys();
+        let addr = Address::from_seed(b"late");
+        chain.fund(addr, 100 * ETHER);
+        let mut node =
+            WakuRlnRelayNode::new(config(), addr, Arc::clone(prover), verifier.clone(), &mut rng);
+        node.register(&mut chain);
+        // tx in mempool, not mined: publishing must fail (§IV-A delay)
+        assert_eq!(
+            node.publish(b"too early", 0, &mut rng).unwrap_err(),
+            NodeError::NotRegistered
+        );
+        chain.mine_block();
+        node.sync(&mut chain);
+        assert!(node.publish(b"now ok", 0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn local_rate_limit_blocks_second_publish() {
+        let (_chain, mut nodes) = setup(1, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        nodes[0].publish(b"one", 1000, &mut rng).unwrap();
+        assert_eq!(
+            nodes[0].publish(b"two", 1005, &mut rng).unwrap_err(),
+            NodeError::RateLimitedLocally,
+            "same epoch (T = 10s)"
+        );
+        // next epoch is fine
+        assert!(nodes[0].publish(b"three", 1010, &mut rng).is_ok());
+        assert_eq!(nodes[0].metrics().rate_limited_locally, 1);
+    }
+
+    #[test]
+    fn spammer_is_detected_and_slashed_end_to_end() {
+        let (mut chain, mut nodes) = setup(3, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let spammer_commitment = nodes[0].commitment();
+        let spammer_deposit_holder = chain.contract().escrow();
+        assert_eq!(spammer_deposit_holder, 3 * ETHER);
+
+        // Spammer publishes twice in epoch 100.
+        let b1 = nodes[0].publish_unchecked(b"spam one", 1000, &mut rng).unwrap();
+        let b2 = nodes[0].publish_unchecked(b"spam two", 1000, &mut rng).unwrap();
+
+        // Router (node 1) sees both: first relays, second is spam.
+        assert_eq!(nodes[1].handle_incoming(&b1, 1000, &mut chain), Outcome::Relay);
+        let outcome = nodes[1].handle_incoming(&b2, 1000, &mut chain);
+        match &outcome {
+            Outcome::Spam(ev) => {
+                assert_eq!(ev.recovered_commitment(), spammer_commitment);
+            }
+            other => panic!("expected spam, got {other:?}"),
+        }
+
+        // Drive the commit-reveal flow: commit mines, then reveal mines.
+        chain.mine_block(); // commit lands
+        nodes[1].sync(&mut chain); // submits reveal
+        chain.mine_block(); // reveal lands
+        nodes[1].sync(&mut chain);
+
+        // The spammer is gone from the group and node 1 got the stake.
+        for node in nodes.iter_mut() {
+            node.sync(&mut chain);
+        }
+        assert!(!nodes[0].is_registered(), "spammer removed (paper §II-B)");
+        assert_eq!(chain.contract().escrow(), 2 * ETHER);
+        assert_eq!(nodes[1].metrics().rewards_wei, ETHER);
+        assert!(chain.balance(nodes[1].address()) > 100 * ETHER - ETHER);
+    }
+
+    #[test]
+    fn slashed_spammer_cannot_publish_again() {
+        let (mut chain, mut nodes) = setup(2, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let b1 = nodes[0].publish_unchecked(b"a", 1000, &mut rng).unwrap();
+        let b2 = nodes[0].publish_unchecked(b"b", 1000, &mut rng).unwrap();
+        nodes[1].handle_incoming(&b1, 1000, &mut chain);
+        nodes[1].handle_incoming(&b2, 1000, &mut chain);
+        chain.mine_block();
+        nodes[1].sync(&mut chain);
+        chain.mine_block();
+        nodes[0].sync(&mut chain);
+        assert!(!nodes[0].is_registered());
+        assert_eq!(
+            nodes[0].publish(b"after slash", 2000, &mut rng).unwrap_err(),
+            NodeError::NotRegistered,
+            "the paper: removed spammers cannot publish further messages"
+        );
+    }
+
+    #[test]
+    fn routers_stay_consistent_after_membership_change() {
+        let (mut chain, mut nodes) = setup(3, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Node 2 withdraws, others keep validating fine afterwards.
+        let addr = nodes[2].address();
+        let own_index = nodes[2].group().own_index().unwrap();
+        chain.submit(addr, TxKind::Withdraw { index: own_index }, 100);
+        chain.mine_block();
+        for node in nodes.iter_mut() {
+            node.sync(&mut chain);
+        }
+        let bundle = nodes[0].publish(b"still works", 5000, &mut rng).unwrap();
+        assert_eq!(
+            nodes[1].handle_incoming(&bundle, 5000, &mut chain),
+            Outcome::Relay
+        );
+    }
+}

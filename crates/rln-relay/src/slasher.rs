@@ -1,0 +1,238 @@
+//! The slashing client (paper §III-F): turns recovered spammer keys into
+//! contract transactions, using commit-reveal by default so the reward
+//! cannot be stolen by mempool front-runners.
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::PrimeField;
+use waku_chain::{slash_commitment_hash, Address, Chain, ContractEvent, TxKind, Wei};
+use waku_hash::keccak256;
+
+/// State of one in-flight slashing flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Commit submitted at the given chain height; reveal after it mines.
+    Committed {
+        /// The recovered key to reveal.
+        secret: Fr,
+        /// Commitment salt.
+        salt: [u8; 32],
+        /// Height when the commit was submitted.
+        submitted_at: u64,
+    },
+    /// Reveal submitted; waiting for the reward event.
+    Revealed {
+        /// The recovered key.
+        secret: Fr,
+    },
+}
+
+/// Tracks pending slashing flows for one peer.
+#[derive(Clone, Debug)]
+pub struct Slasher {
+    address: Address,
+    gas_price_gwei: u64,
+    commit_reveal: bool,
+    pending: Vec<Phase>,
+    reveals_submitted: u64,
+    last_reward_scan: u64,
+}
+
+impl Slasher {
+    /// Creates a slasher for `address`.
+    pub fn new(address: Address, gas_price_gwei: u64, commit_reveal: bool) -> Self {
+        Slasher {
+            address,
+            gas_price_gwei,
+            commit_reveal,
+            pending: Vec::new(),
+            reveals_submitted: 0,
+            last_reward_scan: 0,
+        }
+    }
+
+    /// Number of flows still in progress.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Starts a slashing flow for a recovered key.
+    ///
+    /// With commit-reveal (§III-F): submits the hash commitment now; the
+    /// reveal goes out in [`Slasher::advance`] once the commit has mined.
+    /// Without: submits the plaintext key immediately (race-prone).
+    pub fn start(&mut self, secret: Fr, chain: &mut Chain) {
+        if self.commit_reveal {
+            // Deterministic per-(slasher, secret) salt: good enough for the
+            // simulation and keeps runs reproducible.
+            let mut seed = Vec::with_capacity(52);
+            seed.extend_from_slice(&self.address.0);
+            seed.extend_from_slice(&secret.to_le_bytes());
+            let salt = keccak256(&seed);
+            let hash = slash_commitment_hash(secret, self.address, &salt);
+            chain.submit(self.address, TxKind::SlashCommit { hash }, self.gas_price_gwei);
+            self.pending.push(Phase::Committed {
+                secret,
+                salt,
+                submitted_at: chain.height(),
+            });
+        } else {
+            chain.submit(
+                self.address,
+                TxKind::SlashPlain {
+                    secret,
+                    beneficiary: self.address,
+                },
+                self.gas_price_gwei,
+            );
+            self.reveals_submitted += 1;
+            self.pending.push(Phase::Revealed { secret });
+        }
+    }
+
+    /// Advances pending flows: submits reveals for matured commits and
+    /// collects rewards from `Slashed` events. Returns the wei rewarded to
+    /// this peer since the last call.
+    pub fn advance(&mut self, chain: &mut Chain) -> Wei {
+        let height = chain.height();
+        // Promote matured commits to reveals.
+        let mut next = Vec::with_capacity(self.pending.len());
+        for phase in self.pending.drain(..) {
+            match phase {
+                Phase::Committed {
+                    secret,
+                    salt,
+                    submitted_at,
+                } if height > submitted_at => {
+                    chain.submit(
+                        self.address,
+                        TxKind::SlashReveal {
+                            secret,
+                            salt,
+                            beneficiary: self.address,
+                        },
+                        self.gas_price_gwei,
+                    );
+                    self.reveals_submitted += 1;
+                    next.push(Phase::Revealed { secret });
+                }
+                other => next.push(other),
+            }
+        }
+        self.pending = next;
+
+        // Collect rewards and retire completed flows.
+        let mut rewarded: Wei = 0;
+        let events = chain.events_in_range(self.last_reward_scan + 1, height);
+        self.last_reward_scan = height;
+        for (_, event) in events {
+            if let ContractEvent::Slashed {
+                beneficiary,
+                reward,
+                ..
+            } = event
+            {
+                if beneficiary == self.address {
+                    rewarded += reward;
+                }
+            }
+        }
+        if rewarded > 0 {
+            self.pending.retain(|p| !matches!(p, Phase::Revealed { .. }));
+        }
+        rewarded
+    }
+
+    /// Returns and resets the count of reveals submitted (metrics hook).
+    pub fn take_reveal_count(&mut self) -> u64 {
+        std::mem::take(&mut self.reveals_submitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waku_chain::{ChainConfig, ETHER};
+    use waku_poseidon::poseidon1;
+
+    fn chain_with_member(sk: u64) -> (Chain, Fr) {
+        let mut chain = Chain::new(ChainConfig {
+            tree_depth: 6,
+            ..ChainConfig::default()
+        });
+        let owner = Address::from_seed(b"owner");
+        chain.fund(owner, 10 * ETHER);
+        let secret = Fr::from_u64(sk);
+        chain.submit(
+            owner,
+            TxKind::Register {
+                commitment: poseidon1(secret),
+            },
+            100,
+        );
+        chain.mine_block();
+        (chain, secret)
+    }
+
+    #[test]
+    fn commit_reveal_collects_reward() {
+        let (mut chain, secret) = chain_with_member(42);
+        let me = Address::from_seed(b"me");
+        chain.fund(me, ETHER);
+        let mut slasher = Slasher::new(me, 100, true);
+        slasher.start(secret, &mut chain);
+        assert_eq!(slasher.pending_count(), 1);
+        assert_eq!(slasher.advance(&mut chain), 0, "commit not mined yet");
+        chain.mine_block(); // commit lands
+        assert_eq!(slasher.advance(&mut chain), 0, "reveal submitted");
+        chain.mine_block(); // reveal lands
+        let reward = slasher.advance(&mut chain);
+        assert_eq!(reward, ETHER);
+        assert_eq!(slasher.pending_count(), 0);
+        assert_eq!(slasher.take_reveal_count(), 1);
+        assert_eq!(slasher.take_reveal_count(), 0);
+    }
+
+    #[test]
+    fn plain_mode_single_round_trip() {
+        let (mut chain, secret) = chain_with_member(43);
+        let me = Address::from_seed(b"me2");
+        chain.fund(me, ETHER);
+        let mut slasher = Slasher::new(me, 100, false);
+        slasher.start(secret, &mut chain);
+        chain.mine_block();
+        let reward = slasher.advance(&mut chain);
+        assert_eq!(reward, ETHER);
+    }
+
+    #[test]
+    fn two_flows_independent() {
+        let mut chain = Chain::new(ChainConfig {
+            tree_depth: 6,
+            ..ChainConfig::default()
+        });
+        let owner = Address::from_seed(b"owner");
+        chain.fund(owner, 10 * ETHER);
+        let s1 = Fr::from_u64(1);
+        let s2 = Fr::from_u64(2);
+        for s in [s1, s2] {
+            chain.submit(
+                owner,
+                TxKind::Register {
+                    commitment: poseidon1(s),
+                },
+                100,
+            );
+        }
+        chain.mine_block();
+        let me = Address::from_seed(b"me3");
+        chain.fund(me, ETHER);
+        let mut slasher = Slasher::new(me, 100, true);
+        slasher.start(s1, &mut chain);
+        slasher.start(s2, &mut chain);
+        chain.mine_block();
+        slasher.advance(&mut chain);
+        chain.mine_block();
+        let reward = slasher.advance(&mut chain);
+        assert_eq!(reward, 2 * ETHER);
+    }
+}

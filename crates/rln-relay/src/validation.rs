@@ -1,0 +1,352 @@
+//! The routing-time validation pipeline of §III-F (Figure 3):
+//!
+//! 1. **epoch gap** — drop messages more than `Thr` epochs away from the
+//!    router's current epoch (stops replay floods from fresh registrants);
+//! 2. **root check** — the proof must bind to a recent known tree root;
+//! 3. **proof verification** — the Groth16 check (≈30 ms, constant);
+//! 4. **rate check** — the nullifier map classifies the message as fresh /
+//!    duplicate / spam, recovering the spammer's key in the last case.
+
+use waku_rln::{NullifierMap, RateCheck, RlnMessageBundle, RlnVerifier, SpamEvidence};
+
+use crate::epoch::EpochManager;
+use crate::group::GroupManager;
+use crate::metrics::ValidationMetrics;
+
+/// Outcome of validating one incoming bundle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Relay the message.
+    Relay,
+    /// Drop: epoch too far from ours (`|gap|` included).
+    EpochOutOfRange(u64),
+    /// Drop: proof bound to an unknown/expired root.
+    UnknownRoot,
+    /// Drop + penalize sender: invalid zero-knowledge proof.
+    InvalidProof,
+    /// Drop silently: exact duplicate of an already-relayed share.
+    Duplicate,
+    /// Drop + slash: double-signaling detected.
+    Spam(SpamEvidence),
+}
+
+/// Stateful validator a routing peer runs for one topic.
+pub struct MessageValidator {
+    verifier: RlnVerifier,
+    epochs: EpochManager,
+    max_gap: u64,
+    nullifier_map: NullifierMap,
+    metrics: ValidationMetrics,
+}
+
+impl std::fmt::Debug for MessageValidator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MessageValidator(T = {}s, Thr = {})",
+            self.epochs.epoch_length(),
+            self.max_gap
+        )
+    }
+}
+
+impl MessageValidator {
+    /// Builds a validator.
+    pub fn new(verifier: RlnVerifier, epochs: EpochManager, max_gap: u64) -> Self {
+        MessageValidator {
+            verifier,
+            epochs,
+            max_gap,
+            nullifier_map: NullifierMap::new(),
+            metrics: ValidationMetrics::default(),
+        }
+    }
+
+    /// The configured maximum epoch gap `Thr`.
+    pub fn max_gap(&self) -> u64 {
+        self.max_gap
+    }
+
+    /// Validation metrics so far.
+    pub fn metrics(&self) -> &ValidationMetrics {
+        &self.metrics
+    }
+
+    /// Runs the §III-F pipeline on a bundle received at local Unix time
+    /// `now_secs` (drifted clock — the paper's ClockAsynchrony applies).
+    pub fn validate(
+        &mut self,
+        bundle: &RlnMessageBundle,
+        group: &GroupManager,
+        now_secs: u64,
+    ) -> Outcome {
+        self.metrics.total += 1;
+
+        // 1. epoch gap
+        let current_epoch = self.epochs.epoch_at(now_secs);
+        let gap = EpochManager::gap(current_epoch, bundle.epoch);
+        if gap > self.max_gap {
+            self.metrics.epoch_dropped += 1;
+            return Outcome::EpochOutOfRange(gap);
+        }
+
+        // 2. root recency
+        if !group.is_known_root(bundle.root) {
+            self.metrics.root_dropped += 1;
+            return Outcome::UnknownRoot;
+        }
+
+        // 3. zero-knowledge proof
+        if !self.verifier.verify_bundle(bundle) {
+            self.metrics.proof_rejected += 1;
+            return Outcome::InvalidProof;
+        }
+
+        // 4. rate limit via the nullifier map
+        let outcome = match self.nullifier_map.check_and_insert(bundle) {
+            RateCheck::Fresh => {
+                self.metrics.relayed += 1;
+                Outcome::Relay
+            }
+            RateCheck::Duplicate => {
+                self.metrics.duplicates += 1;
+                Outcome::Duplicate
+            }
+            RateCheck::Spam(evidence) => {
+                self.metrics.spam_detected += 1;
+                Outcome::Spam(evidence)
+            }
+        };
+        // Forget epochs that can no longer pass check 1.
+        self.nullifier_map.prune(current_epoch, self.max_gap);
+        outcome
+    }
+
+    /// Current nullifier-map footprint (ablation A2).
+    pub fn nullifier_map_bytes(&self) -> usize {
+        self.nullifier_map.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use waku_arith::fields::Fr;
+    use waku_arith::traits::{Field, PrimeField};
+    use waku_chain::{Address, Chain, ChainConfig, TxKind, ETHER};
+    use waku_rln::{Identity, RlnProver};
+
+    const DEPTH: usize = 6;
+    const T: u64 = 10; // epoch length seconds
+
+    fn keys() -> &'static (RlnProver, RlnVerifier) {
+        static CELL: OnceLock<(RlnProver, RlnVerifier)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xABCD);
+            RlnProver::keygen(DEPTH, &mut rng)
+        })
+    }
+
+    struct Fixture {
+        chain: Chain,
+        group: GroupManager,
+        identity: Identity,
+        validator: MessageValidator,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chain = Chain::new(ChainConfig {
+            tree_depth: DEPTH,
+            ..ChainConfig::default()
+        });
+        let user = Address::from_seed(b"user");
+        chain.fund(user, 100 * ETHER);
+        let identity = Identity::random(&mut rng);
+        chain.submit(
+            user,
+            TxKind::Register {
+                commitment: identity.commitment(),
+            },
+            50,
+        );
+        chain.mine_block();
+        let mut group = GroupManager::new(DEPTH);
+        group.set_own_commitment(identity.commitment());
+        group.sync(&chain);
+        let validator =
+            MessageValidator::new(keys().1.clone(), EpochManager::new(T), 1);
+        Fixture {
+            chain,
+            group,
+            identity,
+            validator,
+        }
+    }
+
+    fn prove(f: &Fixture, payload: &[u8], epoch: u64, seed: u64) -> waku_rln::RlnMessageBundle {
+        let mut rng = StdRng::seed_from_u64(seed);
+        keys()
+            .0
+            .prove_message(
+                &f.identity,
+                &f.group.own_path().expect("registered"),
+                payload,
+                epoch,
+                &mut rng,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_message_relays() {
+        let mut f = fixture(1);
+        let now = 1000u64;
+        let epoch = now / T;
+        let bundle = prove(&f, b"hello", epoch, 2);
+        assert_eq!(
+            f.validator.validate(&bundle, &f.group, now),
+            Outcome::Relay
+        );
+        assert_eq!(f.validator.metrics().relayed, 1);
+    }
+
+    #[test]
+    fn epoch_gap_drops_old_messages() {
+        let mut f = fixture(2);
+        let now = 1000u64;
+        // message from 5 epochs ago, Thr = 1
+        let bundle = prove(&f, b"stale", now / T - 5, 3);
+        assert_eq!(
+            f.validator.validate(&bundle, &f.group, now),
+            Outcome::EpochOutOfRange(5)
+        );
+    }
+
+    #[test]
+    fn epoch_gap_drops_future_messages() {
+        let mut f = fixture(3);
+        let now = 1000u64;
+        let bundle = prove(&f, b"from the future", now / T + 4, 4);
+        assert_eq!(
+            f.validator.validate(&bundle, &f.group, now),
+            Outcome::EpochOutOfRange(4)
+        );
+    }
+
+    #[test]
+    fn within_threshold_gap_accepted() {
+        let mut f = fixture(4);
+        let now = 1000u64;
+        let bundle = prove(&f, b"slightly late", now / T - 1, 5);
+        assert_eq!(f.validator.validate(&bundle, &f.group, now), Outcome::Relay);
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let mut f = fixture(5);
+        let now = 1000u64;
+        let mut bundle = prove(&f, b"msg", now / T, 6);
+        bundle.root += Fr::one(); // bound to a root we never had
+        assert_eq!(
+            f.validator.validate(&bundle, &f.group, now),
+            Outcome::UnknownRoot
+        );
+    }
+
+    #[test]
+    fn invalid_proof_rejected() {
+        let mut f = fixture(6);
+        let now = 1000u64;
+        let mut bundle = prove(&f, b"msg", now / T, 7);
+        bundle.payload = b"swapped".to_vec(); // x no longer matches proof
+        assert_eq!(
+            f.validator.validate(&bundle, &f.group, now),
+            Outcome::InvalidProof
+        );
+    }
+
+    #[test]
+    fn duplicate_is_silently_dropped() {
+        let mut f = fixture(7);
+        let now = 1000u64;
+        let bundle = prove(&f, b"once", now / T, 8);
+        assert_eq!(f.validator.validate(&bundle, &f.group, now), Outcome::Relay);
+        assert_eq!(
+            f.validator.validate(&bundle, &f.group, now),
+            Outcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn double_signal_is_slashed_with_correct_key() {
+        let mut f = fixture(8);
+        let now = 1000u64;
+        let epoch = now / T;
+        let b1 = prove(&f, b"first", epoch, 9);
+        let b2 = prove(&f, b"second", epoch, 10);
+        assert_eq!(f.validator.validate(&b1, &f.group, now), Outcome::Relay);
+        match f.validator.validate(&b2, &f.group, now) {
+            Outcome::Spam(ev) => {
+                assert_eq!(ev.recovered_secret, f.identity.secret());
+                assert_eq!(ev.recovered_commitment(), f.identity.commitment());
+            }
+            other => panic!("expected spam, got {other:?}"),
+        }
+        assert_eq!(f.validator.metrics().spam_detected, 1);
+    }
+
+    #[test]
+    fn one_message_per_epoch_across_epochs_is_fine() {
+        let mut f = fixture(9);
+        for k in 0..3u64 {
+            let now = 1000 + k * T;
+            let bundle = prove(&f, format!("msg{k}").as_bytes(), now / T, 20 + k);
+            assert_eq!(
+                f.validator.validate(&bundle, &f.group, now),
+                Outcome::Relay,
+                "epoch {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_root_accepted_within_window_then_expires() {
+        let mut f = fixture(10);
+        let now = 1000u64;
+        let bundle = prove(&f, b"pre-update", now / T, 11);
+        // One new registration: old root still in window.
+        let user = Address::from_seed(b"user");
+        f.chain.submit(
+            user,
+            TxKind::Register {
+                commitment: Fr::from_u64(0xAAAA),
+            },
+            50,
+        );
+        f.chain.mine_block();
+        f.group.sync(&f.chain);
+        assert_eq!(f.validator.validate(&bundle, &f.group, now), Outcome::Relay);
+
+        // Many more updates: the proof's root falls out of the window.
+        let bundle2 = prove(&f, b"way-pre-update", now / T, 12);
+        for i in 0..6u64 {
+            f.chain.submit(
+                user,
+                TxKind::Register {
+                    commitment: Fr::from_u64(0xB000 + i),
+                },
+                50,
+            );
+            f.chain.mine_block();
+        }
+        f.group.sync(&f.chain);
+        assert_eq!(
+            f.validator.validate(&bundle2, &f.group, now),
+            Outcome::UnknownRoot
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for epoch arithmetic and the Thr formula
+//! (paper §III-D, §III-F).
+
+use proptest::prelude::*;
+use waku_rln_relay::EpochManager;
+
+proptest! {
+    #[test]
+    fn epoch_is_monotone_in_time(t in 1u64..100_000, a in 0u64..u32::MAX as u64,
+                                 b in 0u64..u32::MAX as u64) {
+        let em = EpochManager::new(t);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(em.epoch_at(lo) <= em.epoch_at(hi));
+    }
+
+    #[test]
+    fn epoch_width_is_exactly_t(t in 1u64..10_000, e in 0u64..1_000_000) {
+        let em = EpochManager::new(t);
+        // Every second in [e·T, (e+1)·T) maps to epoch e.
+        prop_assert_eq!(em.epoch_at(e * t), e);
+        prop_assert_eq!(em.epoch_at(e * t + t - 1), e);
+        prop_assert_eq!(em.epoch_at((e + 1) * t), e + 1);
+    }
+
+    #[test]
+    fn thr_formula_bounds_actual_gap(t in 1u64..60,
+                                     delay_ms in 0u64..5_000,
+                                     drift_ms in 0u64..5_000,
+                                     publish_secs in 1_000u64..1_000_000) {
+        // If a message published at time P arrives at time P + delay on a
+        // peer whose clock is off by ±drift, the observed epoch gap never
+        // exceeds the formula's Thr... plus the boundary epoch the ceil
+        // accounts for.
+        let em = EpochManager::new(t);
+        let thr = em.max_epoch_gap(delay_ms as f64 / 1000.0, drift_ms as f64 / 1000.0);
+        let publish_epoch = em.epoch_at(publish_secs);
+        // worst case: arrival at +delay with clock ahead by +drift
+        let arrival_secs = publish_secs + (delay_ms + drift_ms) / 1000;
+        let arrival_epoch = em.epoch_at(arrival_secs);
+        let gap = EpochManager::gap(publish_epoch, arrival_epoch);
+        // The +1 covers publishing at the very end of an epoch (the paper's
+        // ceil covers elapsed time, not boundary alignment).
+        prop_assert!(gap <= thr + 1, "gap {} thr {}", gap, thr);
+    }
+
+    #[test]
+    fn gap_is_a_metric(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(EpochManager::gap(a, b), EpochManager::gap(b, a));
+        prop_assert_eq!(EpochManager::gap(a, a), 0);
+    }
+}

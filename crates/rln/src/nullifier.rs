@@ -1,0 +1,90 @@
+//! Nullifier and share derivations (paper §II-B):
+//!
+//! * external nullifier `∅` — the epoch, embedded in the field,
+//! * epoch coefficient `a1 = H(sk, ∅)` — the slope of the per-epoch line,
+//! * internal nullifier `φ = H(H(sk, ∅)) = H(a1)` — collides exactly when
+//!   the same identity signals twice in the same epoch,
+//! * share `(x, y) = (H(m), sk + a1·x)`.
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::PrimeField;
+use waku_hash::sha256;
+use waku_poseidon::{poseidon1, poseidon2};
+
+/// Maps an epoch counter into the field as the external nullifier `∅`.
+pub fn external_nullifier(epoch: u64) -> Fr {
+    Fr::from_u64(epoch)
+}
+
+/// The per-epoch line slope `a1 = H(sk, ∅)`.
+pub fn epoch_coefficient(sk: Fr, external: Fr) -> Fr {
+    poseidon2(sk, external)
+}
+
+/// The internal nullifier `φ = H(a1)`.
+pub fn internal_nullifier(a1: Fr) -> Fr {
+    poseidon1(a1)
+}
+
+/// Hashes a message payload into the share x-coordinate `x = H(m)`
+/// (SHA-256 reduced into the field).
+pub fn message_hash(payload: &[u8]) -> Fr {
+    Fr::from_le_bytes_mod_order(&sha256(payload))
+}
+
+/// Computes the full per-message secrets `(a1, φ, y)` for a message hash.
+pub fn derive(sk: Fr, external: Fr, x: Fr) -> (Fr, Fr, Fr) {
+    let a1 = epoch_coefficient(sk, external);
+    let phi = internal_nullifier(a1);
+    let y = sk + a1 * x;
+    (a1, phi, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waku_arith::traits::Field;
+
+    #[test]
+    fn nullifier_collides_within_epoch_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = Fr::random(&mut rng);
+        let e1 = external_nullifier(100);
+        let e2 = external_nullifier(101);
+        let (_, phi_a, _) = derive(sk, e1, message_hash(b"first"));
+        let (_, phi_b, _) = derive(sk, e1, message_hash(b"second"));
+        let (_, phi_c, _) = derive(sk, e2, message_hash(b"third"));
+        assert_eq!(phi_a, phi_b, "same sk + epoch ⇒ same internal nullifier");
+        assert_ne!(phi_a, phi_c, "different epoch ⇒ different nullifier");
+    }
+
+    #[test]
+    fn different_identities_different_nullifiers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = external_nullifier(5);
+        let (_, phi1, _) = derive(Fr::random(&mut rng), e, Fr::from_u64(1));
+        let (_, phi2, _) = derive(Fr::random(&mut rng), e, Fr::from_u64(1));
+        assert_ne!(phi1, phi2);
+    }
+
+    #[test]
+    fn share_lies_on_line() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = Fr::random(&mut rng);
+        let e = external_nullifier(77);
+        let x = message_hash(b"hello waku");
+        let (a1, _, y) = derive(sk, e, x);
+        assert_eq!(y, sk + a1 * x);
+        // and through the shamir crate's view of the same line:
+        assert_eq!(waku_shamir::rln_share(sk, a1, x), (x, y));
+    }
+
+    #[test]
+    fn message_hash_is_stable_and_sensitive() {
+        assert_eq!(message_hash(b"m"), message_hash(b"m"));
+        assert_ne!(message_hash(b"m"), message_hash(b"n"));
+        assert!(!message_hash(b"").is_zero());
+    }
+}

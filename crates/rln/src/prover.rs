@@ -1,0 +1,404 @@
+//! Proof generation and verification for the RLN relation, plus the
+//! message bundle type peers gossip (paper §III-E:
+//! `(m, (x,y), φ, epoch, τ, π)`).
+
+use rand::Rng;
+use waku_arith::fields::Fr;
+use waku_merkle::MerklePath;
+use waku_snark::groth16::{prove, setup, PreparedVerifyingKey, Proof, ProvingKey};
+use waku_snark::SnarkError;
+
+use crate::circuit::{build, build_for_setup, RlnPublicInputs, RlnWitness};
+use crate::identity::Identity;
+use crate::nullifier::{derive, external_nullifier, message_hash};
+
+/// The wire bundle a peer publishes with every message (paper Figure 3):
+/// payload `m`, share `(x, y)`, internal nullifier `φ`, epoch, tree root
+/// `τ`, and the Groth16 proof `π`.
+///
+/// `x` is *not* carried: validators must recompute `x = H(m)` themselves,
+/// otherwise a spammer could lie about it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RlnMessageBundle {
+    /// Application payload `m`.
+    pub payload: Vec<u8>,
+    /// Share y-coordinate (`y = sk + a1·x`).
+    pub y: Fr,
+    /// Internal nullifier `φ`.
+    pub nullifier: Fr,
+    /// Publishing epoch.
+    pub epoch: u64,
+    /// Identity-commitment tree root the proof was made against.
+    pub root: Fr,
+    /// The zkSNARK proof `π`.
+    pub proof: Proof,
+}
+
+impl RlnMessageBundle {
+    /// The share `(x, y)` revealed by this bundle.
+    pub fn share(&self) -> (Fr, Fr) {
+        (message_hash(&self.payload), self.y)
+    }
+
+    /// The public inputs this bundle claims.
+    pub fn public_inputs(&self) -> RlnPublicInputs {
+        RlnPublicInputs {
+            x: message_hash(&self.payload),
+            external_nullifier: external_nullifier(self.epoch),
+            root: self.root,
+            y: self.y,
+            nullifier: self.nullifier,
+        }
+    }
+
+    /// Wire size in bytes (payload + y + φ + epoch + τ + π).
+    pub fn size_in_bytes(&self) -> usize {
+        self.payload.len() + 32 + 32 + 8 + 32 + 256
+    }
+
+    /// Serializes the bundle for the gossip wire:
+    /// `len(payload) ‖ payload ‖ y ‖ φ ‖ epoch ‖ τ ‖ π`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use waku_arith::traits::PrimeField;
+        let mut out = Vec::with_capacity(4 + self.size_in_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.y.to_le_bytes());
+        out.extend_from_slice(&self.nullifier.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.root.to_le_bytes());
+        out.extend_from_slice(&self.proof.to_bytes());
+        out
+    }
+
+    /// Parses a bundle from wire bytes, validating field canonicity and
+    /// that proof points are on-curve. Returns `None` for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        use waku_arith::traits::PrimeField;
+        if bytes.len() < 4 {
+            return None;
+        }
+        let plen = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let expect = 4 + plen + 32 + 32 + 8 + 32 + 256;
+        if bytes.len() != expect {
+            return None;
+        }
+        let payload = bytes[4..4 + plen].to_vec();
+        let mut at = 4 + plen;
+        let fr = |buf: &[u8]| -> Option<Fr> { Fr::from_le_bytes(buf.try_into().ok()?) };
+        let y = fr(&bytes[at..at + 32])?;
+        at += 32;
+        let nullifier = fr(&bytes[at..at + 32])?;
+        at += 32;
+        let epoch = u64::from_le_bytes(bytes[at..at + 8].try_into().ok()?);
+        at += 8;
+        let root = fr(&bytes[at..at + 32])?;
+        at += 32;
+        let proof =
+            crate::prover::ProofBytes::try_from(&bytes[at..at + 256]).ok()?.parse()?;
+        Some(RlnMessageBundle {
+            payload,
+            y,
+            nullifier,
+            epoch,
+            root,
+            proof,
+        })
+    }
+}
+
+/// Helper newtype so bundle parsing can reuse `Proof::from_bytes`.
+pub(crate) struct ProofBytes([u8; 256]);
+
+impl ProofBytes {
+    fn parse(&self) -> Option<Proof> {
+        Proof::from_bytes(&self.0)
+    }
+}
+
+impl TryFrom<&[u8]> for ProofBytes {
+    type Error = ();
+    fn try_from(v: &[u8]) -> Result<Self, ()> {
+        let arr: [u8; 256] = v.try_into().map_err(|_| ())?;
+        Ok(ProofBytes(arr))
+    }
+}
+
+/// RLN prover: holds the Groth16 proving key for a fixed tree depth.
+pub struct RlnProver {
+    depth: usize,
+    pk: ProvingKey,
+}
+
+impl std::fmt::Debug for RlnProver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RlnProver(depth = {})", self.depth)
+    }
+}
+
+impl RlnProver {
+    /// Runs the (simulated) trusted setup for trees of the given depth and
+    /// returns the prover plus the verifier.
+    ///
+    /// In production this would be an MPC ceremony (paper §II-B, [12–15]).
+    pub fn keygen<R: Rng + ?Sized>(depth: usize, rng: &mut R) -> (RlnProver, RlnVerifier) {
+        let cs = build_for_setup(depth);
+        let pk = setup(&cs, rng);
+        let verifier = RlnVerifier {
+            depth,
+            pvk: PreparedVerifyingKey::from(pk.vk.clone()),
+        };
+        (RlnProver { depth, pk }, verifier)
+    }
+
+    /// Tree depth this prover is bound to.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The underlying proving key (e.g. for size accounting, §IV's 3.89 MB
+    /// figure).
+    pub fn proving_key(&self) -> &ProvingKey {
+        &self.pk
+    }
+
+    /// Produces the full message bundle for `payload` at `epoch`, proving
+    /// membership via `path` (the peer's current authentication path for
+    /// its own commitment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnarkError::Unsatisfied`] when the path does not match the
+    /// identity (e.g. stale tree view — the §III-C synchronization hazard).
+    pub fn prove_message<R: Rng + ?Sized>(
+        &self,
+        identity: &Identity,
+        path: &MerklePath,
+        payload: &[u8],
+        epoch: u64,
+        rng: &mut R,
+    ) -> Result<RlnMessageBundle, SnarkError> {
+        let x = message_hash(payload);
+        let ext = external_nullifier(epoch);
+        let (_, phi, y) = derive(identity.secret(), ext, x);
+        let root = path.compute_root(identity.commitment());
+        let public = RlnPublicInputs {
+            x,
+            external_nullifier: ext,
+            root,
+            y,
+            nullifier: phi,
+        };
+        let witness = RlnWitness {
+            sk: identity.secret(),
+            path: path.clone(),
+        };
+        let cs = build(&witness, &public);
+        let proof = prove(&self.pk, &cs, rng)?;
+        Ok(RlnMessageBundle {
+            payload: payload.to_vec(),
+            y,
+            nullifier: phi,
+            epoch,
+            root,
+            proof,
+        })
+    }
+}
+
+/// RLN verifier: checks message bundles against a tree root.
+#[derive(Clone)]
+pub struct RlnVerifier {
+    depth: usize,
+    pvk: PreparedVerifyingKey,
+}
+
+impl std::fmt::Debug for RlnVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RlnVerifier(depth = {})", self.depth)
+    }
+}
+
+impl RlnVerifier {
+    /// Tree depth this verifier is bound to.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Verifies the zero-knowledge proof of a bundle.
+    ///
+    /// This checks the *cryptographic* validity only; epoch-gap and
+    /// rate-limit checks are the routing layer's job (`waku-rln-relay`).
+    pub fn verify_bundle(&self, bundle: &RlnMessageBundle) -> bool {
+        self.pvk
+            .verify(&bundle.proof, &bundle.public_inputs().to_vec())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+    use waku_arith::traits::{Field, PrimeField};
+    use waku_merkle::DenseTree;
+
+    const DEPTH: usize = 6;
+
+    /// Key generation is the expensive step; share it across tests.
+    fn keys() -> &'static (RlnProver, RlnVerifier) {
+        static CELL: OnceLock<(RlnProver, RlnVerifier)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xBEEF);
+            RlnProver::keygen(DEPTH, &mut rng)
+        })
+    }
+
+    fn registered_identity(seed: u64) -> (Identity, DenseTree, u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let id = Identity::random(&mut rng);
+        let mut tree = DenseTree::new(DEPTH);
+        let index = 9u64;
+        tree.set(2, Fr::from_u64(1001)); // other members
+        tree.set(index, id.commitment());
+        tree.set(17, Fr::from_u64(1002));
+        (id, tree, index)
+    }
+
+    #[test]
+    fn prove_verify_roundtrip() {
+        let (prover, verifier) = keys();
+        let (id, tree, index) = registered_identity(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let bundle = prover
+            .prove_message(&id, &tree.proof(index), b"hello rln", 1234, &mut rng)
+            .unwrap();
+        assert!(verifier.verify_bundle(&bundle));
+        assert_eq!(bundle.root, tree.root());
+    }
+
+    #[test]
+    fn tampered_payload_fails() {
+        let (prover, verifier) = keys();
+        let (id, tree, index) = registered_identity(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bundle = prover
+            .prove_message(&id, &tree.proof(index), b"original", 1, &mut rng)
+            .unwrap();
+        bundle.payload = b"tampered".to_vec();
+        assert!(
+            !verifier.verify_bundle(&bundle),
+            "x = H(m) is bound by the proof"
+        );
+    }
+
+    #[test]
+    fn tampered_epoch_fails() {
+        let (prover, verifier) = keys();
+        let (id, tree, index) = registered_identity(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut bundle = prover
+            .prove_message(&id, &tree.proof(index), b"msg", 10, &mut rng)
+            .unwrap();
+        bundle.epoch = 11;
+        assert!(!verifier.verify_bundle(&bundle));
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let (prover, verifier) = keys();
+        let (id, tree, index) = registered_identity(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut bundle = prover
+            .prove_message(&id, &tree.proof(index), b"msg", 10, &mut rng)
+            .unwrap();
+        bundle.root += Fr::one();
+        assert!(!verifier.verify_bundle(&bundle));
+    }
+
+    #[test]
+    fn unregistered_identity_binds_to_wrong_root() {
+        // An attacker with a stolen authentication path but their own key
+        // can only produce a proof against a root that the real tree never
+        // had — routing peers reject unknown roots (§III-F). The proof
+        // itself verifies (it is self-consistent) but is useless.
+        let (prover, verifier) = keys();
+        let (_, tree, index) = registered_identity(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let ghost = Identity::random(&mut rng);
+        let bundle = prover
+            .prove_message(&ghost, &tree.proof(index), b"spam", 1, &mut rng)
+            .unwrap();
+        assert!(verifier.verify_bundle(&bundle));
+        assert_ne!(
+            bundle.root,
+            tree.root(),
+            "forged membership cannot reproduce the canonical root"
+        );
+    }
+
+    #[test]
+    fn stale_path_cannot_prove() {
+        let (prover, _) = keys();
+        let (id, mut tree, index) = registered_identity(11);
+        let stale_path = tree.proof(index);
+        tree.set(2, Fr::from_u64(999_999)); // tree moves on
+        // The stale path still proves against the OLD root, which is what
+        // the bundle will carry; that's §III-C's sync hazard. Proving still
+        // works but binds to the old root:
+        let mut rng = StdRng::seed_from_u64(12);
+        let bundle = prover
+            .prove_message(&id, &stale_path, b"msg", 1, &mut rng)
+            .unwrap();
+        assert_ne!(bundle.root, tree.root(), "bundle is bound to stale root");
+    }
+
+    #[test]
+    fn share_recovers_secret_on_double_signal() {
+        let (prover, _) = keys();
+        let (id, tree, index) = registered_identity(13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let b1 = prover
+            .prove_message(&id, &tree.proof(index), b"first message", 99, &mut rng)
+            .unwrap();
+        let b2 = prover
+            .prove_message(&id, &tree.proof(index), b"second message", 99, &mut rng)
+            .unwrap();
+        assert_eq!(b1.nullifier, b2.nullifier, "same epoch ⇒ nullifier collision");
+        let sk = waku_shamir::recover_from_two(b1.share(), b2.share()).unwrap();
+        assert_eq!(sk, id.secret(), "slashing recovers the identity key");
+    }
+
+    #[test]
+    fn bundle_wire_roundtrip() {
+        let (prover, verifier) = keys();
+        let (id, tree, index) = registered_identity(20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let bundle = prover
+            .prove_message(&id, &tree.proof(index), b"wire test", 5, &mut rng)
+            .unwrap();
+        let bytes = bundle.to_bytes();
+        let back = RlnMessageBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(back, bundle);
+        assert!(verifier.verify_bundle(&back));
+        // truncation and corruption are rejected
+        assert!(RlnMessageBundle::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut corrupt = bytes.clone();
+        let y_offset = 4 + bundle.payload.len() + 31;
+        corrupt[y_offset] = 0xFF; // non-canonical field element
+        assert!(RlnMessageBundle::from_bytes(&corrupt).is_none());
+    }
+
+    #[test]
+    fn bundle_size_accounting() {
+        let (prover, _) = keys();
+        let (id, tree, index) = registered_identity(15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let bundle = prover
+            .prove_message(&id, &tree.proof(index), b"12345", 1, &mut rng)
+            .unwrap();
+        assert_eq!(bundle.size_in_bytes(), 5 + 32 + 32 + 8 + 32 + 256);
+    }
+}

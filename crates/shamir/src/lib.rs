@@ -1,0 +1,240 @@
+//! # waku-shamir
+//!
+//! Shamir secret sharing over BN254 `Fr` — the mechanism that makes RLN's
+//! economic punishment *cryptographically guaranteed* (paper §II-B).
+//!
+//! A peer's per-epoch polynomial is `A(x) = sk + a1·x` with
+//! `a1 = H(sk, epoch)`. Every message reveals the share
+//! `(x, y) = (H(m), A(H(m)))`. One share per epoch reveals nothing about
+//! `sk`; two *distinct* shares for the same epoch determine the line, and
+//! `A(0) = sk` — which is exactly how routing peers slash spammers
+//! ([`recover_from_two`]).
+//!
+//! The general `(k, n)` scheme ([`split`] / [`recover`]) is included both as
+//! the substrate the RLN case specializes and for the test suite's
+//! property checks.
+
+use rand::Rng;
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+/// One share: the evaluation point and the polynomial value.
+pub type Share = (Fr, Fr);
+
+/// Errors from share recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShamirError {
+    /// Fewer shares than the threshold.
+    NotEnoughShares,
+    /// Two shares use the same evaluation point.
+    DuplicatePoint,
+    /// A share was evaluated at x = 0 (which would leak the secret).
+    ZeroPoint,
+}
+
+impl std::fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShamirError::NotEnoughShares => write!(f, "not enough shares for threshold"),
+            ShamirError::DuplicatePoint => write!(f, "duplicate evaluation point"),
+            ShamirError::ZeroPoint => write!(f, "evaluation point must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `k`,
+/// evaluating a random degree-`k−1` polynomial at `x = 1..=n`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `n == 0`, or `k > n`.
+pub fn split<R: Rng + ?Sized>(secret: Fr, k: usize, n: usize, rng: &mut R) -> Vec<Share> {
+    assert!(k >= 1 && n >= 1 && k <= n, "invalid (k, n) = ({k}, {n})");
+    let mut coeffs = Vec::with_capacity(k);
+    coeffs.push(secret);
+    for _ in 1..k {
+        coeffs.push(Fr::random(rng));
+    }
+    (1..=n as u64)
+        .map(|i| {
+            use waku_arith::traits::PrimeField;
+            let x = Fr::from_u64(i);
+            (x, eval_poly(&coeffs, x))
+        })
+        .collect()
+}
+
+/// Evaluates a polynomial given by coefficients (constant first) via Horner.
+pub fn eval_poly(coeffs: &[Fr], x: Fr) -> Fr {
+    let mut acc = Fr::zero();
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Recovers the secret (`P(0)`) from at least `k` shares by Lagrange
+/// interpolation.
+///
+/// # Errors
+///
+/// * [`ShamirError::NotEnoughShares`] — fewer than `k` shares.
+/// * [`ShamirError::DuplicatePoint`] — repeated x-coordinate.
+/// * [`ShamirError::ZeroPoint`] — a share at x = 0.
+pub fn recover(shares: &[Share], k: usize) -> Result<Fr, ShamirError> {
+    if shares.len() < k {
+        return Err(ShamirError::NotEnoughShares);
+    }
+    let shares = &shares[..k];
+    for (i, (xi, _)) in shares.iter().enumerate() {
+        if xi.is_zero() {
+            return Err(ShamirError::ZeroPoint);
+        }
+        for (xj, _) in shares.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(ShamirError::DuplicatePoint);
+            }
+        }
+    }
+    // P(0) = Σᵢ yᵢ · Πⱼ≠ᵢ xⱼ/(xⱼ − xᵢ)
+    let mut secret = Fr::zero();
+    for (i, (xi, yi)) in shares.iter().enumerate() {
+        let mut num = Fr::one();
+        let mut den = Fr::one();
+        for (j, (xj, _)) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= *xj;
+            den *= *xj - *xi;
+        }
+        secret += *yi * num * den.inverse().expect("distinct nonzero points");
+    }
+    Ok(secret)
+}
+
+/// The RLN (2, n) specialization: the per-epoch share of the identity key,
+/// `y = sk + a1·x` (paper §II-B).
+pub fn rln_share(sk: Fr, a1: Fr, x: Fr) -> Share {
+    (x, sk + a1 * x)
+}
+
+/// Reconstructs `sk` from two distinct shares of the same epoch line —
+/// the slashing operation (paper §III-F).
+///
+/// # Errors
+///
+/// Returns [`ShamirError::DuplicatePoint`] when the shares have the same
+/// x-coordinate (i.e. the "duplicate message" case that must be *discarded*,
+/// not slashed).
+pub fn recover_from_two(s1: Share, s2: Share) -> Result<Fr, ShamirError> {
+    let (x1, y1) = s1;
+    let (x2, y2) = s2;
+    if x1 == x2 {
+        return Err(ShamirError::DuplicatePoint);
+    }
+    let slope = (y2 - y1) * (x2 - x1).inverse().expect("distinct points");
+    Ok(y1 - slope * x1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waku_arith::traits::PrimeField;
+
+    #[test]
+    fn split_recover_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (k, n) in [(2, 2), (2, 5), (3, 5), (5, 8), (1, 3)] {
+            let secret = Fr::random(&mut rng);
+            let shares = split(secret, k, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            assert_eq!(recover(&shares, k).unwrap(), secret, "(k,n)=({k},{n})");
+            // any k shares suffice — use the tail instead of the head
+            let tail = &shares[n - k..];
+            assert_eq!(recover(tail, k).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn below_threshold_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let shares = split(Fr::from_u64(7), 3, 5, &mut rng);
+        assert_eq!(
+            recover(&shares[..2], 3),
+            Err(ShamirError::NotEnoughShares)
+        );
+    }
+
+    #[test]
+    fn one_share_of_line_does_not_determine_secret() {
+        // Two different secrets can produce the same single share.
+        let x = Fr::from_u64(10);
+        let sk1 = Fr::from_u64(100);
+        let a1 = Fr::from_u64(3);
+        let (_, y) = rln_share(sk1, a1, x);
+        // choose sk2 ≠ sk1 and a2 with the same y at the same x
+        let sk2 = Fr::from_u64(50);
+        let a2 = (y - sk2) * x.inverse().unwrap();
+        assert_eq!(rln_share(sk2, a2, x), (x, y));
+    }
+
+    #[test]
+    fn rln_two_shares_recover_sk() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = Fr::random(&mut rng);
+        let a1 = Fr::random(&mut rng);
+        let s1 = rln_share(sk, a1, Fr::from_u64(111));
+        let s2 = rln_share(sk, a1, Fr::from_u64(222));
+        assert_eq!(recover_from_two(s1, s2).unwrap(), sk);
+    }
+
+    #[test]
+    fn rln_duplicate_share_is_not_slashable() {
+        let sk = Fr::from_u64(5);
+        let a1 = Fr::from_u64(9);
+        let s = rln_share(sk, a1, Fr::from_u64(4));
+        assert_eq!(recover_from_two(s, s), Err(ShamirError::DuplicatePoint));
+    }
+
+    #[test]
+    fn rln_shares_from_different_epochs_do_not_recover() {
+        // Different epochs → different a1 → different lines: recovery yields
+        // garbage, not sk (the privacy property across epochs).
+        let mut rng = StdRng::seed_from_u64(4);
+        let sk = Fr::random(&mut rng);
+        let a1_epoch1 = Fr::random(&mut rng);
+        let a1_epoch2 = Fr::random(&mut rng);
+        let s1 = rln_share(sk, a1_epoch1, Fr::from_u64(1));
+        let s2 = rln_share(sk, a1_epoch2, Fr::from_u64(2));
+        assert_ne!(recover_from_two(s1, s2).unwrap(), sk);
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut shares = split(Fr::from_u64(1), 2, 3, &mut rng);
+        shares[1] = shares[0];
+        assert_eq!(recover(&shares, 2), Err(ShamirError::DuplicatePoint));
+    }
+
+    #[test]
+    fn zero_point_rejected() {
+        let shares = vec![
+            (Fr::zero(), Fr::from_u64(1)),
+            (Fr::from_u64(1), Fr::from_u64(2)),
+        ];
+        assert_eq!(recover(&shares, 2), Err(ShamirError::ZeroPoint));
+    }
+
+    #[test]
+    fn eval_poly_horner() {
+        // p(x) = 3 + 2x + x²  at x = 5 → 3 + 10 + 25 = 38
+        let coeffs = [Fr::from_u64(3), Fr::from_u64(2), Fr::from_u64(1)];
+        assert_eq!(eval_poly(&coeffs, Fr::from_u64(5)), Fr::from_u64(38));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for Shamir secret sharing: reconstruction from any
+//! threshold subset, and the RLN two-point line recovery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waku_arith::fields::Fr;
+use waku_arith::traits::{Field, PrimeField};
+use waku_shamir::{recover, recover_from_two, rln_share, split};
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    proptest::array::uniform32(any::<u8>())
+        .prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_k_of_n_shares_recover(secret in arb_fr(), seed in any::<u64>(),
+                                 k in 1usize..6, extra in 0usize..4,
+                                 offset in 0usize..4) {
+        let n = k + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = split(secret, k, n, &mut rng);
+        // take k consecutive shares starting anywhere
+        let start = offset % (n - k + 1);
+        let subset = &shares[start..start + k];
+        prop_assert_eq!(recover(subset, k).unwrap(), secret);
+    }
+
+    #[test]
+    fn rln_line_recovery(sk in arb_fr(), a1 in arb_fr(),
+                         x1 in arb_fr(), x2 in arb_fr()) {
+        let s1 = rln_share(sk, a1, x1);
+        let s2 = rln_share(sk, a1, x2);
+        if x1 == x2 {
+            prop_assert!(recover_from_two(s1, s2).is_err());
+        } else {
+            prop_assert_eq!(recover_from_two(s1, s2).unwrap(), sk);
+        }
+    }
+
+    #[test]
+    fn single_share_is_consistent_with_any_secret(sk1 in arb_fr(), sk2 in arb_fr(),
+                                                  a1 in arb_fr(), x in arb_fr()) {
+        // Perfect hiding for one share: for any other candidate secret sk2
+        // there exists a slope putting (x, y) on its line — so one share
+        // cannot identify the publisher (paper §II-B privacy).
+        prop_assume!(!x.is_zero());
+        let (_, y) = rln_share(sk1, a1, x);
+        let a2 = (y - sk2) * x.inverse().unwrap();
+        prop_assert_eq!(rln_share(sk2, a2, x), (x, y));
+    }
+
+    #[test]
+    fn shares_on_distinct_lines_do_not_recover(sk in arb_fr(), a1 in arb_fr(),
+                                               a2 in arb_fr(), x1 in arb_fr(),
+                                               x2 in arb_fr()) {
+        prop_assume!(x1 != x2);
+        prop_assume!(a1 != a2);
+        prop_assume!(!x2.is_zero());
+        let s1 = rln_share(sk, a1, x1);
+        let s2 = rln_share(sk, a2, x2);
+        let recovered = recover_from_two(s1, s2).unwrap();
+        // Lines differ ⇒ intersection at x=0 only if x2·(a1−a2) = 0.
+        prop_assert_ne!(recovered, sk);
+    }
+}

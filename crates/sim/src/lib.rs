@@ -1,0 +1,17 @@
+//! # waku-sim
+//!
+//! Scenario harness driving the paper's evaluation (§IV): the same
+//! network, workload, and attacker under each spam defense, with
+//! deterministic seeds and aggregated reports.
+//!
+//! * [`scenario`] — defense-comparison runs (experiments E6, E10),
+//! * [`epoch_gap`] — `Thr` sensitivity sweeps (experiment E7, ablation A4),
+//! * [`report`] — metrics aggregation and markdown tables.
+
+pub mod epoch_gap;
+pub mod report;
+pub mod scenario;
+
+pub use epoch_gap::{sweep_thr, EpochGapPoint};
+pub use report::{percentile, ScenarioReport};
+pub use scenario::{run_scenario, Defense, ScenarioConfig};

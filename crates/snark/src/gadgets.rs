@@ -1,0 +1,215 @@
+//! Reusable R1CS gadgets: building blocks for the RLN circuit in
+//! `waku-rln` (and anything else built on this proof system).
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+use crate::r1cs::{ConstraintSystem, LinearCombination, Variable};
+
+/// A circuit wire: a linear combination plus its current value.
+///
+/// Linear operations (add, scale, constants) are free; multiplications
+/// allocate a new witness and one constraint.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    /// Symbolic form.
+    pub lc: LinearCombination,
+    /// Concrete value under the current assignment.
+    pub value: Fr,
+}
+
+impl Wire {
+    /// The constant-one wire.
+    pub fn one() -> Self {
+        Wire {
+            lc: LinearCombination::from_var(Variable::ONE),
+            value: Fr::one(),
+        }
+    }
+
+    /// A constant wire.
+    pub fn constant(c: Fr) -> Self {
+        Wire {
+            lc: LinearCombination::from_const(c),
+            value: c,
+        }
+    }
+
+    /// Wraps an existing variable.
+    pub fn from_var(cs: &ConstraintSystem, var: Variable) -> Self {
+        Wire {
+            lc: LinearCombination::from_var(var),
+            value: cs.value(var),
+        }
+    }
+
+    /// `self + other` (no constraints).
+    pub fn add(&self, other: &Wire) -> Wire {
+        Wire {
+            lc: self.lc.clone() + other.lc.clone(),
+            value: self.value + other.value,
+        }
+    }
+
+    /// `self − other` (no constraints).
+    pub fn sub(&self, other: &Wire) -> Wire {
+        Wire {
+            lc: self.lc.clone() - other.lc.clone(),
+            value: self.value - other.value,
+        }
+    }
+
+    /// `self · k` for a constant `k` (no constraints).
+    pub fn scale(&self, k: Fr) -> Wire {
+        Wire {
+            lc: self.lc.clone().scale(k),
+            value: self.value * k,
+        }
+    }
+
+    /// `self + k` for a constant `k` (no constraints).
+    pub fn add_const(&self, k: Fr) -> Wire {
+        Wire {
+            lc: self.lc.clone().add_term(Variable::ONE, k),
+            value: self.value + k,
+        }
+    }
+}
+
+/// Allocates the product `a · b` (1 constraint).
+pub fn mul(cs: &mut ConstraintSystem, a: &Wire, b: &Wire) -> Wire {
+    let value = a.value * b.value;
+    let out = cs.alloc_witness(value);
+    cs.enforce(a.lc.clone(), b.lc.clone(), out);
+    Wire::from_var(cs, out)
+}
+
+/// Allocates `a²` (1 constraint).
+pub fn square(cs: &mut ConstraintSystem, a: &Wire) -> Wire {
+    mul(cs, a, a)
+}
+
+/// Allocates `a⁵` (3 constraints) — the Poseidon S-box.
+pub fn quintic(cs: &mut ConstraintSystem, a: &Wire) -> Wire {
+    let a2 = square(cs, a);
+    let a4 = square(cs, &a2);
+    mul(cs, &a4, a)
+}
+
+/// Allocates a witness bit and constrains it to {0, 1}
+/// (`b · (1 − b) = 0`).
+pub fn alloc_bit(cs: &mut ConstraintSystem, value: bool) -> Wire {
+    let v = if value { Fr::one() } else { Fr::zero() };
+    let var = cs.alloc_witness(v);
+    let b = Wire::from_var(cs, var);
+    let one_minus_b = Wire::one().sub(&b);
+    cs.enforce(b.lc.clone(), one_minus_b.lc, LinearCombination::zero());
+    b
+}
+
+/// Constrains two wires to be equal (`(a − b) · 1 = 0`).
+///
+/// The current assignment is allowed to violate the constraint — circuits
+/// are legitimately built with unsatisfying witnesses for key generation
+/// (shape only) and for negative tests; `check_satisfied`/`prove` report
+/// the violation.
+pub fn enforce_equal(cs: &mut ConstraintSystem, a: &Wire, b: &Wire) {
+    cs.enforce(
+        a.lc.clone() - b.lc.clone(),
+        LinearCombination::from_var(Variable::ONE),
+        LinearCombination::zero(),
+    );
+}
+
+/// Conditionally swaps `(a, b) → (b, a)` when `bit` is 1 (2 constraints).
+///
+/// Returns `(left, right)` where `left = a + bit·(b − a)` and
+/// `right = b + bit·(a − b)`.
+pub fn cond_swap(
+    cs: &mut ConstraintSystem,
+    bit: &Wire,
+    a: &Wire,
+    b: &Wire,
+) -> (Wire, Wire) {
+    let delta = b.sub(a); // b − a
+    let t = mul(cs, bit, &delta); // bit·(b − a)
+    let left = a.add(&t);
+    let right = b.sub(&t);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waku_arith::traits::PrimeField;
+
+    #[test]
+    fn mul_gadget() {
+        let mut cs = ConstraintSystem::new();
+        let a = Wire::constant(Fr::from_u64(6));
+        let b = Wire::constant(Fr::from_u64(7));
+        let c = mul(&mut cs, &a, &b);
+        assert_eq!(c.value, Fr::from_u64(42));
+        cs.finalize();
+        assert!(cs.check_satisfied().is_ok());
+    }
+
+    #[test]
+    fn quintic_gadget() {
+        let mut cs = ConstraintSystem::new();
+        let x = Wire::constant(Fr::from_u64(2));
+        let x5 = quintic(&mut cs, &x);
+        assert_eq!(x5.value, Fr::from_u64(32));
+        assert_eq!(cs.num_constraints(), 3);
+        cs.finalize();
+        assert!(cs.check_satisfied().is_ok());
+    }
+
+    #[test]
+    fn bit_constraint_rejects_non_bits() {
+        let mut cs = ConstraintSystem::new();
+        let var = cs.alloc_witness(Fr::from_u64(2)); // not a bit
+        let b = Wire::from_var(&cs, var);
+        let one_minus_b = Wire::one().sub(&b);
+        cs.enforce(b.lc.clone(), one_minus_b.lc, LinearCombination::zero());
+        cs.finalize();
+        assert!(cs.check_satisfied().is_err());
+    }
+
+    #[test]
+    fn cond_swap_behaviour() {
+        for (bit, expect_l, expect_r) in [(false, 10u64, 20u64), (true, 20, 10)] {
+            let mut cs = ConstraintSystem::new();
+            let b = alloc_bit(&mut cs, bit);
+            let x = Wire::constant(Fr::from_u64(10));
+            let y = Wire::constant(Fr::from_u64(20));
+            let (l, r) = cond_swap(&mut cs, &b, &x, &y);
+            assert_eq!(l.value, Fr::from_u64(expect_l));
+            assert_eq!(r.value, Fr::from_u64(expect_r));
+            cs.finalize();
+            assert!(cs.check_satisfied().is_ok());
+        }
+    }
+
+    #[test]
+    fn linear_ops_add_no_constraints() {
+        let mut cs = ConstraintSystem::new();
+        let a = Wire::constant(Fr::from_u64(1));
+        let b = Wire::constant(Fr::from_u64(2));
+        let _ = a.add(&b).scale(Fr::from_u64(3)).add_const(Fr::from_u64(4));
+        assert_eq!(cs.num_constraints(), 0);
+        let _ = &mut cs;
+    }
+
+    #[test]
+    fn enforce_equal_catches_mismatch() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.alloc_witness(Fr::from_u64(5));
+        let b = cs.alloc_witness(Fr::from_u64(5));
+        let wa = Wire::from_var(&cs, a);
+        let wb = Wire::from_var(&cs, b);
+        enforce_equal(&mut cs, &wa, &wb);
+        cs.finalize();
+        assert!(cs.check_satisfied().is_ok());
+    }
+}

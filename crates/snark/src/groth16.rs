@@ -1,0 +1,446 @@
+//! Groth16 (J. Groth, "On the Size of Pairing-Based Non-interactive
+//! Arguments", EUROCRYPT 2016 — reference [11] of the paper): setup,
+//! prover, and verifier over BN254.
+//!
+//! The paper's §II-B prescribes Groth16 for the RLN membership/share/
+//! nullifier circuit; parameter generation in production would run as an
+//! MPC ceremony ([12–15]) — here the toxic waste is sampled from the
+//! caller's RNG and dropped, which preserves every protocol behaviour the
+//! reproduction measures.
+
+use rand::Rng;
+use waku_arith::fields::Fr;
+use waku_arith::traits::{Field, PrimeField};
+use waku_curve::fp12::Fp12;
+use waku_curve::g1::{G1Affine, G1Projective};
+use waku_curve::g2::{G2Affine, G2Projective};
+use waku_curve::msm::{msm, WindowTable};
+use waku_curve::pairing::{final_exponentiation, miller_loop, pairing};
+use waku_curve::point::Projective;
+
+use crate::qap;
+use crate::r1cs::ConstraintSystem;
+use crate::SnarkError;
+
+/// Groth16 verifying key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyingKey {
+    /// `α·G1`.
+    pub alpha_g1: G1Affine,
+    /// `β·G2`.
+    pub beta_g2: G2Affine,
+    /// `γ·G2`.
+    pub gamma_g2: G2Affine,
+    /// `δ·G2`.
+    pub delta_g2: G2Affine,
+    /// Per-instance-variable `(β·Aᵢ(τ) + α·Bᵢ(τ) + Cᵢ(τ))/γ · G1`
+    /// (index 0 is the constant-one variable).
+    pub ic: Vec<G1Affine>,
+}
+
+/// Groth16 proving key.
+#[derive(Clone, Debug)]
+pub struct ProvingKey {
+    /// The embedded verifying key.
+    pub vk: VerifyingKey,
+    /// `β·G1`.
+    pub beta_g1: G1Affine,
+    /// `δ·G1`.
+    pub delta_g1: G1Affine,
+    /// `Aᵢ(τ)·G1` per variable (flat index order).
+    pub a_query: Vec<G1Affine>,
+    /// `Bᵢ(τ)·G1` per variable.
+    pub b_g1_query: Vec<G1Affine>,
+    /// `Bᵢ(τ)·G2` per variable.
+    pub b_g2_query: Vec<G2Affine>,
+    /// `τᵏ·Z(τ)/δ · G1` for k = 0..n−1.
+    pub h_query: Vec<G1Affine>,
+    /// `(β·Aᵢ(τ) + α·Bᵢ(τ) + Cᵢ(τ))/δ · G1` per *witness* variable.
+    pub l_query: Vec<G1Affine>,
+}
+
+/// A Groth16 proof: 2 G1 points + 1 G2 point (256 bytes uncompressed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Proof {
+    /// The `A` element.
+    pub a: G1Affine,
+    /// The `B` element.
+    pub b: G2Affine,
+    /// The `C` element.
+    pub c: G1Affine,
+}
+
+impl VerifyingKey {
+    /// Uncompressed byte size (G1 = 64 B, G2 = 128 B).
+    pub fn size_in_bytes(&self) -> usize {
+        64 + 128 * 3 + self.ic.len() * 64
+    }
+}
+
+impl ProvingKey {
+    /// Uncompressed byte size — the paper's §IV reports ≈3.89 MB for the
+    /// RLN prover key at group size 2³².
+    pub fn size_in_bytes(&self) -> usize {
+        self.vk.size_in_bytes()
+            + 64 * 2
+            + self.a_query.len() * 64
+            + self.b_g1_query.len() * 64
+            + self.b_g2_query.len() * 128
+            + self.h_query.len() * 64
+            + self.l_query.len() * 64
+    }
+}
+
+impl Proof {
+    /// Serializes to 256 uncompressed bytes
+    /// (`A.x ‖ A.y ‖ B.x.c0 ‖ B.x.c1 ‖ B.y.c0 ‖ B.y.c1 ‖ C.x ‖ C.y`).
+    pub fn to_bytes(&self) -> [u8; 256] {
+        let mut out = [0u8; 256];
+        out[0..32].copy_from_slice(&self.a.x.to_le_bytes());
+        out[32..64].copy_from_slice(&self.a.y.to_le_bytes());
+        out[64..96].copy_from_slice(&self.b.x.c0.to_le_bytes());
+        out[96..128].copy_from_slice(&self.b.x.c1.to_le_bytes());
+        out[128..160].copy_from_slice(&self.b.y.c0.to_le_bytes());
+        out[160..192].copy_from_slice(&self.b.y.c1.to_le_bytes());
+        out[192..224].copy_from_slice(&self.c.x.to_le_bytes());
+        out[224..256].copy_from_slice(&self.c.y.to_le_bytes());
+        out
+    }
+
+    /// Parses a proof, checking every point is on its curve.
+    ///
+    /// Returns `None` for malformed bytes or off-curve points.
+    pub fn from_bytes(bytes: &[u8; 256]) -> Option<Self> {
+        use waku_arith::fields::Fq;
+        use waku_curve::fp2::Fp2;
+        let fq = |range: std::ops::Range<usize>| -> Option<Fq> {
+            Fq::from_le_bytes(bytes[range].try_into().ok()?)
+        };
+        let a = G1Affine::new(fq(0..32)?, fq(32..64)?)?;
+        let b = G2Affine::new(
+            Fp2::new(fq(64..96)?, fq(96..128)?),
+            Fp2::new(fq(128..160)?, fq(160..192)?),
+        )?;
+        let c = G1Affine::new(fq(192..224)?, fq(224..256)?)?;
+        Some(Proof { a, b, c })
+    }
+}
+
+/// Runs the trusted setup for the (finalized) constraint system.
+///
+/// The toxic waste (τ, α, β, γ, δ) is sampled from `rng` and dropped.
+///
+/// # Panics
+///
+/// Panics if the constraint system has not been finalized.
+pub fn setup<R: Rng + ?Sized>(cs: &ConstraintSystem, rng: &mut R) -> ProvingKey {
+    assert!(cs.is_finalized(), "finalize the constraint system first");
+    let tau = Fr::random(rng);
+    let alpha = Fr::random(rng);
+    let beta = Fr::random(rng);
+    let gamma = Fr::random(rng);
+    let delta = Fr::random(rng);
+    let gamma_inv = gamma.inverse().expect("gamma nonzero");
+    let delta_inv = delta.inverse().expect("delta nonzero");
+
+    let q = qap::evaluate_at(cs, tau);
+    let num_vars = q.a.len();
+    let num_instance = cs.num_instance();
+    let n = q.domain.size();
+
+    let g1_table = WindowTable::new(G1Projective::generator(), 8);
+    let g2_table = WindowTable::new(G2Projective::generator(), 8);
+
+    // Per-variable queries.
+    let a_query = Projective::batch_to_affine(&g1_table.mul_batch(&q.a));
+    let b_g1_query = Projective::batch_to_affine(&g1_table.mul_batch(&q.b));
+    let b_g2_query = Projective::batch_to_affine(&g2_table.mul_batch(&q.b));
+
+    // (β·Aᵢ + α·Bᵢ + Cᵢ) split by γ (instance) and δ (witness).
+    let combined: Vec<Fr> = (0..num_vars)
+        .map(|i| beta * q.a[i] + alpha * q.b[i] + q.c[i])
+        .collect();
+    let ic_scalars: Vec<Fr> = combined[..num_instance]
+        .iter()
+        .map(|x| *x * gamma_inv)
+        .collect();
+    let l_scalars: Vec<Fr> = combined[num_instance..]
+        .iter()
+        .map(|x| *x * delta_inv)
+        .collect();
+    let ic = Projective::batch_to_affine(&g1_table.mul_batch(&ic_scalars));
+    let l_query = Projective::batch_to_affine(&g1_table.mul_batch(&l_scalars));
+
+    // τᵏ·Z(τ)/δ queries, k = 0..n−1 (h has n−1 coefficients).
+    let mut h_scalars = Vec::with_capacity(n - 1);
+    let mut tau_k = Fr::one();
+    for _ in 0..n - 1 {
+        h_scalars.push(tau_k * q.zt * delta_inv);
+        tau_k *= tau;
+    }
+    let h_query = Projective::batch_to_affine(&g1_table.mul_batch(&h_scalars));
+
+    let vk = VerifyingKey {
+        alpha_g1: g1_table.mul(alpha).to_affine(),
+        beta_g2: g2_table.mul(beta).to_affine(),
+        gamma_g2: g2_table.mul(gamma).to_affine(),
+        delta_g2: g2_table.mul(delta).to_affine(),
+        ic,
+    };
+    ProvingKey {
+        vk,
+        beta_g1: g1_table.mul(beta).to_affine(),
+        delta_g1: g1_table.mul(delta).to_affine(),
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        h_query,
+        l_query,
+    }
+}
+
+/// Produces a proof for the (finalized, satisfied) constraint system.
+///
+/// # Errors
+///
+/// Returns [`SnarkError::Unsatisfied`] when a constraint does not hold, so
+/// callers cannot accidentally publish proofs of false statements.
+pub fn prove<R: Rng + ?Sized>(
+    pk: &ProvingKey,
+    cs: &ConstraintSystem,
+    rng: &mut R,
+) -> Result<Proof, SnarkError> {
+    if !cs.is_finalized() {
+        return Err(SnarkError::NotFinalized);
+    }
+    if let Err(i) = cs.check_satisfied() {
+        return Err(SnarkError::Unsatisfied(i));
+    }
+    if pk.a_query.len() != cs.num_instance() + cs.num_witness() {
+        return Err(SnarkError::KeyMismatch);
+    }
+
+    let z = cs.full_assignment();
+    let r = Fr::random(rng);
+    let s = Fr::random(rng);
+
+    let delta_g1 = pk.delta_g1.to_projective();
+
+    // A = α + Σ zᵢAᵢ(τ) + rδ
+    let a = pk.vk.alpha_g1.to_projective().add(&msm(&pk.a_query, &z)).add(&delta_g1.mul(r));
+    // B = β + Σ zᵢBᵢ(τ) + sδ   (in both groups)
+    let b_g2 = pk
+        .vk
+        .beta_g2
+        .to_projective()
+        .add(&msm(&pk.b_g2_query, &z))
+        .add(&pk.vk.delta_g2.to_projective().mul(s));
+    let b_g1 = pk
+        .beta_g1
+        .to_projective()
+        .add(&msm(&pk.b_g1_query, &z))
+        .add(&delta_g1.mul(s));
+
+    // C = Σ_w zᵢLᵢ + Σ hₖ·(τᵏZ(τ)/δ) + sA + rB − rsδ
+    let h = qap::quotient_poly(cs);
+    let witness = &z[cs.num_instance()..];
+    let c = msm(&pk.l_query, witness)
+        .add(&msm(&pk.h_query, &h))
+        .add(&a.mul(s))
+        .add(&b_g1.mul(r))
+        .add(&delta_g1.mul(r * s).neg());
+
+    Ok(Proof {
+        a: a.to_affine(),
+        b: b_g2.to_affine(),
+        c: c.to_affine(),
+    })
+}
+
+/// A verifying key with the `e(α, β)` pairing precomputed — verification
+/// then costs one 3-term Miller loop plus a final exponentiation
+/// (the constant ≈30 ms figure of §IV).
+#[derive(Clone, Debug)]
+pub struct PreparedVerifyingKey {
+    /// The underlying verifying key.
+    pub vk: VerifyingKey,
+    alpha_beta: Fp12,
+}
+
+impl From<VerifyingKey> for PreparedVerifyingKey {
+    fn from(vk: VerifyingKey) -> Self {
+        let alpha_beta = pairing(&vk.alpha_g1, &vk.beta_g2);
+        PreparedVerifyingKey { vk, alpha_beta }
+    }
+}
+
+impl PreparedVerifyingKey {
+    /// Verifies a proof against public inputs (excluding the constant 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnarkError::InputLengthMismatch`] when the number of public
+    /// inputs does not match the key.
+    pub fn verify(&self, proof: &Proof, public_inputs: &[Fr]) -> Result<bool, SnarkError> {
+        if public_inputs.len() + 1 != self.vk.ic.len() {
+            return Err(SnarkError::InputLengthMismatch);
+        }
+        // Reject points outside the curve/subgroup (defense against
+        // malformed network input).
+        if !proof.a.is_on_curve() || !proof.b.is_on_curve() || !proof.c.is_on_curve() {
+            return Ok(false);
+        }
+        let mut ic = self.vk.ic[0].to_projective();
+        for (input, base) in public_inputs.iter().zip(self.vk.ic[1..].iter()) {
+            ic = ic.add(&base.mul(*input));
+        }
+        // e(A,B) = e(α,β)·e(IC,γ)·e(C,δ)
+        //  ⟺ FE(ml(−A,B)·ml(IC,γ)·ml(C,δ)) · e(α,β) = 1
+        let ml = miller_loop(&[
+            (proof.a.neg(), proof.b),
+            (ic.to_affine(), self.vk.gamma_g2),
+            (proof.c, self.vk.delta_g2),
+        ]);
+        let Some(fe) = final_exponentiation(&ml) else {
+            return Ok(false);
+        };
+        Ok(fe * self.alpha_beta == Fp12::one())
+    }
+}
+
+/// One-shot verification without precomputation.
+///
+/// # Errors
+///
+/// Same as [`PreparedVerifyingKey::verify`].
+pub fn verify(vk: &VerifyingKey, proof: &Proof, public_inputs: &[Fr]) -> Result<bool, SnarkError> {
+    PreparedVerifyingKey::from(vk.clone()).verify(proof, public_inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// x³ + x + 5 = out (the classic toy circuit), x = 3, out = 35.
+    fn cubic_cs(x_val: u64, out_val: u64) -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new();
+        let out = cs.alloc_input(Fr::from_u64(out_val));
+        let x = cs.alloc_witness(Fr::from_u64(x_val));
+        let x2 = cs.alloc_witness(Fr::from_u64(x_val * x_val));
+        let x3 = cs.alloc_witness(Fr::from_u64(x_val * x_val * x_val));
+        cs.enforce(x, x, x2);
+        cs.enforce(x2, x, x3);
+        // (x3 + x + 5) · 1 = out
+        use crate::r1cs::{LinearCombination, Variable};
+        let lhs = LinearCombination::from_var(x3)
+            .add_term(x, Fr::one())
+            .add_term(Variable::ONE, Fr::from_u64(5));
+        cs.enforce(lhs, Variable::ONE, out);
+        cs.finalize();
+        cs
+    }
+
+    #[test]
+    fn prove_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        assert!(verify(&pk.vk, &proof, &[Fr::from_u64(35)]).unwrap());
+    }
+
+    #[test]
+    fn wrong_public_input_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        assert!(!verify(&pk.vk, &proof, &[Fr::from_u64(36)]).unwrap());
+    }
+
+    #[test]
+    fn unsatisfied_witness_rejected_at_prove_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let good = cubic_cs(3, 35);
+        let pk = setup(&good, &mut rng);
+        let bad = cubic_cs(4, 35); // 4³+4+5 = 73 ≠ 35
+        assert!(matches!(
+            prove(&pk, &bad, &mut rng),
+            Err(SnarkError::Unsatisfied(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        let tampered = Proof {
+            a: proof.c, // swap components
+            b: proof.b,
+            c: proof.a,
+        };
+        assert!(!verify(&pk.vk, &tampered, &[Fr::from_u64(35)]).unwrap());
+    }
+
+    #[test]
+    fn proofs_are_randomized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let p1 = prove(&pk, &cs, &mut rng).unwrap();
+        let p2 = prove(&pk, &cs, &mut rng).unwrap();
+        assert_ne!(p1, p2, "zero-knowledge randomization");
+        assert!(verify(&pk.vk, &p1, &[Fr::from_u64(35)]).unwrap());
+        assert!(verify(&pk.vk, &p2, &[Fr::from_u64(35)]).unwrap());
+    }
+
+    #[test]
+    fn input_length_mismatch_errors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        assert!(matches!(
+            verify(&pk.vk, &proof, &[]),
+            Err(SnarkError::InputLengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn proof_byte_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        let bytes = proof.to_bytes();
+        let back = Proof::from_bytes(&bytes).unwrap();
+        assert_eq!(back, proof);
+        // Corrupt a coordinate: either parse failure or off-curve.
+        let mut bad = bytes;
+        bad[0] ^= 1;
+        assert!(Proof::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn prepared_key_matches_oneshot() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        let pvk = PreparedVerifyingKey::from(pk.vk.clone());
+        assert!(pvk.verify(&proof, &[Fr::from_u64(35)]).unwrap());
+    }
+
+    #[test]
+    fn key_sizes_are_accounted() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        assert!(pk.size_in_bytes() > pk.vk.size_in_bytes());
+        assert_eq!(pk.vk.ic.len(), 2);
+    }
+}

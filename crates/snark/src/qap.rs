@@ -1,0 +1,239 @@
+//! The R1CS → QAP reduction used by both the Groth16 setup (evaluating the
+//! per-variable polynomials at the toxic point τ) and the prover (computing
+//! the quotient polynomial `h = (A·B − C)/Z`).
+
+use waku_arith::fft::Radix2Domain;
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+use crate::r1cs::ConstraintSystem;
+
+/// Per-variable QAP polynomial evaluations at a fixed point τ:
+/// `a[i] = Aᵢ(τ)`, etc.
+#[derive(Clone, Debug)]
+pub struct QapEvaluations {
+    /// `Aᵢ(τ)` per variable (flat index order).
+    pub a: Vec<Fr>,
+    /// `Bᵢ(τ)` per variable.
+    pub b: Vec<Fr>,
+    /// `Cᵢ(τ)` per variable.
+    pub c: Vec<Fr>,
+    /// `Z(τ)`, the vanishing polynomial of the constraint domain.
+    pub zt: Fr,
+    /// The evaluation domain (needed again by the prover).
+    pub domain: Radix2Domain<Fr>,
+}
+
+/// Evaluates all QAP polynomials at `tau`.
+///
+/// The QAP interpolates constraint `j` at the j-th domain point, so
+/// `Aᵢ(τ) = Σⱼ coeff(i, j) · Lⱼ(τ)` with `Lⱼ` the Lagrange basis of the
+/// domain.
+///
+/// # Panics
+///
+/// Panics if the constraint system has not been finalized or if τ happens to
+/// land inside the domain (probability ≈ 2⁻²⁴⁶ for random τ).
+pub fn evaluate_at(cs: &ConstraintSystem, tau: Fr) -> QapEvaluations {
+    assert!(cs.is_finalized(), "finalize the constraint system first");
+    let m = cs.num_constraints();
+    let domain = Radix2Domain::<Fr>::new(m).expect("domain fits Fr 2-adicity");
+    let n = domain.size();
+    let num_vars = cs.num_instance() + cs.num_witness();
+
+    // Lagrange basis evaluated at τ:
+    //   Lⱼ(τ) = Z(τ) · ωʲ / (n · (τ − ωʲ))
+    let zt = domain.z_at(tau);
+    assert!(!zt.is_zero(), "τ collides with the evaluation domain");
+    let n_inv = Fr::from_u64_checked(n as u64)
+        .inverse()
+        .expect("n nonzero");
+    let mut lag = Vec::with_capacity(n);
+    let mut omega_j = Fr::one();
+    // Batch the inversions of (τ − ωʲ).
+    let mut denoms = Vec::with_capacity(n);
+    for _ in 0..n {
+        denoms.push(tau - omega_j);
+        omega_j *= domain.group_gen();
+    }
+    let denom_invs = batch_inverse(&denoms);
+    omega_j = Fr::one();
+    for inv in denom_invs.iter().take(n) {
+        lag.push(zt * n_inv * omega_j * *inv);
+        omega_j *= domain.group_gen();
+    }
+
+    let mut a = vec![Fr::zero(); num_vars];
+    let mut b = vec![Fr::zero(); num_vars];
+    let mut c = vec![Fr::zero(); num_vars];
+    for (j, (la, lb, lc)) in cs.constraints().iter().enumerate() {
+        let lj = lag[j];
+        for (var, coeff) in &la.0 {
+            a[cs.flat_index(*var)] += *coeff * lj;
+        }
+        for (var, coeff) in &lb.0 {
+            b[cs.flat_index(*var)] += *coeff * lj;
+        }
+        for (var, coeff) in &lc.0 {
+            c[cs.flat_index(*var)] += *coeff * lj;
+        }
+    }
+
+    QapEvaluations {
+        a,
+        b,
+        c,
+        zt,
+        domain,
+    }
+}
+
+/// Computes the coefficients of the quotient `h(X) = (A·B − C)(X) / Z(X)`
+/// for the current assignment (degree ≤ n − 2, returned as n − 1 coeffs).
+///
+/// # Panics
+///
+/// Panics if the constraint system has not been finalized.
+pub fn quotient_poly(cs: &ConstraintSystem) -> Vec<Fr> {
+    assert!(cs.is_finalized(), "finalize the constraint system first");
+    let m = cs.num_constraints();
+    let domain = Radix2Domain::<Fr>::new(m).expect("domain fits Fr 2-adicity");
+    let n = domain.size();
+
+    // Row evaluations ⟨A_j, z⟩ etc. are just the constraint LCs evaluated
+    // against the assignment.
+    let mut a_evals = vec![Fr::zero(); n];
+    let mut b_evals = vec![Fr::zero(); n];
+    let mut c_evals = vec![Fr::zero(); n];
+    for (j, (la, lb, lc)) in cs.constraints().iter().enumerate() {
+        a_evals[j] = cs.eval_lc(la);
+        b_evals[j] = cs.eval_lc(lb);
+        c_evals[j] = cs.eval_lc(lc);
+    }
+
+    // Interpolate, move to the coset, multiply pointwise, divide by the
+    // (constant-on-coset) vanishing polynomial, and interpolate back.
+    let a_coeffs = domain.ifft(&a_evals);
+    let b_coeffs = domain.ifft(&b_evals);
+    let c_coeffs = domain.ifft(&c_evals);
+    let a_coset = domain.coset_fft(&a_coeffs);
+    let b_coset = domain.coset_fft(&b_coeffs);
+    let c_coset = domain.coset_fft(&c_coeffs);
+    let z_inv = domain
+        .z_on_coset()
+        .inverse()
+        .expect("Z nonzero away from the domain");
+    let h_coset: Vec<Fr> = (0..n)
+        .map(|i| (a_coset[i] * b_coset[i] - c_coset[i]) * z_inv)
+        .collect();
+    let mut h = domain.coset_ifft(&h_coset);
+    // deg h ≤ n − 2 for a satisfied system.
+    let top = h.pop().expect("nonempty");
+    debug_assert!(top.is_zero(), "quotient has unexpected degree (unsatisfied system?)");
+    h
+}
+
+/// Batch inversion (Montgomery's trick); zero entries are left as zero.
+pub fn batch_inverse(values: &[Fr]) -> Vec<Fr> {
+    let mut prods = Vec::with_capacity(values.len());
+    let mut acc = Fr::one();
+    for v in values {
+        prods.push(acc);
+        if !v.is_zero() {
+            acc *= *v;
+        }
+    }
+    let mut inv = acc.inverse().expect("product nonzero");
+    let mut out = vec![Fr::zero(); values.len()];
+    for (i, v) in values.iter().enumerate().rev() {
+        if v.is_zero() {
+            continue;
+        }
+        out[i] = prods[i] * inv;
+        inv *= *v;
+    }
+    out
+}
+
+// Small helper so qap.rs does not import PrimeField just for from_u64.
+trait FrExt {
+    fn from_u64_checked(v: u64) -> Fr;
+}
+impl FrExt for Fr {
+    fn from_u64_checked(v: u64) -> Fr {
+        use waku_arith::traits::PrimeField;
+        Fr::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r1cs::LinearCombination;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waku_arith::traits::PrimeField;
+
+    fn sample_cs() -> ConstraintSystem {
+        // x * x = y ; y * x = z with z public (x = 3, z = 27)
+        let mut cs = ConstraintSystem::new();
+        let z = cs.alloc_input(Fr::from_u64(27));
+        let x = cs.alloc_witness(Fr::from_u64(3));
+        let y = cs.alloc_witness(Fr::from_u64(9));
+        cs.enforce(x, x, y);
+        cs.enforce(y, x, z);
+        cs.finalize();
+        cs
+    }
+
+    #[test]
+    fn qap_identity_holds_at_random_point() {
+        // For a satisfied system: (Σ zᵢAᵢ(τ))·(Σ zᵢBᵢ(τ)) − Σ zᵢCᵢ(τ)
+        //                       = h(τ)·Z(τ).
+        let cs = sample_cs();
+        assert!(cs.check_satisfied().is_ok());
+        let mut rng = StdRng::seed_from_u64(1);
+        let tau = Fr::random(&mut rng);
+        let qap = evaluate_at(&cs, tau);
+        let z = cs.full_assignment();
+        let a: Fr = z.iter().zip(&qap.a).map(|(z, a)| *z * *a).sum();
+        let b: Fr = z.iter().zip(&qap.b).map(|(z, b)| *z * *b).sum();
+        let c: Fr = z.iter().zip(&qap.c).map(|(z, c)| *z * *c).sum();
+        let h = quotient_poly(&cs);
+        let h_tau = waku_shamir_eval(&h, tau);
+        assert_eq!(a * b - c, h_tau * qap.zt);
+    }
+
+    // local horner to avoid a dev-dependency on waku-shamir
+    fn waku_shamir_eval(coeffs: &[Fr], x: Fr) -> Fr {
+        let mut acc = Fr::zero();
+        for &c in coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut vals: Vec<Fr> = (0..20).map(|_| Fr::random(&mut rng)).collect();
+        vals[5] = Fr::zero();
+        let invs = batch_inverse(&vals);
+        for (v, i) in vals.iter().zip(&invs) {
+            if v.is_zero() {
+                assert!(i.is_zero());
+            } else {
+                assert_eq!(v.inverse().unwrap(), *i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn unfinalized_system_panics() {
+        let mut cs = ConstraintSystem::new();
+        let x = cs.alloc_witness(Fr::from_u64(1));
+        cs.enforce(x, LinearCombination::zero(), LinearCombination::zero());
+        let _ = quotient_poly(&cs);
+    }
+}

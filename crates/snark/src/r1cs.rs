@@ -1,0 +1,337 @@
+//! Rank-1 constraint systems: the intermediate representation between the
+//! RLN circuit (in `waku-rln`) and the Groth16 prover.
+//!
+//! A constraint is `⟨A, z⟩ · ⟨B, z⟩ = ⟨C, z⟩` over the assignment vector
+//! `z = (1, instance…, witness…)`.
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+/// A variable handle. `Variable::ONE` is the constant-one instance variable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Variable {
+    /// Instance (public-input) variable. Index 0 is the constant 1.
+    Instance(usize),
+    /// Witness (private) variable.
+    Witness(usize),
+}
+
+impl Variable {
+    /// The constant-one variable.
+    pub const ONE: Variable = Variable::Instance(0);
+}
+
+/// A sparse linear combination `Σ coeffᵢ · varᵢ`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinearCombination(pub Vec<(Variable, Fr)>);
+
+impl LinearCombination {
+    /// The empty (zero) combination.
+    pub fn zero() -> Self {
+        LinearCombination(Vec::new())
+    }
+
+    /// A single variable with coefficient one.
+    pub fn from_var(v: Variable) -> Self {
+        LinearCombination(vec![(v, Fr::one())])
+    }
+
+    /// A constant (coefficient on `Variable::ONE`).
+    pub fn from_const(c: Fr) -> Self {
+        LinearCombination(vec![(Variable::ONE, c)])
+    }
+
+    /// Adds `coeff · var` to the combination.
+    pub fn add_term(mut self, var: Variable, coeff: Fr) -> Self {
+        self.0.push((var, coeff));
+        self
+    }
+
+    /// Scales every coefficient.
+    pub fn scale(mut self, s: Fr) -> Self {
+        for (_, c) in self.0.iter_mut() {
+            *c *= s;
+        }
+        self
+    }
+
+    /// Merges duplicate variables and drops zero coefficients.
+    ///
+    /// Long chains of linear operations (e.g. the MDS mixing layers of the
+    /// Poseidon gadget) would otherwise grow combinations exponentially;
+    /// after simplification the term count is bounded by the number of
+    /// distinct variables referenced.
+    pub fn simplify(mut self) -> Self {
+        use std::collections::HashMap;
+        let mut acc: HashMap<Variable, Fr> = HashMap::with_capacity(self.0.len());
+        for (v, c) in self.0.drain(..) {
+            *acc.entry(v).or_insert_with(Fr::zero) += c;
+        }
+        let mut terms: Vec<(Variable, Fr)> =
+            acc.into_iter().filter(|(_, c)| !c.is_zero()).collect();
+        // Deterministic order keeps constraint systems reproducible.
+        terms.sort_by_key(|(v, _)| match v {
+            Variable::Instance(i) => (0usize, *i),
+            Variable::Witness(i) => (1usize, *i),
+        });
+        LinearCombination(terms)
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::ops::Add for LinearCombination {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        self.0.extend(rhs.0);
+        self
+    }
+}
+
+impl std::ops::Sub for LinearCombination {
+    type Output = Self;
+    fn sub(mut self, rhs: Self) -> Self {
+        for (v, c) in rhs.0 {
+            self.0.push((v, -c));
+        }
+        self
+    }
+}
+
+impl From<Variable> for LinearCombination {
+    fn from(v: Variable) -> Self {
+        LinearCombination::from_var(v)
+    }
+}
+
+impl From<Fr> for LinearCombination {
+    fn from(c: Fr) -> Self {
+        LinearCombination::from_const(c)
+    }
+}
+
+/// A rank-1 constraint system carrying both shape and assignment.
+///
+/// The same type serves circuit construction (with real witness values),
+/// setup (shape only — the assignment is ignored), and proving.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSystem {
+    instance: Vec<Fr>,
+    witness: Vec<Fr>,
+    constraints: Vec<(LinearCombination, LinearCombination, LinearCombination)>,
+    finalized: bool,
+}
+
+impl ConstraintSystem {
+    /// Creates an empty system (instance = `[1]`).
+    pub fn new() -> Self {
+        ConstraintSystem {
+            instance: vec![Fr::one()],
+            witness: Vec::new(),
+            constraints: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Allocates a public-input variable with the given value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ConstraintSystem::finalize`].
+    pub fn alloc_input(&mut self, value: Fr) -> Variable {
+        assert!(!self.finalized, "cannot allocate after finalize");
+        self.instance.push(value);
+        Variable::Instance(self.instance.len() - 1)
+    }
+
+    /// Allocates a private witness variable with the given value.
+    pub fn alloc_witness(&mut self, value: Fr) -> Variable {
+        self.witness.push(value);
+        Variable::Witness(self.witness.len() - 1)
+    }
+
+    /// Adds the constraint `a · b = c`.
+    pub fn enforce(
+        &mut self,
+        a: impl Into<LinearCombination>,
+        b: impl Into<LinearCombination>,
+        c: impl Into<LinearCombination>,
+    ) {
+        self.constraints.push((a.into(), b.into(), c.into()));
+    }
+
+    /// Number of instance variables (including the constant 1).
+    pub fn num_instance(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// Number of witness variables.
+    pub fn num_witness(&self) -> usize {
+        self.witness.len()
+    }
+
+    /// Number of constraints currently in the system.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints (for the QAP reduction).
+    pub fn constraints(
+        &self,
+    ) -> &[(LinearCombination, LinearCombination, LinearCombination)] {
+        &self.constraints
+    }
+
+    /// Current value of a variable.
+    pub fn value(&self, var: Variable) -> Fr {
+        match var {
+            Variable::Instance(i) => self.instance[i],
+            Variable::Witness(i) => self.witness[i],
+        }
+    }
+
+    /// Evaluates a linear combination against the current assignment.
+    pub fn eval_lc(&self, lc: &LinearCombination) -> Fr {
+        lc.0.iter()
+            .map(|(v, c)| self.value(*v) * *c)
+            .fold(Fr::zero(), |a, b| a + b)
+    }
+
+    /// The public inputs (excluding the constant 1).
+    pub fn public_inputs(&self) -> &[Fr] {
+        &self.instance[1..]
+    }
+
+    /// Flat variable index (instance first, then witness).
+    pub fn flat_index(&self, var: Variable) -> usize {
+        match var {
+            Variable::Instance(i) => i,
+            Variable::Witness(i) => self.instance.len() + i,
+        }
+    }
+
+    /// Full assignment vector `z = (1, instance…, witness…)`.
+    pub fn full_assignment(&self) -> Vec<Fr> {
+        let mut z = self.instance.clone();
+        z.extend_from_slice(&self.witness);
+        z
+    }
+
+    /// Appends the per-instance-variable consistency constraints
+    /// (`xᵢ · 0 = 0`) that make the instance QAP polynomials linearly
+    /// independent — required for Groth16's knowledge soundness. Idempotent.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        for i in 0..self.instance.len() {
+            self.constraints.push((
+                LinearCombination::from_var(Variable::Instance(i)),
+                LinearCombination::zero(),
+                LinearCombination::zero(),
+            ));
+        }
+        self.finalized = true;
+    }
+
+    /// True once [`ConstraintSystem::finalize`] has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Checks every constraint against the current assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first violated constraint.
+    pub fn check_satisfied(&self) -> Result<(), usize> {
+        for (i, (a, b, c)) in self.constraints.iter().enumerate() {
+            if self.eval_lc(a) * self.eval_lc(b) != self.eval_lc(c) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waku_arith::traits::PrimeField;
+
+    #[test]
+    fn simple_multiplication_satisfied() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.alloc_witness(Fr::from_u64(3));
+        let b = cs.alloc_witness(Fr::from_u64(4));
+        let c = cs.alloc_input(Fr::from_u64(12));
+        cs.enforce(a, b, c);
+        assert!(cs.check_satisfied().is_ok());
+    }
+
+    #[test]
+    fn violated_constraint_reported() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.alloc_witness(Fr::from_u64(3));
+        let b = cs.alloc_witness(Fr::from_u64(4));
+        cs.enforce(a, b, LinearCombination::from_const(Fr::from_u64(13)));
+        assert_eq!(cs.check_satisfied(), Err(0));
+    }
+
+    #[test]
+    fn linear_combinations_evaluate() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.alloc_witness(Fr::from_u64(5));
+        let lc = LinearCombination::from_var(a)
+            .scale(Fr::from_u64(2))
+            .add_term(Variable::ONE, Fr::from_u64(7));
+        assert_eq!(cs.eval_lc(&lc), Fr::from_u64(17));
+        let diff = lc.clone() - lc;
+        assert!(cs.eval_lc(&diff).is_zero());
+    }
+
+    #[test]
+    fn simplify_merges_and_drops() {
+        let mut cs = ConstraintSystem::new();
+        let a = cs.alloc_witness(Fr::from_u64(2));
+        let b = cs.alloc_witness(Fr::from_u64(3));
+        let lc = LinearCombination::from_var(a)
+            .add_term(b, Fr::from_u64(4))
+            .add_term(a, Fr::from_u64(2))
+            .add_term(b, -Fr::from_u64(4));
+        let before = cs.eval_lc(&lc);
+        let simplified = lc.simplify();
+        assert_eq!(simplified.len(), 1, "b cancels, a merges");
+        assert_eq!(cs.eval_lc(&simplified), before);
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_adds_input_constraints() {
+        let mut cs = ConstraintSystem::new();
+        cs.alloc_input(Fr::from_u64(1));
+        let before = cs.num_constraints();
+        cs.finalize();
+        assert_eq!(cs.num_constraints(), before + 2); // ONE + one input
+        cs.finalize();
+        assert_eq!(cs.num_constraints(), before + 2);
+        assert!(cs.check_satisfied().is_ok());
+    }
+
+    #[test]
+    fn flat_indices_are_contiguous() {
+        let mut cs = ConstraintSystem::new();
+        let x = cs.alloc_input(Fr::zero());
+        let w = cs.alloc_witness(Fr::zero());
+        assert_eq!(cs.flat_index(Variable::ONE), 0);
+        assert_eq!(cs.flat_index(x), 1);
+        assert_eq!(cs.flat_index(w), 2);
+    }
+}

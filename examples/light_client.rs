@@ -1,0 +1,112 @@
+//! A resource-restricted peer: O(log N) tree view instead of the 67 MB
+//! full tree (paper §IV-A, "Lowering the storage overhead per peer"), plus
+//! 12/WAKU2-FILTER so it only receives the content topics it cares about.
+//!
+//! The light peer keeps publishing valid proofs across membership changes
+//! by applying update notifications served by a full node (the paper's
+//! hybrid architecture).
+//!
+//! Run with: `cargo run --release --example light_client`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waku_arith::traits::Field;
+use waku_merkle::{DenseTree, PartialViewTree, TreeUpdate};
+use waku_relay::{FilterService, WakuMessage};
+use waku_rln::{Identity, RlnProver};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let depth = 10;
+    let (prover, verifier) = RlnProver::keygen(depth, &mut rng);
+
+    // ---- full node state: the whole tree -------------------------------
+    let mut full_tree = DenseTree::new(depth);
+    let light_identity = Identity::random(&mut rng);
+    let light_index = 3u64;
+    for i in 0..8u64 {
+        let id = Identity::random(&mut rng);
+        full_tree.set(i, id.commitment());
+    }
+    full_tree.set(light_index, light_identity.commitment());
+
+    // ---- light node state: just its own path ---------------------------
+    let mut light_view = PartialViewTree::new(
+        light_index,
+        light_identity.commitment(),
+        full_tree.proof(light_index),
+    );
+    println!(
+        "storage: full node {:.2} MB vs light node {} B ({}x smaller)",
+        full_tree.storage_bytes() as f64 / 1e6,
+        light_view.storage_bytes(),
+        full_tree.storage_bytes() / light_view.storage_bytes()
+    );
+
+    // The light node proves membership from its partial view.
+    let bundle = prover
+        .prove_message(
+            &light_identity,
+            light_view.own_path(),
+            b"from a phone",
+            100,
+            &mut rng,
+        )
+        .unwrap();
+    assert!(verifier.verify_bundle(&bundle));
+    assert_eq!(bundle.root, full_tree.root());
+    println!("light node proved membership with its O(log N) view ✓");
+
+    // Membership churn: a new member registers, a member is slashed. The
+    // full node pushes update notifications; the light view stays current.
+    println!("\nmembership churn (new registration + one slashing):");
+    for (index, new_leaf) in [
+        (9u64, Identity::random(&mut rng).commitment()), // registration
+        (5u64, waku_arith::Fr::zero()),                  // slashing
+    ] {
+        full_tree.set(index, new_leaf);
+        light_view
+            .apply_update(&TreeUpdate {
+                index,
+                new_leaf,
+                path: full_tree.proof(index),
+            })
+            .expect("consistent update");
+        assert_eq!(light_view.root(), full_tree.root());
+        println!("   applied update @ leaf {index}; roots still agree ✓");
+    }
+
+    // And it can still prove against the *new* root.
+    let bundle2 = prover
+        .prove_message(
+            &light_identity,
+            light_view.own_path(),
+            b"still here after churn",
+            101,
+            &mut rng,
+        )
+        .unwrap();
+    assert!(verifier.verify_bundle(&bundle2));
+    assert_eq!(bundle2.root, full_tree.root());
+    println!("light node proved membership against the updated root ✓");
+
+    // ---- 12/WAKU2-FILTER: bandwidth-limited subscription ----------------
+    println!("\n12/WAKU2-FILTER:");
+    let mut filter = FilterService::new();
+    filter.subscribe(0, vec!["/app/1/alerts/proto".into()]);
+    let stream = [
+        WakuMessage::new(vec![1; 80], "/app/1/alerts/proto", 1),
+        WakuMessage::new(vec![2; 4000], "/app/1/firehose/proto", 2),
+        WakuMessage::new(vec![3; 4000], "/app/1/firehose/proto", 3),
+        WakuMessage::new(vec![4; 80], "/app/1/alerts/proto", 4),
+    ];
+    let mut pushed = 0usize;
+    for m in &stream {
+        if filter.match_message(m).contains(&0) {
+            pushed += 1;
+        }
+    }
+    let saved = filter.bytes_filtered(0, &stream);
+    println!("   pushed {pushed}/4 messages; filtered {saved} B of firehose traffic");
+    assert_eq!(pushed, 2);
+}

@@ -1,0 +1,208 @@
+//! F1 (paper Figure 1): the full system, end to end, with **real
+//! cryptography on the wire** — RLN bundles (Groth16 proofs included)
+//! serialized into gossip messages, validated by every routing peer,
+//! spam detected mid-network, and the spammer slashed on-chain.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+use waku_suite::chain::{Address, Chain, ChainConfig, ETHER};
+use waku_suite::gossip::{Network, NetworkConfig, TrafficClass, Validation};
+use waku_suite::rln::{RlnMessageBundle, RlnProver, RlnVerifier};
+use waku_suite::rln_relay::node::{NodeConfig, WakuRlnRelayNode};
+use waku_suite::rln_relay::Outcome;
+
+const DEPTH: usize = 8;
+const TOPIC: u32 = 1;
+const EPOCH_SECS: u64 = 10;
+
+fn keys() -> &'static (Arc<RlnProver>, RlnVerifier) {
+    static CELL: OnceLock<(Arc<RlnProver>, RlnVerifier)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xE2E);
+        let (p, v) = RlnProver::keygen(DEPTH, &mut rng);
+        (Arc::new(p), v)
+    })
+}
+
+fn node_config() -> NodeConfig {
+    NodeConfig {
+        tree_depth: DEPTH,
+        epoch_length_secs: EPOCH_SECS,
+        max_epoch_gap: 1,
+        gas_price_gwei: 100,
+        commit_reveal: true,
+    }
+}
+
+/// Builds `n` registered-and-synced nodes plus the chain.
+fn build_network(n: usize, seed: u64) -> (Chain, Vec<WakuRlnRelayNode>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (prover, verifier) = keys();
+    let mut chain = Chain::new(ChainConfig {
+        tree_depth: DEPTH,
+        ..ChainConfig::default()
+    });
+    let mut nodes: Vec<WakuRlnRelayNode> = (0..n)
+        .map(|i| {
+            let addr = Address::from_seed(&[0xE2, i as u8, seed as u8]);
+            chain.fund(addr, 10 * ETHER);
+            let mut node = WakuRlnRelayNode::new(
+                node_config(),
+                addr,
+                Arc::clone(prover),
+                verifier.clone(),
+                &mut rng,
+            );
+            node.register(&mut chain);
+            node
+        })
+        .collect();
+    chain.mine_block();
+    for node in nodes.iter_mut() {
+        node.sync(&mut chain);
+    }
+    (chain, nodes)
+}
+
+#[test]
+fn honest_bundle_propagates_through_gossip_with_real_proofs() {
+    let (_chain, nodes) = build_network(5, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let verifier = keys().1.clone();
+
+    // Gossip transport with a full RLN validator at each peer.
+    let mut net = Network::new(NetworkConfig {
+        peers: 5,
+        degree: 3,
+        seed: 3,
+        ..NetworkConfig::default()
+    });
+    net.subscribe_all(TOPIC);
+    let groups: Vec<_> = nodes.iter().map(|n| n.group().clone()).collect();
+    for (p, group) in groups.iter().enumerate() {
+        let verifier = verifier.clone();
+        let group = group.clone();
+        net.set_validator(
+            p,
+            Box::new(move |_, message, local_ms| {
+                let Some(bundle) = RlnMessageBundle::from_bytes(&message.data) else {
+                    return Validation::Reject;
+                };
+                // epoch gap
+                let epoch = (local_ms / 1000) / EPOCH_SECS;
+                if epoch.abs_diff(bundle.epoch) > 1 {
+                    return Validation::Ignore;
+                }
+                // root + REAL Groth16 verification on the wire bytes
+                if bundle.root != group.root() || !verifier.verify_bundle(&bundle) {
+                    return Validation::Reject;
+                }
+                Validation::Accept
+            }),
+        );
+    }
+
+    // Node 0 publishes at wall time aligned with sim time 5000 ms.
+    let mut publisher = nodes.into_iter().next().unwrap();
+    let bundle = publisher.publish(b"hello with a real proof", 5, &mut rng).unwrap();
+    net.run_until(4_000);
+    net.publish_at(5_000, 0, TOPIC, bundle.to_bytes(), TrafficClass::Honest);
+    net.run_until(30_000);
+
+    let stats = net.total_stats();
+    assert_eq!(
+        stats.honest_delivered, 4,
+        "all four other peers validated the Groth16 proof and relayed"
+    );
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn tampered_bundle_is_rejected_at_first_hop() {
+    let (_chain, nodes) = build_network(5, 4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let verifier = keys().1.clone();
+
+    let mut net = Network::new(NetworkConfig {
+        peers: 5,
+        degree: 3,
+        seed: 6,
+        ..NetworkConfig::default()
+    });
+    net.subscribe_all(TOPIC);
+    let groups: Vec<_> = nodes.iter().map(|n| n.group().clone()).collect();
+    for (p, group) in groups.iter().enumerate() {
+        let verifier = verifier.clone();
+        let group = group.clone();
+        net.set_validator(
+            p,
+            Box::new(move |_, message, _| {
+                let Some(bundle) = RlnMessageBundle::from_bytes(&message.data) else {
+                    return Validation::Reject;
+                };
+                if bundle.root != group.root() || !verifier.verify_bundle(&bundle) {
+                    return Validation::Reject;
+                }
+                Validation::Accept
+            }),
+        );
+    }
+
+    let mut publisher = nodes.into_iter().next().unwrap();
+    let bundle = publisher.publish(b"will be tampered", 5, &mut rng).unwrap();
+    let mut tampered = bundle.clone();
+    tampered.payload = b"swapped payload!".to_vec(); // proof no longer binds
+
+    net.run_until(4_000);
+    net.publish_at(5_000, 0, TOPIC, tampered.to_bytes(), TrafficClass::Invalid);
+    net.run_until(30_000);
+
+    let stats = net.total_stats();
+    assert_eq!(stats.invalid_delivered, 0, "never accepted anywhere");
+    assert!(stats.rejected >= 1, "rejected at the first hop(s)");
+    assert!(
+        stats.validations <= 4,
+        "the paper: effect limited to direct connections, got {}",
+        stats.validations
+    );
+}
+
+#[test]
+fn network_detects_and_slashes_spammer_with_real_proofs() {
+    let (mut chain, mut nodes) = build_network(4, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+
+    // Spammer = node 3; router = node 1. Two real proofs, same epoch.
+    let spam1 = nodes[3].publish_unchecked(b"spam alpha", 100, &mut rng).unwrap();
+    let spam2 = nodes[3].publish_unchecked(b"spam beta", 100, &mut rng).unwrap();
+    let spammer_commitment = nodes[3].commitment();
+
+    // Wire round-trip (serialize → parse) like the real network does.
+    let spam1 = RlnMessageBundle::from_bytes(&spam1.to_bytes()).unwrap();
+    let spam2 = RlnMessageBundle::from_bytes(&spam2.to_bytes()).unwrap();
+
+    assert_eq!(nodes[1].handle_incoming(&spam1, 100, &mut chain), Outcome::Relay);
+    match nodes[1].handle_incoming(&spam2, 100, &mut chain) {
+        Outcome::Spam(ev) => assert_eq!(ev.recovered_commitment(), spammer_commitment),
+        other => panic!("expected spam, got {other:?}"),
+    }
+
+    // commit → mine → reveal → mine → reward
+    chain.mine_block();
+    nodes[1].sync(&mut chain);
+    chain.mine_block();
+    for node in nodes.iter_mut() {
+        node.sync(&mut chain);
+    }
+    assert!(!nodes[3].is_registered(), "spammer removed everywhere");
+    assert_eq!(nodes[1].metrics().rewards_wei, ETHER, "router rewarded");
+
+    // And honest traffic still flows among the remaining members.
+    let bundle = nodes[0].publish(b"life goes on", 200, &mut rng).unwrap();
+    assert_eq!(
+        nodes[2].handle_incoming(&bundle, 200, &mut chain),
+        Outcome::Relay
+    );
+}

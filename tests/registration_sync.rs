@@ -1,0 +1,176 @@
+//! F2 (paper Figure 2): the registration flow — transaction → mining →
+//! event → every peer's off-chain tree update — including batch
+//! registrations, withdrawals, and late-joining peers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waku_suite::arith::traits::{Field, PrimeField};
+use waku_suite::arith::Fr;
+use waku_suite::chain::{Address, Chain, ChainConfig, ContractEvent, TxKind, ETHER};
+use waku_suite::merkle::DenseTree;
+use waku_suite::rln_relay::GroupManager;
+
+const DEPTH: usize = 8;
+
+fn chain_and_user() -> (Chain, Address) {
+    let mut chain = Chain::new(ChainConfig {
+        tree_depth: DEPTH,
+        ..ChainConfig::default()
+    });
+    let user = Address::from_seed(b"reg-sync");
+    chain.fund(user, 1_000 * ETHER);
+    (chain, user)
+}
+
+#[test]
+fn many_peers_converge_on_identical_roots() {
+    let (mut chain, user) = chain_and_user();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut managers: Vec<GroupManager> = (0..10).map(|_| GroupManager::new(DEPTH)).collect();
+
+    // Interleave registrations with syncs at different cadences.
+    for round in 0..6u64 {
+        for i in 0..3u64 {
+            chain.submit(
+                user,
+                TxKind::Register {
+                    commitment: Fr::random(&mut rng),
+                },
+                100 + i,
+            );
+        }
+        chain.mine_block();
+        // Only some managers sync each round (stragglers catch up later).
+        for (i, gm) in managers.iter_mut().enumerate() {
+            if (i as u64 + round) % 3 != 0 {
+                gm.sync(&chain);
+            }
+        }
+    }
+    // Final catch-up.
+    for gm in managers.iter_mut() {
+        gm.sync(&chain);
+    }
+    let root = managers[0].root();
+    assert!(managers.iter().all(|g| g.root() == root));
+    assert_eq!(managers[0].member_count(), 18);
+}
+
+#[test]
+fn batch_registration_emits_ordered_events() {
+    let (mut chain, user) = chain_and_user();
+    let commitments: Vec<Fr> = (1..=5).map(Fr::from_u64).collect();
+    chain.submit(
+        user,
+        TxKind::RegisterBatch {
+            commitments: commitments.clone(),
+        },
+        100,
+    );
+    chain.mine_block();
+    let events = chain.events_in_range(1, chain.height());
+    assert_eq!(events.len(), 5);
+    for (i, (_, event)) in events.iter().enumerate() {
+        match event {
+            ContractEvent::MemberRegistered { index, commitment } => {
+                assert_eq!(*index, i as u64);
+                assert_eq!(*commitment, commitments[i]);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    // and a GroupManager replays them into the same tree a direct build
+    // produces
+    let mut gm = GroupManager::new(DEPTH);
+    gm.sync(&chain);
+    let mut reference = DenseTree::new(DEPTH);
+    for (i, c) in commitments.iter().enumerate() {
+        reference.set(i as u64, *c);
+    }
+    assert_eq!(gm.root(), reference.root());
+}
+
+#[test]
+fn withdrawal_and_reregistration_keep_views_consistent() {
+    let (mut chain, user) = chain_and_user();
+    let mut gm = GroupManager::new(DEPTH);
+    for i in 1..=3u64 {
+        chain.submit(
+            user,
+            TxKind::Register {
+                commitment: Fr::from_u64(i * 100),
+            },
+            100,
+        );
+    }
+    chain.mine_block();
+    gm.sync(&chain);
+    assert_eq!(gm.member_count(), 3);
+
+    chain.submit(user, TxKind::Withdraw { index: 1 }, 100);
+    chain.mine_block();
+    gm.sync(&chain);
+    assert_eq!(gm.member_count(), 2);
+
+    // New member takes a fresh slot (the flat list appends).
+    chain.submit(
+        user,
+        TxKind::Register {
+            commitment: Fr::from_u64(999),
+        },
+        100,
+    );
+    chain.mine_block();
+    gm.sync(&chain);
+    assert_eq!(gm.member_count(), 3);
+
+    // The reference tree (contract's authoritative flat list) agrees.
+    let mut reference = DenseTree::new(DEPTH);
+    for (i, c) in chain.contract().commitments().iter().enumerate() {
+        reference.set(i as u64, *c);
+    }
+    assert_eq!(gm.root(), reference.root());
+}
+
+#[test]
+fn late_joiner_catches_up_from_genesis() {
+    let (mut chain, user) = chain_and_user();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut early = GroupManager::new(DEPTH);
+    for _ in 0..12 {
+        chain.submit(
+            user,
+            TxKind::Register {
+                commitment: Fr::random(&mut rng),
+            },
+            100,
+        );
+        chain.mine_block();
+        early.sync(&chain);
+    }
+    // A peer that boots now must reach the same root in one sync.
+    let mut late = GroupManager::new(DEPTH);
+    late.sync(&chain);
+    assert_eq!(late.root(), early.root());
+    assert_eq!(late.member_count(), 12);
+}
+
+#[test]
+fn registration_is_invisible_until_mined() {
+    let (mut chain, user) = chain_and_user();
+    let mut gm = GroupManager::new(DEPTH);
+    let before = gm.root();
+    chain.submit(
+        user,
+        TxKind::Register {
+            commitment: Fr::from_u64(5),
+        },
+        100,
+    );
+    // Still in the mempool: syncing sees nothing (§IV-A latency).
+    gm.sync(&chain);
+    assert_eq!(gm.root(), before);
+    chain.mine_block();
+    gm.sync(&chain);
+    assert_ne!(gm.root(), before);
+}
