@@ -285,7 +285,9 @@ impl BigUint {
         let mut cur = self.clone();
         while !cur.is_zero() {
             let (q, r) = cur.div_rem(&ten);
-            digits.push(std::char::from_digit(r.limbs.first().copied().unwrap_or(0) as u32, 10).unwrap());
+            digits.push(
+                std::char::from_digit(r.limbs.first().copied().unwrap_or(0) as u32, 10).unwrap(),
+            );
             cur = q;
         }
         digits.iter().rev().collect()

@@ -276,6 +276,9 @@ mod tests {
     #[test]
     fn too_large_domain_fails() {
         assert!(Radix2Domain::<Fr>::new(1usize << 29).is_none());
-        assert!(Radix2Domain::<crate::fields::Fq>::new(4).is_none(), "Fq has 2-adicity 1");
+        assert!(
+            Radix2Domain::<crate::fields::Fq>::new(4).is_none(),
+            "Fq has 2-adicity 1"
+        );
     }
 }

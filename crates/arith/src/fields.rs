@@ -93,14 +93,8 @@ mod tests {
         use crate::traits::Field;
         // g^((p-1)/2) must be -1 for the 2-adic root derivation to work.
         let exp_q = Fq::modulus_biguint().sub(&BigUint::one()).shr(1);
-        assert_eq!(
-            Fq::multiplicative_generator().pow(exp_q.limbs()),
-            -Fq::ONE
-        );
+        assert_eq!(Fq::multiplicative_generator().pow(exp_q.limbs()), -Fq::ONE);
         let exp_r = Fr::modulus_biguint().sub(&BigUint::one()).shr(1);
-        assert_eq!(
-            Fr::multiplicative_generator().pow(exp_r.limbs()),
-            -Fr::ONE
-        );
+        assert_eq!(Fr::multiplicative_generator().pow(exp_r.limbs()), -Fr::ONE);
     }
 }

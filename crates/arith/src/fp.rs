@@ -175,6 +175,8 @@ impl<P: FpParams> Fp<P> {
     pub const ONE: Self = Fp(Self::R, PhantomData);
 
     /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod p`.
+    // Limb loops follow the CIOS reference formulation index-by-index.
+    #[allow(clippy::needless_range_loop)]
     #[inline]
     fn mont_mul(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
         let p = P::MODULUS;
@@ -243,9 +245,9 @@ impl<P: FpParams> std::ops::Add for Fp<P> {
     fn add(self, rhs: Self) -> Self {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            let (s, c) = adc(self.0[i], rhs.0[i], carry);
-            out[i] = s;
+        for (o, (&x, &y)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (s, c) = adc(x, y, carry);
+            *o = s;
             carry = c;
         }
         // p < 2^255 and both operands < p, so no carry out.
@@ -263,16 +265,16 @@ impl<P: FpParams> std::ops::Sub for Fp<P> {
     fn sub(self, rhs: Self) -> Self {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (d, b) = sbb(self.0[i], rhs.0[i], borrow);
-            out[i] = d;
+        for (o, (&x, &y)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (d, b) = sbb(x, y, borrow);
+            *o = d;
             borrow = b;
         }
         if borrow != 0 {
             let mut carry = 0u64;
-            for i in 0..4 {
-                let (s, c) = adc(out[i], P::MODULUS[i], carry);
-                out[i] = s;
+            for (o, &m) in out.iter_mut().zip(P::MODULUS.iter()) {
+                let (s, c) = adc(*o, m, carry);
+                *o = s;
                 carry = c;
             }
         }
@@ -517,10 +519,7 @@ mod tests {
         let b = Fr::from_u64(7654321);
         assert_eq!((a + b).to_canonical_limbs()[0], 1234567 + 7654321);
         assert_eq!((b - a).to_canonical_limbs()[0], 7654321 - 1234567);
-        assert_eq!(
-            (a * b).to_canonical_limbs()[0],
-            1234567u64 * 7654321u64
-        );
+        assert_eq!((a * b).to_canonical_limbs()[0], 1234567u64 * 7654321u64);
     }
 
     #[test]
@@ -591,7 +590,10 @@ mod tests {
     fn from_le_bytes_mod_order_wide() {
         // 64 bytes of 0xFF = 2^512 - 1 mod p, cross-checked with BigUint.
         let bytes = [0xFFu8; 64];
-        let expect = BigUint::one().shl(512).sub(&BigUint::one()).rem(&Fr::modulus_biguint());
+        let expect = BigUint::one()
+            .shl(512)
+            .sub(&BigUint::one())
+            .rem(&Fr::modulus_biguint());
         let got = Fr::from_le_bytes_mod_order(&bytes);
         assert_eq!(BigUint::from_limbs(&got.to_canonical_limbs()), expect);
     }

@@ -7,13 +7,11 @@ use waku_arith::fields::{Fq, Fr};
 use waku_arith::traits::{Field, PrimeField};
 
 fn arb_fr() -> impl Strategy<Value = Fr> {
-    proptest::array::uniform32(any::<u8>())
-        .prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
+    proptest::array::uniform32(any::<u8>()).prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
 }
 
 fn arb_fq() -> impl Strategy<Value = Fq> {
-    proptest::array::uniform32(any::<u8>())
-        .prop_map(|bytes| Fq::from_le_bytes_mod_order(&bytes))
+    proptest::array::uniform32(any::<u8>()).prop_map(|bytes| Fq::from_le_bytes_mod_order(&bytes))
 }
 
 proptest! {

@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn unmined_envelope_fails_validation() {
         let e = env(b"lazy");
-        assert!(!validate(&e, 1000.0, 100), "astronomically unlikely unmined");
+        assert!(
+            !validate(&e, 1000.0, 100),
+            "astronomically unlikely unmined"
+        );
     }
 
     #[test]

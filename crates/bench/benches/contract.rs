@@ -64,7 +64,11 @@ fn bench_slash(c: &mut Criterion) {
                 .expect("victim registered");
             victim += 1;
             contract
-                .register(owner, waku_poseidon::poseidon1(Fr::from_u64(next_secret)), ETHER)
+                .register(
+                    owner,
+                    waku_poseidon::poseidon1(Fr::from_u64(next_secret)),
+                    ETHER,
+                )
                 .unwrap();
             next_secret += 1;
         })

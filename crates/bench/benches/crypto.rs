@@ -27,7 +27,9 @@ fn bench_poseidon(c: &mut Criterion) {
 
 fn bench_byte_hashes(c: &mut Criterion) {
     let data = vec![0xABu8; 1024];
-    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    c.bench_function("sha256/1KiB", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
     c.bench_function("keccak256/1KiB", |b| {
         b.iter(|| keccak256(std::hint::black_box(&data)))
     });

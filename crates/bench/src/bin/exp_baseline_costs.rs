@@ -5,10 +5,10 @@
 //! * Peer scoring: Sybil identity rotation is free; RLN makes each spam
 //!   slot cost a slashable deposit.
 
+use std::time::Duration;
 use waku_baselines::pow::{expected_iterations, mine, Envelope};
 use waku_baselines::SybilCostModel;
 use waku_bench::fmt_duration;
-use std::time::Duration;
 
 fn main() {
     println!("# E10 — baseline cost asymmetries");

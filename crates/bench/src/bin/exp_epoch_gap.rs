@@ -12,9 +12,19 @@ fn main() {
 
     let cases = [
         // (label, T secs, clock drift ms, max latency ms)
-        ("chat app: T=1s, drift ±100ms, latency ≤120ms", 1u64, 100u64, 120u64),
+        (
+            "chat app: T=1s, drift ±100ms, latency ≤120ms",
+            1u64,
+            100u64,
+            120u64,
+        ),
         ("chat app, sloppy clocks: T=1s, drift ±2s", 1, 2_000, 120),
-        ("slow links: T=1s, drift ±100ms, latency ≤800ms", 1, 100, 800),
+        (
+            "slow links: T=1s, drift ±100ms, latency ≤800ms",
+            1,
+            100,
+            800,
+        ),
         ("long epochs: T=30s, drift ±2s", 30, 2_000, 120),
     ];
 
@@ -25,7 +35,11 @@ fn main() {
         println!("|---|---|---|---|");
         let points = sweep_thr(t, drift, latency, &[0, 1, 2, 3, 4], 7);
         for p in &points {
-            let marker = if p.thr == p.thr_formula { " ◀ formula" } else { "" };
+            let marker = if p.thr == p.thr_formula {
+                " ◀ formula"
+            } else {
+                ""
+            };
             println!(
                 "| {}{} | {} | {:.3} | {} |",
                 p.thr, marker, p.thr_formula, p.honest_delivery_ratio, p.latency_p50_ms

@@ -18,7 +18,9 @@ fn main() {
     println!();
     println!("paper reference: prove ≈0.5 s @ depth 32 (iPhone 8), verify ≈30 ms constant");
     println!();
-    println!("| depth | group size | keygen | prove (mean of 3) | verify (mean of 5) | constraints |");
+    println!(
+        "| depth | group size | keygen | prove (mean of 3) | verify (mean of 5) | constraints |"
+    );
     println!("|---|---|---|---|---|---|");
 
     for depth in [10usize, 15, 20, 32] {

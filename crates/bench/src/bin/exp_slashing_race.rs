@@ -5,9 +5,7 @@
 
 use waku_arith::fields::Fr;
 use waku_arith::traits::PrimeField;
-use waku_chain::{
-    slash_commitment_hash, Address, Chain, ChainConfig, TxKind, ETHER,
-};
+use waku_chain::{slash_commitment_hash, Address, Chain, ChainConfig, TxKind, ETHER};
 use waku_poseidon::poseidon1;
 
 struct RaceResult {

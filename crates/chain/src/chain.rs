@@ -15,9 +15,7 @@ use std::collections::HashMap;
 use waku_arith::fields::Fr;
 use waku_hash::keccak256;
 
-use crate::membership::{
-    ContractError, ContractEvent, ContractKind, MembershipContract,
-};
+use crate::membership::{ContractError, ContractEvent, ContractKind, MembershipContract};
 use crate::types::{Address, TxHash, Wei, GWEI};
 
 /// Chain construction parameters.
@@ -279,10 +277,12 @@ impl Chain {
                 }
             }
             TxKind::Withdraw { index } => {
-                self.contract.withdraw(tx.from, *index).map(|(refund, gas, ev)| {
-                    *self.balances.entry(tx.from).or_insert(0) += refund;
-                    (gas, ev)
-                })
+                self.contract
+                    .withdraw(tx.from, *index)
+                    .map(|(refund, gas, ev)| {
+                        *self.balances.entry(tx.from).or_insert(0) += refund;
+                        (gas, ev)
+                    })
             }
             TxKind::SlashCommit { hash } => {
                 let (gas, ev) = self.contract.slash_commit(tx.from, *hash, block);
@@ -299,7 +299,10 @@ impl Chain {
                     *self.balances.entry(*beneficiary).or_insert(0) += reward;
                     (gas, ev)
                 }),
-            TxKind::SlashPlain { secret, beneficiary } => self
+            TxKind::SlashPlain {
+                secret,
+                beneficiary,
+            } => self
                 .contract
                 .slash_plain(*secret, *beneficiary)
                 .map(|(reward, gas, ev)| {
@@ -537,7 +540,10 @@ mod tests {
             "attacker wins the race (reward minus gas): {}",
             chain.balance(attacker)
         );
-        assert!(chain.balance(honest) < ETHER, "honest slasher burned gas for nothing");
+        assert!(
+            chain.balance(honest) < ETHER,
+            "honest slasher burned gas for nothing"
+        );
     }
 
     #[test]

@@ -515,7 +515,8 @@ mod tests {
         let mut c = contract(ContractKind::FlatList);
         c.register(Address::zero(), Fr::from_u64(1), ETHER).unwrap();
         assert_eq!(
-            c.register(Address::zero(), Fr::from_u64(1), ETHER).unwrap_err(),
+            c.register(Address::zero(), Fr::from_u64(1), ETHER)
+                .unwrap_err(),
             ContractError::AlreadyRegistered
         );
     }
@@ -537,8 +538,12 @@ mod tests {
     fn on_chain_tree_costs_more() {
         let mut flat = contract(ContractKind::FlatList);
         let mut tree = contract(ContractKind::OnChainTree);
-        let (_, gas_flat, _) = flat.register(Address::zero(), Fr::from_u64(1), ETHER).unwrap();
-        let (_, gas_tree, _) = tree.register(Address::zero(), Fr::from_u64(1), ETHER).unwrap();
+        let (_, gas_flat, _) = flat
+            .register(Address::zero(), Fr::from_u64(1), ETHER)
+            .unwrap();
+        let (_, gas_tree, _) = tree
+            .register(Address::zero(), Fr::from_u64(1), ETHER)
+            .unwrap();
         assert!(
             gas_tree > 5 * gas_flat,
             "Semaphore-style insertion is O(depth): {gas_tree} vs {gas_flat}"
@@ -592,7 +597,8 @@ mod tests {
         let mut c = contract(ContractKind::FlatList);
         let spammer_sk = Fr::from_u64(1234);
         let pk = poseidon1(spammer_sk);
-        c.register(Address::from_seed(b"spammer"), pk, ETHER).unwrap();
+        c.register(Address::from_seed(b"spammer"), pk, ETHER)
+            .unwrap();
         let slasher = Address::from_seed(b"slasher");
         let (reward, _, events) = c.slash_plain(spammer_sk, slasher).unwrap();
         assert_eq!(reward, ETHER);

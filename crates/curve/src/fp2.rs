@@ -27,10 +27,7 @@ impl Fp2 {
 
     /// Embeds an Fq element.
     pub fn from_base(c0: Fq) -> Self {
-        Fp2 {
-            c0,
-            c1: Fq::zero(),
-        }
+        Fp2 { c0, c1: Fq::zero() }
     }
 
     /// The twist non-residue `ξ = 9 + u`.
@@ -52,7 +49,7 @@ impl Fp2 {
 
     /// Frobenius endomorphism `x ↦ x^(p^power)`.
     pub fn frobenius_map(&self, power: usize) -> Self {
-        if power % 2 == 0 {
+        if power.is_multiple_of(2) {
             *self
         } else {
             self.conjugate()

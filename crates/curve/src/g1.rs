@@ -31,9 +31,9 @@ pub type G1Projective = Projective<G1Params>;
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use waku_arith::traits::Field;
     use rand::SeedableRng;
     use waku_arith::fields::Fr;
+    use waku_arith::traits::Field;
 
     #[test]
     fn generator_on_curve_and_in_subgroup() {
@@ -92,8 +92,7 @@ mod tests {
     fn batch_to_affine_matches_individual() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = G1Projective::generator();
-        let mut points: Vec<G1Projective> =
-            (0..10).map(|_| g.mul(Fr::random(&mut rng))).collect();
+        let mut points: Vec<G1Projective> = (0..10).map(|_| g.mul(Fr::random(&mut rng))).collect();
         points.insert(3, G1Projective::identity());
         let batch = G1Projective::batch_to_affine(&points);
         for (p, a) in points.iter().zip(&batch) {

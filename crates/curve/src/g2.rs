@@ -73,14 +73,17 @@ pub type G2Projective = Projective<G2Params>;
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use waku_arith::traits::Field;
     use rand::SeedableRng;
     use waku_arith::fields::Fr;
+    use waku_arith::traits::Field;
 
     #[test]
     fn generator_on_curve_and_in_subgroup() {
         let g = G2Affine::generator();
-        assert!(g.is_on_curve(), "published G2 generator satisfies y² = x³ + 3/ξ");
+        assert!(
+            g.is_on_curve(),
+            "published G2 generator satisfies y² = x³ + 3/ξ"
+        );
         assert!(g.is_in_subgroup(), "generator lies in the order-r subgroup");
     }
 

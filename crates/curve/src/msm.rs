@@ -2,7 +2,7 @@
 //!
 //! The Groth16 prover and trusted setup are dominated by MSMs over a few
 //! thousand bases; the bucket method with a window size tuned to the input
-//! length plus window-level parallelism (via `crossbeam` scoped threads)
+//! length plus window-level parallelism (via `std::thread::scope`)
 //! keeps proving in the paper's "interactive" regime (§IV reports ≈0.5 s
 //! proof generation).
 
@@ -53,15 +53,15 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
     }
     let limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
     let c = window_size(bases.len());
-    let num_windows = (256 + c - 1) / c;
+    let num_windows = 256_usize.div_ceil(c);
 
     // Each window is independent: accumulate buckets, then a running sum.
     let window_sums: Vec<Projective<C>> = {
         let mut sums = vec![Projective::<C>::identity(); num_windows];
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (w, slot) in sums.iter_mut().enumerate() {
                 let limbs = &limbs;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = w * c;
                     let mut buckets = vec![Projective::<C>::identity(); (1 << c) - 1];
                     for (base, l) in bases.iter().zip(limbs.iter()) {
@@ -80,8 +80,7 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
                     *slot = acc;
                 });
             }
-        })
-        .expect("msm worker panicked");
+        });
         sums
     };
 
@@ -125,8 +124,11 @@ impl<C: CurveParams> WindowTable<C> {
     ///
     /// Panics if `window_bits` is 0 or greater than 16.
     pub fn new(base: Projective<C>, window_bits: usize) -> Self {
-        assert!((1..=16).contains(&window_bits), "window must be 1..=16 bits");
-        let windows = (256 + window_bits - 1) / window_bits;
+        assert!(
+            (1..=16).contains(&window_bits),
+            "window must be 1..=16 bits"
+        );
+        let windows = 256_usize.div_ceil(window_bits);
         let entries = (1usize << window_bits) - 1;
         let mut table = Vec::with_capacity(windows);
         let mut window_base = base;
@@ -142,10 +144,7 @@ impl<C: CurveParams> WindowTable<C> {
                 window_base = window_base.double();
             }
         }
-        WindowTable {
-            window_bits,
-            table,
-        }
+        WindowTable { window_bits, table }
     }
 
     /// `scalar · base` via table lookups.
@@ -165,16 +164,15 @@ impl<C: CurveParams> WindowTable<C> {
     pub fn mul_batch(&self, scalars: &[Fr]) -> Vec<Projective<C>> {
         let chunk = (scalars.len() / 8).max(256);
         let mut out = vec![Projective::<C>::identity(); scalars.len()];
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (s_chunk, o_chunk) in scalars.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (s, o) in s_chunk.iter().zip(o_chunk.iter_mut()) {
                         *o = self.mul(*s);
                     }
                 });
             }
-        })
-        .expect("window table worker panicked");
+        });
         out
     }
 }
@@ -190,9 +188,7 @@ mod tests {
 
     fn random_g1(rng: &mut StdRng, n: usize) -> (Vec<G1Affine>, Vec<Fr>) {
         let g = G1Projective::generator();
-        let bases: Vec<G1Affine> = (0..n)
-            .map(|_| g.mul(Fr::random(rng)).to_affine())
-            .collect();
+        let bases: Vec<G1Affine> = (0..n).map(|_| g.mul(Fr::random(rng)).to_affine()).collect();
         let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(rng)).collect();
         (bases, scalars)
     }
@@ -272,7 +268,7 @@ mod tests {
         // via big integers).
         use waku_arith::biguint::BigUint;
         let mut acc = BigUint::zero();
-        for w in (0..(256 + c - 1) / c).rev() {
+        for w in (0..256_usize.div_ceil(c)).rev() {
             acc = acc.shl(c);
             acc = acc.add(&BigUint::from(window_digit(&limbs, w * c, c) as u64));
         }

@@ -281,10 +281,18 @@ mod tests {
     #[test]
     fn multi_pairing_matches_product() {
         let mut rng = StdRng::seed_from_u64(9);
-        let p1 = G1Projective::generator().mul(Fr::random(&mut rng)).to_affine();
-        let p2 = G1Projective::generator().mul(Fr::random(&mut rng)).to_affine();
-        let q1 = G2Projective::generator().mul(Fr::random(&mut rng)).to_affine();
-        let q2 = G2Projective::generator().mul(Fr::random(&mut rng)).to_affine();
+        let p1 = G1Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let p2 = G1Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let q1 = G2Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let q2 = G2Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
         let combined = multi_pairing(&[(p1, q1), (p2, q2)]);
         let separate = pairing(&p1, &q1) * pairing(&p2, &q2);
         assert_eq!(combined, separate);

@@ -373,8 +373,7 @@ impl<C: CurveParams> PartialEq for Projective<C> {
         // (X1/Z1², Y1/Z1³) == (X2/Z2², Y2/Z2³) without inversions.
         let z1z1 = self.z.square();
         let z2z2 = other.z.square();
-        self.x * z2z2 == other.x * z1z1
-            && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+        self.x * z2z2 == other.x * z1z1 && self.y * z2z2 * other.z == other.y * z1z1 * self.z
     }
 }
 impl<C: CurveParams> Eq for Projective<C> {}

@@ -8,8 +8,7 @@ use waku_curve::pairing::{multi_pairing, pairing};
 use waku_curve::{Fp12, G1Affine, G1Projective, G2Affine, G2Projective};
 
 fn arb_fr() -> impl Strategy<Value = Fr> {
-    proptest::array::uniform32(any::<u8>())
-        .prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
+    proptest::array::uniform32(any::<u8>()).prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
 }
 
 proptest! {

@@ -17,7 +17,11 @@ pub struct MessageId(pub [u8; 32]);
 
 impl std::fmt::Debug for MessageId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "msg:{:02x}{:02x}{:02x}{:02x}…", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "msg:{:02x}{:02x}{:02x}{:02x}…",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 

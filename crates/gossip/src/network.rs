@@ -217,7 +217,8 @@ impl Network {
                 current_window: Vec::new(),
                 scores: HashMap::new(),
                 validator: None,
-                drift_ms: rng.gen_range(-(config.clock_drift_ms as i64)..=config.clock_drift_ms as i64),
+                drift_ms: rng
+                    .gen_range(-(config.clock_drift_ms as i64)..=config.clock_drift_ms as i64),
                 stats: PeerStats::default(),
                 next_seq: 0,
             })
@@ -532,13 +533,14 @@ impl Network {
                     .or_default()
                     .on_first_delivery();
                 if let Some(published_at) = self.publish_times.get(&message.id).copied() {
-                    self.deliveries.entry(message.id).or_default().push(
-                        DeliveryRecord {
+                    self.deliveries
+                        .entry(message.id)
+                        .or_default()
+                        .push(DeliveryRecord {
                             peer: to,
                             at: self.now,
                             published_at,
-                        },
-                    );
+                        });
                 }
                 let targets = self.mesh_targets(to, message.topic, Some(from));
                 for t in targets {
@@ -679,7 +681,9 @@ impl Network {
         // 5. rotate the mcache window
         let window = std::mem::take(&mut self.peers[peer].current_window);
         self.peers[peer].mcache.push_front(window);
-        self.peers[peer].mcache.truncate(self.config.gossip.mcache_len);
+        self.peers[peer]
+            .mcache
+            .truncate(self.config.gossip.mcache_len);
 
         self.schedule(heartbeat_ms, SimEvent::Heartbeat { peer });
     }

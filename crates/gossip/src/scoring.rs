@@ -153,7 +153,11 @@ mod tests {
         for _ in 0..10_000 {
             s.on_first_delivery();
         }
-        assert!(s.score(&p) <= p.first_message_cap * p.first_message_weight + p.time_in_mesh_cap * p.time_in_mesh_weight);
+        assert!(
+            s.score(&p)
+                <= p.first_message_cap * p.first_message_weight
+                    + p.time_in_mesh_cap * p.time_in_mesh_weight
+        );
     }
 
     #[test]
@@ -176,9 +180,6 @@ mod tests {
         let p = ScoreParams::default();
         let mut s = PeerScore::default();
         s.on_mesh_time(1_000_000.0);
-        assert_eq!(
-            s.score(&p),
-            p.time_in_mesh_cap * p.time_in_mesh_weight
-        );
+        assert_eq!(s.score(&p), p.time_in_mesh_cap * p.time_in_mesh_weight);
     }
 }

@@ -43,6 +43,8 @@ const R: [[u32; 5]; 5] = [
 
 const RATE: usize = 136; // 1088-bit rate for Keccak-256
 
+// The x/y index loops mirror the FIPS-202 step functions directly.
+#[allow(clippy::needless_range_loop)]
 fn keccak_f(a: &mut [[u64; 5]; 5]) {
     for rc in RC.iter() {
         // θ
@@ -229,8 +231,8 @@ mod tests {
     fn rate_boundary_input() {
         let exactly_rate = vec![0x11u8; 136];
         let d1 = keccak256(&exactly_rate);
-        let d2 = keccak256(&vec![0x11u8; 135]);
-        let d3 = keccak256(&vec![0x11u8; 137]);
+        let d2 = keccak256(&[0x11u8; 135]);
+        let d3 = keccak256(&[0x11u8; 137]);
         assert_ne!(d1, d2);
         assert_ne!(d1, d3);
     }

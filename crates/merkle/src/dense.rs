@@ -46,9 +46,9 @@ impl DenseTree {
         assert!((1..=32).contains(&depth), "depth must be 1..=32");
         let zeros = zero_hashes(depth);
         let mut levels = Vec::with_capacity(depth + 1);
-        for level in 0..=depth {
+        for (level, &zero) in zeros.iter().enumerate() {
             let len = 1usize << (depth - level);
-            levels.push(vec![zeros[level]; len]);
+            levels.push(vec![zero; len]);
         }
         DenseTree { depth, levels }
     }
@@ -142,10 +142,7 @@ impl DenseTree {
             siblings.push(self.levels[level][idx ^ 1]);
             idx /= 2;
         }
-        MerklePath {
-            index,
-            siblings,
-        }
+        MerklePath { index, siblings }
     }
 
     /// Bytes of node storage this tree occupies (32 B per node) — the

@@ -106,12 +106,12 @@ impl FrontierTree {
         let index = self.next_index;
         let mut node = leaf;
         let mut idx = index;
-        for level in 0..self.depth {
+        for (slot, &zero) in self.frontier.iter_mut().zip(zeros.iter()) {
             if idx & 1 == 0 {
-                self.frontier[level] = node;
-                node = poseidon2(node, zeros[level]);
+                *slot = node;
+                node = poseidon2(node, zero);
             } else {
-                node = poseidon2(self.frontier[level], node);
+                node = poseidon2(*slot, node);
             }
             idx >>= 1;
         }

@@ -47,11 +47,13 @@ mod tests {
     #[test]
     fn all_distinct() {
         let zs = zero_hashes(MAX_DEPTH);
-        let set: std::collections::HashSet<_> =
-            zs.iter().map(|z| {
+        let set: std::collections::HashSet<_> = zs
+            .iter()
+            .map(|z| {
                 use waku_arith::traits::PrimeField;
                 z.to_le_bytes()
-            }).collect();
+            })
+            .collect();
         assert_eq!(set.len(), zs.len());
     }
 }

@@ -89,6 +89,8 @@ fn cauchy_matrix(xs: &[Fr], ys: &[Fr]) -> Option<Vec<Vec<Fr>>> {
 }
 
 /// Gaussian elimination invertibility check.
+// Pivot and eliminated rows are read in the same step, so index loops it is.
+#[allow(clippy::needless_range_loop)]
 fn is_invertible(m: &[Vec<Fr>]) -> bool {
     let t = m.len();
     let mut a: Vec<Vec<Fr>> = m.to_vec();

@@ -100,7 +100,10 @@ mod tests {
         let mut f = FilterService::new();
         f.subscribe(1, vec!["/a".into(), "/b".into()]);
         f.unsubscribe(1, &["/a".into()]);
-        assert_eq!(f.match_message(&WakuMessage::new(vec![], "/a", 0)), Vec::<usize>::new());
+        assert_eq!(
+            f.match_message(&WakuMessage::new(vec![], "/a", 0)),
+            Vec::<usize>::new()
+        );
         assert_eq!(f.match_message(&WakuMessage::new(vec![], "/b", 0)), vec![1]);
         f.unsubscribe(1, &[]);
         assert_eq!(f.subscriber_count(), 0);

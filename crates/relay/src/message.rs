@@ -18,7 +18,11 @@ pub struct WakuMessage {
 
 impl WakuMessage {
     /// Builds a version-0 message.
-    pub fn new(payload: impl Into<Vec<u8>>, content_topic: impl Into<String>, timestamp: u64) -> Self {
+    pub fn new(
+        payload: impl Into<Vec<u8>>,
+        content_topic: impl Into<String>,
+        timestamp: u64,
+    ) -> Self {
         WakuMessage {
             payload: payload.into(),
             content_topic: content_topic.into(),

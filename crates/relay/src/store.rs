@@ -88,8 +88,8 @@ impl MessageStore {
             .iter()
             .filter(|m| {
                 (q.content_topics.is_empty() || q.content_topics.contains(&m.content_topic))
-                    && q.start_time.map_or(true, |s| m.timestamp >= s)
-                    && q.end_time.map_or(true, |e| m.timestamp <= e)
+                    && q.start_time.is_none_or(|s| m.timestamp >= s)
+                    && q.end_time.is_none_or(|e| m.timestamp <= e)
             })
             .collect();
         matching.sort_by_key(|m| m.timestamp);
@@ -178,7 +178,9 @@ mod tests {
         }
         assert_eq!(collected.len(), 50);
         // sorted by timestamp
-        assert!(collected.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(collected
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
     }
 
     #[test]

@@ -45,8 +45,7 @@ impl EpochManager {
     /// `Thr = ⌈(NetworkDelay + ClockAsynchrony) / T⌉` (paper §III-F),
     /// inputs in seconds.
     pub fn max_epoch_gap(&self, network_delay_secs: f64, clock_asynchrony_secs: f64) -> u64 {
-        ((network_delay_secs + clock_asynchrony_secs) / self.epoch_length_secs as f64).ceil()
-            as u64
+        ((network_delay_secs + clock_asynchrony_secs) / self.epoch_length_secs as f64).ceil() as u64
     }
 
     /// Absolute distance between two epochs.

@@ -141,8 +141,8 @@ impl GroupManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use waku_chain::{Address, ChainConfig, TxKind, ETHER};
     use waku_arith::traits::PrimeField;
+    use waku_chain::{Address, ChainConfig, TxKind, ETHER};
 
     fn chain() -> (Chain, Address) {
         let mut chain = Chain::new(ChainConfig {
@@ -210,11 +210,7 @@ mod tests {
         assert!(gm.own_path().is_some());
 
         // Slashing removes us.
-        chain.submit(
-            user,
-            TxKind::Withdraw { index: 0 },
-            50,
-        );
+        chain.submit(user, TxKind::Withdraw { index: 0 }, 50);
         chain.mine_block();
         gm.sync(&chain);
         assert_eq!(gm.own_index(), None);

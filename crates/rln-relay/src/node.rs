@@ -333,8 +333,13 @@ mod tests {
         let (prover, verifier) = keys();
         let addr = Address::from_seed(b"late");
         chain.fund(addr, 100 * ETHER);
-        let mut node =
-            WakuRlnRelayNode::new(config(), addr, Arc::clone(prover), verifier.clone(), &mut rng);
+        let mut node = WakuRlnRelayNode::new(
+            config(),
+            addr,
+            Arc::clone(prover),
+            verifier.clone(),
+            &mut rng,
+        );
         node.register(&mut chain);
         // tx in mempool, not mined: publishing must fail (§IV-A delay)
         assert_eq!(
@@ -370,11 +375,18 @@ mod tests {
         assert_eq!(spammer_deposit_holder, 3 * ETHER);
 
         // Spammer publishes twice in epoch 100.
-        let b1 = nodes[0].publish_unchecked(b"spam one", 1000, &mut rng).unwrap();
-        let b2 = nodes[0].publish_unchecked(b"spam two", 1000, &mut rng).unwrap();
+        let b1 = nodes[0]
+            .publish_unchecked(b"spam one", 1000, &mut rng)
+            .unwrap();
+        let b2 = nodes[0]
+            .publish_unchecked(b"spam two", 1000, &mut rng)
+            .unwrap();
 
         // Router (node 1) sees both: first relays, second is spam.
-        assert_eq!(nodes[1].handle_incoming(&b1, 1000, &mut chain), Outcome::Relay);
+        assert_eq!(
+            nodes[1].handle_incoming(&b1, 1000, &mut chain),
+            Outcome::Relay
+        );
         let outcome = nodes[1].handle_incoming(&b2, 1000, &mut chain);
         match &outcome {
             Outcome::Spam(ev) => {
@@ -413,7 +425,9 @@ mod tests {
         nodes[0].sync(&mut chain);
         assert!(!nodes[0].is_registered());
         assert_eq!(
-            nodes[0].publish(b"after slash", 2000, &mut rng).unwrap_err(),
+            nodes[0]
+                .publish(b"after slash", 2000, &mut rng)
+                .unwrap_err(),
             NodeError::NotRegistered,
             "the paper: removed spammers cannot publish further messages"
         );

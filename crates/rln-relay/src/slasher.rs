@@ -69,7 +69,11 @@ impl Slasher {
             seed.extend_from_slice(&secret.to_le_bytes());
             let salt = keccak256(&seed);
             let hash = slash_commitment_hash(secret, self.address, &salt);
-            chain.submit(self.address, TxKind::SlashCommit { hash }, self.gas_price_gwei);
+            chain.submit(
+                self.address,
+                TxKind::SlashCommit { hash },
+                self.gas_price_gwei,
+            );
             self.pending.push(Phase::Committed {
                 secret,
                 salt,
@@ -137,7 +141,8 @@ impl Slasher {
             }
         }
         if rewarded > 0 {
-            self.pending.retain(|p| !matches!(p, Phase::Revealed { .. }));
+            self.pending
+                .retain(|p| !matches!(p, Phase::Revealed { .. }));
         }
         rewarded
     }

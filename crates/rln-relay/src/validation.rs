@@ -177,8 +177,7 @@ mod tests {
         let mut group = GroupManager::new(DEPTH);
         group.set_own_commitment(identity.commitment());
         group.sync(&chain);
-        let validator =
-            MessageValidator::new(keys().1.clone(), EpochManager::new(T), 1);
+        let validator = MessageValidator::new(keys().1.clone(), EpochManager::new(T), 1);
         Fixture {
             chain,
             group,
@@ -207,10 +206,7 @@ mod tests {
         let now = 1000u64;
         let epoch = now / T;
         let bundle = prove(&f, b"hello", epoch, 2);
-        assert_eq!(
-            f.validator.validate(&bundle, &f.group, now),
-            Outcome::Relay
-        );
+        assert_eq!(f.validator.validate(&bundle, &f.group, now), Outcome::Relay);
         assert_eq!(f.validator.metrics().relayed, 1);
     }
 

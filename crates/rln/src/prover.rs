@@ -94,8 +94,9 @@ impl RlnMessageBundle {
         at += 8;
         let root = fr(&bytes[at..at + 32])?;
         at += 32;
-        let proof =
-            crate::prover::ProofBytes::try_from(&bytes[at..at + 256]).ok()?.parse()?;
+        let proof = crate::prover::ProofBytes::try_from(&bytes[at..at + 256])
+            .ok()?
+            .parse()?;
         Some(RlnMessageBundle {
             payload,
             y,
@@ -345,9 +346,9 @@ mod tests {
         let (id, mut tree, index) = registered_identity(11);
         let stale_path = tree.proof(index);
         tree.set(2, Fr::from_u64(999_999)); // tree moves on
-        // The stale path still proves against the OLD root, which is what
-        // the bundle will carry; that's §III-C's sync hazard. Proving still
-        // works but binds to the old root:
+                                            // The stale path still proves against the OLD root, which is what
+                                            // the bundle will carry; that's §III-C's sync hazard. Proving still
+                                            // works but binds to the old root:
         let mut rng = StdRng::seed_from_u64(12);
         let bundle = prover
             .prove_message(&id, &stale_path, b"msg", 1, &mut rng)
@@ -366,7 +367,10 @@ mod tests {
         let b2 = prover
             .prove_message(&id, &tree.proof(index), b"second message", 99, &mut rng)
             .unwrap();
-        assert_eq!(b1.nullifier, b2.nullifier, "same epoch ⇒ nullifier collision");
+        assert_eq!(
+            b1.nullifier, b2.nullifier,
+            "same epoch ⇒ nullifier collision"
+        );
         let sk = waku_shamir::recover_from_two(b1.share(), b2.share()).unwrap();
         assert_eq!(sk, id.secret(), "slashing recovers the identity key");
     }

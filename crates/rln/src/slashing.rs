@@ -89,8 +89,7 @@ impl NullifierMap {
             }
             Some(&prev) if prev == share => RateCheck::Duplicate,
             Some(&prev) => {
-                let recovered =
-                    recover_from_two(prev, share).expect("distinct shares interpolate");
+                let recovered = recover_from_two(prev, share).expect("distinct shares interpolate");
                 RateCheck::Spam(SpamEvidence {
                     epoch: bundle.epoch,
                     share_a: prev,
@@ -123,8 +122,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use waku_arith::traits::Field;
-    use waku_snark::groth16::Proof;
     use waku_curve::{G1Affine, G2Affine};
+    use waku_snark::groth16::Proof;
 
     /// Builds a structurally-complete bundle without a real proof (the
     /// nullifier map never looks at `proof`).
@@ -198,8 +197,14 @@ mod tests {
         let a = Identity::random(&mut rng);
         let b = Identity::random(&mut rng);
         let mut map = NullifierMap::new();
-        assert_eq!(map.check_and_insert(&bundle_for(&a, b"m", 7)), RateCheck::Fresh);
-        assert_eq!(map.check_and_insert(&bundle_for(&b, b"m", 7)), RateCheck::Fresh);
+        assert_eq!(
+            map.check_and_insert(&bundle_for(&a, b"m", 7)),
+            RateCheck::Fresh
+        );
+        assert_eq!(
+            map.check_and_insert(&bundle_for(&b, b"m", 7)),
+            RateCheck::Fresh
+        );
     }
 
     #[test]
@@ -217,6 +222,55 @@ mod tests {
             map.check_and_insert(&bundle_for(&id, b"old2", 5)),
             RateCheck::Fresh
         );
+    }
+
+    #[test]
+    fn same_epoch_shares_recover_sk_directly() {
+        // §III-F: within one epoch both shares lie on A(x) = sk + a1·x, so
+        // Lagrange interpolation at 0 yields exactly the identity key.
+        let mut rng = StdRng::seed_from_u64(7);
+        let id = Identity::random(&mut rng);
+        let ext = external_nullifier(42);
+        let x1 = message_hash(b"first message");
+        let x2 = message_hash(b"second message");
+        let (_, _, y1) = derive(id.secret(), ext, x1);
+        let (_, _, y2) = derive(id.secret(), ext, x2);
+        let recovered = recover_from_two((x1, y1), (x2, y2)).expect("distinct x");
+        assert_eq!(recovered, id.secret());
+        assert_eq!(poseidon1(recovered), id.commitment());
+    }
+
+    #[test]
+    fn cross_epoch_shares_do_not_recover_sk() {
+        // §III-F privacy property: the line coefficient a1 = H(sk, ext)
+        // changes every epoch, so one share per epoch reveals nothing —
+        // interpolating shares from different lines lands off the secret.
+        let mut rng = StdRng::seed_from_u64(8);
+        let id = Identity::random(&mut rng);
+        let x1 = message_hash(b"epoch 42 message");
+        let x2 = message_hash(b"epoch 43 message");
+        let (_, _, y1) = derive(id.secret(), external_nullifier(42), x1);
+        let (_, _, y2) = derive(id.secret(), external_nullifier(43), x2);
+        let recovered = recover_from_two((x1, y1), (x2, y2)).expect("distinct x");
+        assert_ne!(recovered, id.secret());
+        assert_ne!(poseidon1(recovered), id.commitment());
+    }
+
+    #[test]
+    fn cross_peer_shares_do_not_recover_either_sk() {
+        // Two honest peers publishing in the same epoch are on different
+        // lines entirely; a colluding router learns neither key.
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Identity::random(&mut rng);
+        let b = Identity::random(&mut rng);
+        let ext = external_nullifier(42);
+        let x1 = message_hash(b"from a");
+        let x2 = message_hash(b"from b");
+        let (_, _, y1) = derive(a.secret(), ext, x1);
+        let (_, _, y2) = derive(b.secret(), ext, x2);
+        let recovered = recover_from_two((x1, y1), (x2, y2)).expect("distinct x");
+        assert_ne!(recovered, a.secret());
+        assert_ne!(recovered, b.secret());
     }
 
     #[test]

@@ -164,10 +164,7 @@ mod tests {
     fn below_threshold_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
         let shares = split(Fr::from_u64(7), 3, 5, &mut rng);
-        assert_eq!(
-            recover(&shares[..2], 3),
-            Err(ShamirError::NotEnoughShares)
-        );
+        assert_eq!(recover(&shares[..2], 3), Err(ShamirError::NotEnoughShares));
     }
 
     #[test]

@@ -9,8 +9,7 @@ use waku_arith::traits::{Field, PrimeField};
 use waku_shamir::{recover, recover_from_two, rln_share, split};
 
 fn arb_fr() -> impl Strategy<Value = Fr> {
-    proptest::array::uniform32(any::<u8>())
-        .prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
+    proptest::array::uniform32(any::<u8>()).prop_map(|bytes| Fr::from_le_bytes_mod_order(&bytes))
 }
 
 proptest! {

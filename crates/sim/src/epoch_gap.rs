@@ -104,10 +104,7 @@ mod tests {
             .iter()
             .find(|p| p.thr == p.thr_formula)
             .expect("formula threshold in sweep");
-        assert!(
-            at_formula.honest_delivery_ratio > 0.95,
-            "{at_formula:?}"
-        );
+        assert!(at_formula.honest_delivery_ratio > 0.95, "{at_formula:?}");
         // Larger thresholds cannot reduce delivery.
         let above = points.iter().find(|p| p.thr == at_formula.thr + 1).unwrap();
         assert!(above.honest_delivery_ratio >= at_formula.honest_delivery_ratio - 0.01);
@@ -128,10 +125,7 @@ mod tests {
     fn longer_epochs_tolerate_drift() {
         // Same drift, T = 10 s: a single epoch absorbs the asynchrony.
         let points = sweep_thr(10, 3_000, 120, &[1], 7);
-        assert!(
-            points[0].honest_delivery_ratio > 0.95,
-            "{points:?}"
-        );
+        assert!(points[0].honest_delivery_ratio > 0.95, "{points:?}");
     }
 
     #[test]

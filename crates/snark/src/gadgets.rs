@@ -125,12 +125,7 @@ pub fn enforce_equal(cs: &mut ConstraintSystem, a: &Wire, b: &Wire) {
 ///
 /// Returns `(left, right)` where `left = a + bit·(b − a)` and
 /// `right = b + bit·(a − b)`.
-pub fn cond_swap(
-    cs: &mut ConstraintSystem,
-    bit: &Wire,
-    a: &Wire,
-    b: &Wire,
-) -> (Wire, Wire) {
+pub fn cond_swap(cs: &mut ConstraintSystem, bit: &Wire, a: &Wire, b: &Wire) -> (Wire, Wire) {
     let delta = b.sub(a); // b − a
     let t = mul(cs, bit, &delta); // bit·(b − a)
     let left = a.add(&t);

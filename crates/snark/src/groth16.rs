@@ -227,7 +227,12 @@ pub fn prove<R: Rng + ?Sized>(
     let delta_g1 = pk.delta_g1.to_projective();
 
     // A = α + Σ zᵢAᵢ(τ) + rδ
-    let a = pk.vk.alpha_g1.to_projective().add(&msm(&pk.a_query, &z)).add(&delta_g1.mul(r));
+    let a = pk
+        .vk
+        .alpha_g1
+        .to_projective()
+        .add(&msm(&pk.a_query, &z))
+        .add(&delta_g1.mul(r));
     // B = β + Σ zᵢBᵢ(τ) + sδ   (in both groups)
     let b_g2 = pk
         .vk

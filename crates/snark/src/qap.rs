@@ -45,9 +45,7 @@ pub fn evaluate_at(cs: &ConstraintSystem, tau: Fr) -> QapEvaluations {
     //   Lⱼ(τ) = Z(τ) · ωʲ / (n · (τ − ωʲ))
     let zt = domain.z_at(tau);
     assert!(!zt.is_zero(), "τ collides with the evaluation domain");
-    let n_inv = Fr::from_u64_checked(n as u64)
-        .inverse()
-        .expect("n nonzero");
+    let n_inv = Fr::from_u64_checked(n as u64).inverse().expect("n nonzero");
     let mut lag = Vec::with_capacity(n);
     let mut omega_j = Fr::one();
     // Batch the inversions of (τ − ωʲ).
@@ -129,7 +127,10 @@ pub fn quotient_poly(cs: &ConstraintSystem) -> Vec<Fr> {
     let mut h = domain.coset_ifft(&h_coset);
     // deg h ≤ n − 2 for a satisfied system.
     let top = h.pop().expect("nonempty");
-    debug_assert!(top.is_zero(), "quotient has unexpected degree (unsatisfied system?)");
+    debug_assert!(
+        top.is_zero(),
+        "quotient has unexpected degree (unsatisfied system?)"
+    );
     h
 }
 

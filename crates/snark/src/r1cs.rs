@@ -184,9 +184,7 @@ impl ConstraintSystem {
     }
 
     /// The constraints (for the QAP reduction).
-    pub fn constraints(
-        &self,
-    ) -> &[(LinearCombination, LinearCombination, LinearCombination)] {
+    pub fn constraints(&self) -> &[(LinearCombination, LinearCombination, LinearCombination)] {
         &self.constraints
     }
 

@@ -64,7 +64,11 @@ fn main() {
         .collect();
 
     chain.mine_block();
-    println!("   block {} mined; contract now has {} members", chain.height(), chain.contract().len());
+    println!(
+        "   block {} mined; contract now has {} members",
+        chain.height(),
+        chain.contract().len()
+    );
 
     println!("== 3. tree sync from contract events (paper §III-C) ==");
     for node in nodes.iter_mut() {
@@ -93,8 +97,12 @@ fn main() {
     assert_eq!(outcome, Outcome::Relay);
 
     println!("== 5. carol spams: two messages, one epoch ==");
-    let spam1 = nodes[2].publish_unchecked(b"buy cheap ETH", now, &mut rng).unwrap();
-    let spam2 = nodes[2].publish_unchecked(b"last chance!!", now, &mut rng).unwrap();
+    let spam1 = nodes[2]
+        .publish_unchecked(b"buy cheap ETH", now, &mut rng)
+        .unwrap();
+    let spam2 = nodes[2]
+        .publish_unchecked(b"last chance!!", now, &mut rng)
+        .unwrap();
     let carol_commitment = nodes[2].commitment();
 
     let bob = &mut nodes[1];

@@ -106,7 +106,9 @@ fn honest_bundle_propagates_through_gossip_with_real_proofs() {
 
     // Node 0 publishes at wall time aligned with sim time 5000 ms.
     let mut publisher = nodes.into_iter().next().unwrap();
-    let bundle = publisher.publish(b"hello with a real proof", 5, &mut rng).unwrap();
+    let bundle = publisher
+        .publish(b"hello with a real proof", 5, &mut rng)
+        .unwrap();
     net.run_until(4_000);
     net.publish_at(5_000, 0, TOPIC, bundle.to_bytes(), TrafficClass::Honest);
     net.run_until(30_000);
@@ -175,15 +177,22 @@ fn network_detects_and_slashes_spammer_with_real_proofs() {
     let mut rng = StdRng::seed_from_u64(8);
 
     // Spammer = node 3; router = node 1. Two real proofs, same epoch.
-    let spam1 = nodes[3].publish_unchecked(b"spam alpha", 100, &mut rng).unwrap();
-    let spam2 = nodes[3].publish_unchecked(b"spam beta", 100, &mut rng).unwrap();
+    let spam1 = nodes[3]
+        .publish_unchecked(b"spam alpha", 100, &mut rng)
+        .unwrap();
+    let spam2 = nodes[3]
+        .publish_unchecked(b"spam beta", 100, &mut rng)
+        .unwrap();
     let spammer_commitment = nodes[3].commitment();
 
     // Wire round-trip (serialize → parse) like the real network does.
     let spam1 = RlnMessageBundle::from_bytes(&spam1.to_bytes()).unwrap();
     let spam2 = RlnMessageBundle::from_bytes(&spam2.to_bytes()).unwrap();
 
-    assert_eq!(nodes[1].handle_incoming(&spam1, 100, &mut chain), Outcome::Relay);
+    assert_eq!(
+        nodes[1].handle_incoming(&spam1, 100, &mut chain),
+        Outcome::Relay
+    );
     match nodes[1].handle_incoming(&spam2, 100, &mut chain) {
         Outcome::Spam(ev) => assert_eq!(ev.recovered_commitment(), spammer_commitment),
         other => panic!("expected spam, got {other:?}"),

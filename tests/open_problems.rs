@@ -88,7 +88,9 @@ fn open_problem_1_multiple_registrations_buy_aggregate_rate() {
     assert_eq!(chain.contract().escrow(), escrow_before);
     // And the moment any single identity exceeds ITS rate, it is caught:
     let greedy = &mut sybils[0];
-    let extra = greedy.publish_unchecked(b"one too many", now, &mut rng).unwrap();
+    let extra = greedy
+        .publish_unchecked(b"one too many", now, &mut rng)
+        .unwrap();
     assert!(matches!(
         router.handle_incoming(&extra, now, &mut chain),
         Outcome::Spam(_)
@@ -117,7 +119,9 @@ fn open_problem_2_early_withdrawal_escapes_the_slash() {
     // much higher gas price than the router's slashing transactions.
     let now = 1000u64;
     let b1 = spammer.publish_unchecked(b"hit", now, &mut rng).unwrap();
-    let b2 = spammer.publish_unchecked(b"and run", now, &mut rng).unwrap();
+    let b2 = spammer
+        .publish_unchecked(b"and run", now, &mut rng)
+        .unwrap();
     chain.submit(
         spammer_addr,
         TxKind::Withdraw {
@@ -140,7 +144,11 @@ fn open_problem_2_early_withdrawal_escapes_the_slash() {
 
     // The slash reveal reverted: the membership was already gone.
     assert_eq!(router.metrics().rewards_wei, 0, "no reward to collect");
-    assert_eq!(chain.contract().escrow(), ETHER, "only the router's own stake remains");
+    assert_eq!(
+        chain.contract().escrow(),
+        ETHER,
+        "only the router's own stake remains"
+    );
     // The spammer got its deposit back (minus gas) — the escape the paper
     // flags as an open problem. Its only loss is the registration gas.
     let balance_after = chain.balance(spammer_addr);

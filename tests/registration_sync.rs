@@ -42,7 +42,7 @@ fn many_peers_converge_on_identical_roots() {
         chain.mine_block();
         // Only some managers sync each round (stragglers catch up later).
         for (i, gm) in managers.iter_mut().enumerate() {
-            if (i as u64 + round) % 3 != 0 {
+            if !(i as u64 + round).is_multiple_of(3) {
                 gm.sync(&chain);
             }
         }

@@ -39,8 +39,7 @@ fn two_nodes(seed: u64) -> (Chain, WakuRlnRelayNode, WakuRlnRelayNode) {
     let mut make = |tag: u8, rng: &mut StdRng| {
         let addr = Address::from_seed(&[0xF1, tag, seed as u8]);
         chain.fund(addr, 10 * ETHER);
-        let mut n =
-            WakuRlnRelayNode::new(config, addr, Arc::clone(prover), verifier.clone(), rng);
+        let mut n = WakuRlnRelayNode::new(config, addr, Arc::clone(prover), verifier.clone(), rng);
         n.register(&mut chain);
         n
     };
@@ -59,7 +58,10 @@ fn branch_relay() {
     let (mut chain, mut alice, mut bob) = two_nodes(1);
     let mut rng = StdRng::seed_from_u64(2);
     let bundle = alice.publish(b"valid", 1000, &mut rng).unwrap();
-    assert_eq!(bob.handle_incoming(&bundle, 1000, &mut chain), Outcome::Relay);
+    assert_eq!(
+        bob.handle_incoming(&bundle, 1000, &mut chain),
+        Outcome::Relay
+    );
     assert_eq!(bob.validation_metrics().relayed, 1);
 }
 
@@ -97,7 +99,10 @@ fn branch_duplicate_discard() {
     let (mut chain, mut alice, mut bob) = two_nodes(7);
     let mut rng = StdRng::seed_from_u64(8);
     let bundle = alice.publish(b"same twice", 1000, &mut rng).unwrap();
-    assert_eq!(bob.handle_incoming(&bundle, 1000, &mut chain), Outcome::Relay);
+    assert_eq!(
+        bob.handle_incoming(&bundle, 1000, &mut chain),
+        Outcome::Relay
+    );
     assert_eq!(
         bob.handle_incoming(&bundle, 1001, &mut chain),
         Outcome::Duplicate
@@ -160,7 +165,10 @@ fn stale_root_window_tolerates_one_registration() {
     chain.mine_block();
     bob.sync(&mut chain);
 
-    assert_eq!(bob.handle_incoming(&bundle, 1000, &mut chain), Outcome::Relay);
+    assert_eq!(
+        bob.handle_incoming(&bundle, 1000, &mut chain),
+        Outcome::Relay
+    );
 }
 
 // Local helper: keep PrimeField usage explicit in the test.

@@ -76,6 +76,8 @@ fn escrow_is_conserved_through_slashing() {
 }
 
 #[test]
+// Routers are cross-indexed mutably, so index loops are the only option.
+#[allow(clippy::needless_range_loop)]
 fn concurrent_detectors_yield_exactly_one_payout() {
     // Both routers see the double-signal and both run commit-reveal; only
     // the first reveal finds the membership — the contract pays once.
@@ -111,6 +113,8 @@ fn concurrent_detectors_yield_exactly_one_payout() {
 }
 
 #[test]
+// Publisher/router pairs are cross-indexed mutably; index loops required.
+#[allow(clippy::needless_range_loop)]
 fn honest_members_never_lose_their_stake() {
     let (mut chain, mut nodes) = setup(3, 5);
     let mut rng = StdRng::seed_from_u64(6);

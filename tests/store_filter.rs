@@ -63,11 +63,7 @@ fn store_archives_only_validated_traffic() {
 
     let mut store = MessageStore::new(100);
     for (i, at) in (100u64..104).enumerate() {
-        let wm = WakuMessage::new(
-            format!("note {i}").into_bytes(),
-            "/app/1/notes/proto",
-            at,
-        );
+        let wm = WakuMessage::new(format!("note {i}").into_bytes(), "/app/1/notes/proto", at);
         let bundle = publisher.publish(&wm.to_bytes(), at, &mut rng).unwrap();
         // The store node only persists what validation relays.
         if router.handle_incoming(&bundle, at, &mut chain) == Outcome::Relay {

@@ -1,0 +1,425 @@
+//! Minimal, deterministic drop-in for the subset of `proptest` used by this
+//! workspace (the build environment has no crates.io access). It implements
+//! the `proptest!` macro, `Strategy` + `prop_map`, `any::<T>()`, integer
+//! range / tuple / vec / array strategies, `sample::Index`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the case number and the strategy inputs' `Debug` rendering where
+//! available. The number of cases per property defaults to 32 and can be
+//! raised with the `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(A);
+    impl_strategy_tuple!(A, B);
+    impl_strategy_tuple!(A, B, C);
+    impl_strategy_tuple!(A, B, C, D);
+
+    macro_rules! impl_strategy_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+}
+
+pub use strategy::Strategy;
+
+/// The RNG driving each property; deterministic per test.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable seeds across runs, distinct
+        // streams per property.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub fn gen_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        rand::Rng::gen_range(&mut self.0, range)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Number of cases to run per property when no config is given.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Per-`proptest!`-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Resolved case count: the `PROPTEST_CASES` env var wins, as upstream.
+    pub fn resolved_cases(&self) -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases as usize)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: ArbitraryPrimitive> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Primitive leaf types supported by `any`.
+pub trait ArbitraryPrimitive: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrimitive for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as rand::Standard>::sample(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_primitive!(u8, u16, u32, u64, u128, usize, i64, bool);
+
+pub fn any<T: ArbitraryPrimitive>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod sample {
+    use super::{ArbitraryPrimitive, TestRng};
+
+    /// An abstract index into a not-yet-known collection length, mirroring
+    /// `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps the abstract index into `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl ArbitraryPrimitive for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(<u64 as rand::Standard>::sample(rng))
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from `len_range`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len_range: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.len_range.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, len_range: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len_range.is_empty(), "empty length range");
+        VecStrategy { element, len_range }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for fixed-size arrays of one element strategy.
+    pub struct UniformArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.new_value(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy(element)
+            }
+        )*};
+    }
+    uniform_fn!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+}
+
+pub mod prelude {
+    pub use super::strategy::{Just, Strategy};
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Runs each `#[test] fn name(binding in strategy, ...) { body }` as a
+/// standard test executing [`cases()`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let mut rejected = 0usize;
+                let mut case = 0usize;
+                while case < cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may move them, and on
+                    // failure they are what makes the case reproducible.
+                    let inputs = [$(
+                        format!(concat!(stringify!($arg), " = {:?}"), $arg),
+                    )+].join(", ");
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => case += 1,
+                        Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > cases * 16 {
+                                panic!("proptest {}: too many prop_assume rejections", stringify!($name));
+                            }
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {} with inputs [{}]: {}",
+                                stringify!($name), case, inputs, msg,
+                            )
+                        }
+                    }
+                }
+            }
+        )+
+    };
+    ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(#[test] fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r,
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn map_and_vec_compose(v in crate::collection::vec(any::<u8>().prop_map(|b| b as u64), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 256));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in any::<u64>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn arrays_and_index(bytes in crate::array::uniform32(any::<u8>()),
+                            idx in any::<crate::sample::Index>()) {
+            prop_assert_eq!(bytes.len(), 32);
+            prop_assert!(idx.index(10) < 10);
+        }
+    }
+}
