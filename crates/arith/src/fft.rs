@@ -4,8 +4,27 @@
 //! Used by the QAP reduction in `waku-snark`: the Groth16 prover evaluates
 //! the constraint polynomials over a smooth multiplicative subgroup and the
 //! quotient over a coset of it.
+//!
+//! Two optimizations serve the prover's hot path:
+//!
+//! * **Cached twiddle tables** — the powers of ω (and ω⁻¹) are computed
+//!   once per domain and shared by every (i)FFT over it, halving the
+//!   multiplication count of the butterfly loops (the prover runs seven
+//!   transforms over the same domain per proof).
+//! * **Stage-parallel butterflies** — above [`PAR_FFT_MIN`] points, each
+//!   butterfly layer is split across the [`waku_pool`] work-stealing pool
+//!   (whole blocks while they are plentiful, intra-block halves once the
+//!   blocks outgrow the thread count). Modular arithmetic is exact, so the
+//!   parallel schedule produces bit-identical results to the serial one at
+//!   any pool size.
+
+use std::sync::OnceLock;
 
 use crate::traits::{Field, PrimeField};
+
+/// Transforms below this size run fully serially: at ~2¹² points the
+/// butterfly work no longer amortizes task scheduling.
+pub const PAR_FFT_MIN: usize = 1 << 12;
 
 /// A multiplicative subgroup `{1, ω, ω², …}` of size `2^log_size` plus the
 /// precomputed constants needed for (i)FFT and coset (i)FFT.
@@ -21,16 +40,29 @@ use crate::traits::{Field, PrimeField};
 /// let back = domain.ifft(&evals);
 /// assert_eq!(&back[..2], &poly[..]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Radix2Domain<F: PrimeField> {
     size: usize,
-    log_size: u32,
     omega: F,
     omega_inv: F,
     size_inv: F,
     coset_gen: F,
     coset_gen_inv: F,
+    /// Lazily-built `ω^j` table (`j < n/2`), shared by all forward FFTs.
+    twiddles: OnceLock<Vec<F>>,
+    /// Lazily-built `ω⁻ʲ` table for inverse FFTs.
+    inv_twiddles: OnceLock<Vec<F>>,
 }
+
+impl<F: PrimeField> PartialEq for Radix2Domain<F> {
+    fn eq(&self, other: &Self) -> bool {
+        // The twiddle caches are derived data; two domains are equal iff
+        // their defining constants are.
+        self.size == other.size && self.omega == other.omega && self.coset_gen == other.coset_gen
+    }
+}
+
+impl<F: PrimeField> Eq for Radix2Domain<F> {}
 
 impl<F: PrimeField> Radix2Domain<F> {
     /// Builds the smallest power-of-two domain with at least `min_size`
@@ -53,12 +85,13 @@ impl<F: PrimeField> Radix2Domain<F> {
         let coset_gen_inv = coset_gen.inverse().expect("generator nonzero");
         Some(Radix2Domain {
             size,
-            log_size,
             omega,
             omega_inv,
             size_inv,
             coset_gen,
             coset_gen_inv,
+            twiddles: OnceLock::new(),
+            inv_twiddles: OnceLock::new(),
         })
     }
 
@@ -72,9 +105,100 @@ impl<F: PrimeField> Radix2Domain<F> {
         self.omega
     }
 
-    /// In-place iterative Cooley–Tukey butterfly.
-    fn fft_in_place(values: &mut [F], omega: F) {
+    /// Fills `out[i] = base^i` serially.
+    ///
+    /// Deliberately NOT pool-parallel: this runs inside the `OnceLock`
+    /// twiddle initializers, and a pool task spawned from inside an
+    /// in-progress `get_or_init` lets a helping worker steal another FFT
+    /// task that re-enters the same `OnceLock` on the same thread —
+    /// reentrant initialization, which deadlocks. The fill is a one-time
+    /// `n/2`-multiplication chain per domain, amortized over every
+    /// subsequent transform.
+    fn fill_powers(base: F, out: &mut [F]) {
+        let mut factor = F::one();
+        for x in out.iter_mut() {
+            *x = factor;
+            factor *= base;
+        }
+    }
+
+    fn forward_twiddles(&self) -> &[F] {
+        self.twiddles.get_or_init(|| {
+            let mut t = vec![F::one(); self.size / 2];
+            Self::fill_powers(self.omega, &mut t);
+            t
+        })
+    }
+
+    fn inverse_twiddles(&self) -> &[F] {
+        self.inv_twiddles.get_or_init(|| {
+            let mut t = vec![F::one(); self.size / 2];
+            Self::fill_powers(self.omega_inv, &mut t);
+            t
+        })
+    }
+
+    /// Forces both twiddle tables to exist. Call before handing the same
+    /// domain to concurrent pool tasks so their first transforms don't
+    /// serialize on (or worse, nest inside) the one-time initialization.
+    pub fn prepare_twiddles(&self) {
+        self.forward_twiddles();
+        self.inverse_twiddles();
+    }
+
+    /// One butterfly layer over `values`, blocks of `2m`, reading
+    /// `twiddles[j * stride]` for the j-th butterfly of each block.
+    fn butterfly_stage(values: &mut [F], m: usize, twiddles: &[F], stride: usize) {
+        for block in values.chunks_mut(2 * m) {
+            let (lo, hi) = block.split_at_mut(m);
+            for j in 0..m {
+                let t = twiddles[j * stride] * hi[j];
+                let u = lo[j];
+                lo[j] = u + t;
+                hi[j] = u - t;
+            }
+        }
+    }
+
+    /// As [`Self::butterfly_stage`], split across the pool.
+    fn butterfly_stage_parallel(values: &mut [F], m: usize, twiddles: &[F], stride: usize) {
         let n = values.len();
+        let blocks = n / (2 * m);
+        let threads = waku_pool::current_num_threads();
+        if blocks >= threads * 2 {
+            // Plenty of blocks: hand each task a run of whole blocks.
+            let blocks_per_task = blocks.div_ceil(threads * 4).max(1);
+            waku_pool::par_for_each_chunk_mut(values, blocks_per_task * 2 * m, |_, chunk| {
+                Self::butterfly_stage(chunk, m, twiddles, stride);
+            });
+        } else {
+            // Few large blocks: split the lo/hi halves of each block.
+            let sub = m.div_ceil(threads * 4).max(1024);
+            waku_pool::scope(|s| {
+                for block in values.chunks_mut(2 * m) {
+                    let (lo, hi) = block.split_at_mut(m);
+                    for (i, (lc, hc)) in lo.chunks_mut(sub).zip(hi.chunks_mut(sub)).enumerate() {
+                        s.spawn(move || {
+                            let j0 = i * sub;
+                            for (j, (l, h)) in lc.iter_mut().zip(hc.iter_mut()).enumerate() {
+                                let t = twiddles[(j0 + j) * stride] * *h;
+                                let u = *l;
+                                *l = u + t;
+                                *h = u - t;
+                            }
+                        });
+                    }
+                }
+            });
+        }
+    }
+
+    /// In-place iterative Cooley–Tukey over the given twiddle table.
+    fn fft_in_place(values: &mut [F], twiddles: &[F]) {
+        let n = values.len();
+        if n <= 1 {
+            return;
+        }
         let log_n = n.trailing_zeros();
         // bit-reversal permutation
         for i in 0..n {
@@ -83,29 +207,39 @@ impl<F: PrimeField> Radix2Domain<F> {
                 values.swap(i, j);
             }
         }
+        let parallel = n >= PAR_FFT_MIN && waku_pool::current_num_threads() > 1;
         let mut m = 1usize;
-        for s in 0..log_n {
-            let w_m = {
-                let mut w = omega;
-                for _ in (s + 1)..log_n {
-                    w = w.square();
-                }
-                w
-            };
-            let mut k = 0usize;
-            while k < n {
-                let mut w = F::one();
-                for j in 0..m {
-                    let t = w * values[k + j + m];
-                    let u = values[k + j];
-                    values[k + j] = u + t;
-                    values[k + j + m] = u - t;
-                    w *= w_m;
-                }
-                k += 2 * m;
+        for _ in 0..log_n {
+            let stride = n / (2 * m);
+            if parallel {
+                Self::butterfly_stage_parallel(values, m, twiddles, stride);
+            } else {
+                Self::butterfly_stage(values, m, twiddles, stride);
             }
             m <<= 1;
         }
+    }
+
+    /// Multiplies every element by a fixed scalar, chunk-parallel.
+    fn scale_all(values: &mut [F], factor: F) {
+        let chunk = waku_pool::chunk_size_for(values.len(), 1024);
+        waku_pool::par_for_each_chunk_mut(values, chunk, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x *= factor;
+            }
+        });
+    }
+
+    /// Multiplies `values[i]` by `base^i`, chunk-parallel.
+    fn scale_by_powers(values: &mut [F], base: F) {
+        let chunk = waku_pool::chunk_size_for(values.len(), 1024);
+        waku_pool::par_for_each_chunk_mut(values, chunk, |offset, chunk| {
+            let mut factor = base.pow(&[offset as u64]);
+            for x in chunk.iter_mut() {
+                *x *= factor;
+                factor *= base;
+            }
+        });
     }
 
     /// Evaluates the polynomial with the given coefficients over the domain.
@@ -118,7 +252,7 @@ impl<F: PrimeField> Radix2Domain<F> {
         assert!(coeffs.len() <= self.size, "polynomial larger than domain");
         let mut v = coeffs.to_vec();
         v.resize(self.size, <F as Field>::zero());
-        Self::fft_in_place(&mut v, self.omega);
+        Self::fft_in_place(&mut v, self.forward_twiddles());
         v
     }
 
@@ -130,10 +264,8 @@ impl<F: PrimeField> Radix2Domain<F> {
     pub fn ifft(&self, evals: &[F]) -> Vec<F> {
         assert_eq!(evals.len(), self.size, "evaluation count must match domain");
         let mut v = evals.to_vec();
-        Self::fft_in_place(&mut v, self.omega_inv);
-        for x in v.iter_mut() {
-            *x *= self.size_inv;
-        }
+        Self::fft_in_place(&mut v, self.inverse_twiddles());
+        Self::scale_all(&mut v, self.size_inv);
         v
     }
 
@@ -143,23 +275,15 @@ impl<F: PrimeField> Radix2Domain<F> {
         assert!(coeffs.len() <= self.size, "polynomial larger than domain");
         let mut v = coeffs.to_vec();
         v.resize(self.size, F::zero());
-        let mut factor = F::one();
-        for x in v.iter_mut() {
-            *x *= factor;
-            factor *= self.coset_gen;
-        }
-        Self::fft_in_place(&mut v, self.omega);
+        Self::scale_by_powers(&mut v, self.coset_gen);
+        Self::fft_in_place(&mut v, self.forward_twiddles());
         v
     }
 
     /// Inverse of [`Radix2Domain::coset_fft`].
     pub fn coset_ifft(&self, evals: &[F]) -> Vec<F> {
         let mut v = self.ifft(evals);
-        let mut factor = F::one();
-        for x in v.iter_mut() {
-            *x *= factor;
-            factor *= self.coset_gen_inv;
-        }
+        Self::scale_by_powers(&mut v, self.coset_gen_inv);
         v
     }
 
@@ -212,6 +336,24 @@ mod tests {
             let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
             assert_eq!(domain.ifft(&domain.fft(&coeffs)), coeffs);
         }
+    }
+
+    #[test]
+    fn parallel_fft_is_bit_identical_to_serial() {
+        // Large enough to cross PAR_FFT_MIN and exercise both the
+        // whole-block and the intra-block splitting paths.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = PAR_FFT_MIN * 2;
+        let domain = Radix2Domain::<Fr>::new(n).unwrap();
+        let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let serial = waku_pool::with_threads(1, || domain.fft(&coeffs));
+        for threads in [2, 4, 7] {
+            let parallel = waku_pool::with_threads(threads, || domain.fft(&coeffs));
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        let serial_coset = waku_pool::with_threads(1, || domain.coset_ifft(&serial));
+        let parallel_coset = waku_pool::with_threads(4, || domain.coset_ifft(&serial));
+        assert_eq!(serial_coset, parallel_coset);
     }
 
     #[test]
@@ -271,6 +413,15 @@ mod tests {
         let domain = Radix2Domain::<Fr>::new(n).unwrap();
         assert!(domain.size() >= n);
         assert!(domain.size().is_power_of_two());
+    }
+
+    #[test]
+    fn domain_equality_ignores_twiddle_cache() {
+        let a = Radix2Domain::<Fr>::new(32).unwrap();
+        let b = Radix2Domain::<Fr>::new(32).unwrap();
+        let _ = a.fft(&[Fr::from_u64(1)]); // populate a's cache only
+        assert_eq!(a, b);
+        assert_ne!(a, Radix2Domain::<Fr>::new(64).unwrap());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! assert_eq!(a * a.inverse().unwrap(), Fr::one());
 //! ```
 
+pub mod batch_inv;
 pub mod biguint;
 pub mod fft;
 pub mod fields;

@@ -1,0 +1,102 @@
+//! Diffs two benchmark baselines produced by the vendored criterion stub
+//! (`target/bench-baseline.json`) and flags regressions.
+//!
+//! ```text
+//! exp_bench_compare OLD.json NEW.json [--threshold PCT]
+//! ```
+//!
+//! Compares median ns/iter per benchmark id. Benchmarks slower by more
+//! than the threshold (default 10%) are flagged as regressions and the
+//! process exits with status 2, so CI can archive a baseline per commit
+//! and fail when proving performance slips.
+
+use std::process::ExitCode;
+
+use criterion::baseline::{parse_baseline, BenchRecord};
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_baseline(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => threshold_pct = v,
+                None => {
+                    eprintln!("--threshold needs a numeric percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: exp_bench_compare OLD.json NEW.json [--threshold PCT]");
+        return ExitCode::FAILURE;
+    }
+    let (old, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("# bench comparison: {} → {}", paths[0], paths[1]);
+    println!("threshold: +{threshold_pct:.1}% on median ns/iter");
+    println!();
+    println!("| benchmark | old median | new median | delta | verdict |");
+    println!("|---|---|---|---|---|");
+
+    let mut regressions = 0usize;
+    for new_rec in &new {
+        let Some(old_rec) = old.iter().find(|r| r.id == new_rec.id) else {
+            println!(
+                "| {} | — | {} ns | new | added |",
+                new_rec.id, new_rec.median_ns
+            );
+            continue;
+        };
+        if old_rec.median_ns == 0 {
+            continue;
+        }
+        let delta_pct = (new_rec.median_ns as f64 - old_rec.median_ns as f64)
+            / old_rec.median_ns as f64
+            * 100.0;
+        let verdict = if delta_pct > threshold_pct {
+            regressions += 1;
+            "**REGRESSION**"
+        } else if delta_pct < -threshold_pct {
+            "improvement"
+        } else {
+            "ok"
+        };
+        println!(
+            "| {} | {} ns | {} ns | {:+.1}% | {} |",
+            new_rec.id, old_rec.median_ns, new_rec.median_ns, delta_pct, verdict
+        );
+    }
+    for old_rec in &old {
+        if !new.iter().any(|r| r.id == old_rec.id) {
+            println!(
+                "| {} | {} ns | — | gone | removed |",
+                old_rec.id, old_rec.median_ns
+            );
+        }
+    }
+
+    println!();
+    if regressions > 0 {
+        println!("{regressions} regression(s) above the {threshold_pct:.1}% threshold");
+        ExitCode::from(2)
+    } else {
+        println!("no regressions above the {threshold_pct:.1}% threshold");
+        ExitCode::SUCCESS
+    }
+}

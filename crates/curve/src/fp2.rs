@@ -152,6 +152,22 @@ impl fmt::Display for Fp2 {
     }
 }
 
+impl crate::point::BatchInvert for Fp2 {
+    /// `d⁻¹ = d̄ / N(d)` with the norm in Fq: one Fq batch inversion plus
+    /// four Fq multiplications per element, instead of nine for the
+    /// generic Montgomery chain over Fp2 products.
+    fn batch_invert(values: &mut [Self]) {
+        let mut norms: Vec<Fq> = values.iter().map(|v| v.norm()).collect();
+        waku_arith::batch_inv::batch_inverse_in_place(&mut norms);
+        for (v, n_inv) in values.iter_mut().zip(norms) {
+            // A zero norm means v = 0 (c0² + c1² = 0 has no nonzero curve
+            // coordinate solutions here since −1 is a quadratic
+            // nonresidue of Fq), so the zero n_inv keeps v at zero.
+            *v = v.conjugate().scale(n_inv);
+        }
+    }
+}
+
 impl Field for Fp2 {
     fn zero() -> Self {
         Fp2 {

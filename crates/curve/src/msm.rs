@@ -1,25 +1,43 @@
 //! Multi-scalar multiplication (Pippenger's bucket algorithm).
 //!
 //! The Groth16 prover and trusted setup are dominated by MSMs over a few
-//! thousand bases; the bucket method with a window size tuned to the input
-//! length plus window-level parallelism (via `std::thread::scope`)
-//! keeps proving in the paper's "interactive" regime (§IV reports ≈0.5 s
-//! proof generation).
+//! thousand bases; this implementation combines two optimizations to keep
+//! proving in the paper's "interactive" regime (§IV reports ≈0.5 s proof
+//! generation):
+//!
+//! * **Batch-affine buckets** — bucket accumulation uses plain affine
+//!   addition (`λ = Δy/Δx`: 2M + 1S per add) with the divisions amortized
+//!   by Montgomery batch inversion (≈3M each), instead of the ≈11M
+//!   projective `add_mixed` formulas. Pairs are reduced tree-style so every
+//!   round shares one inversion across *all* buckets of a window.
+//! * **Work-stealing windows** — the independent Pippenger windows are
+//!   scheduled on the [`waku_pool`] work-stealing pool, so concurrency is
+//!   capped at the pool size instead of spawning one OS thread per window
+//!   (previously ~37 raw threads for a 7-bit-window MSM).
 
 use waku_arith::fields::Fr;
-use waku_arith::traits::PrimeField;
+use waku_arith::traits::{Field, PrimeField};
 
-use crate::point::{Affine, CurveParams, Projective};
+use crate::point::{Affine, BatchInvert, CurveParams, Projective};
 
 /// Picks the Pippenger window size (in bits) for `n` terms.
+///
+/// Tuned for the signed-digit batch-affine cost model: a bucket add costs
+/// ~6 base-field muls and a bucket in the running sum ~27, with `2^(c−1)`
+/// buckets per window, so the optimum `c` minimizes
+/// `⌈256/c⌉·(6n + 27·2^(c−1))`; the break-evens below are where
+/// consecutive `c` values cross.
 fn window_size(n: usize) -> usize {
     match n {
         0..=1 => 1,
         2..=31 => 3,
         32..=255 => 5,
-        256..=2047 => 7,
-        2048..=16383 => 9,
-        16384..=131071 => 11,
+        256..=1479 => 7,
+        1480..=4729 => 8,
+        4730..=8399 => 9,
+        8400..=24099 => 10,
+        24100..=43899 => 11,
+        43900..=78999 => 12,
         _ => 13,
     }
 }
@@ -38,51 +56,259 @@ fn window_digit(limbs: &[u64; 4], start: usize, c: usize) -> usize {
     (v as usize) & ((1 << c) - 1)
 }
 
+/// Recodes a scalar into signed `c`-bit window digits in
+/// `(−2^(c−1), 2^(c−1)]`, so each window needs only `2^(c−1)` buckets
+/// (a negative digit adds the negated point, which is free in affine).
+///
+/// The scalar field is < 2²⁵⁴ while the windows cover ≥ 256 bits, so the
+/// final carry is always absorbed by the top window.
+fn recode_signed(limbs: &[u64; 4], c: usize, out: &mut [i16]) {
+    let half = 1i64 << (c - 1);
+    let full = 1i64 << c;
+    let mut carry = 0i64;
+    for (w, slot) in out.iter_mut().enumerate() {
+        let raw = window_digit(limbs, w * c, c) as i64 + carry;
+        if raw > half {
+            *slot = (raw - full) as i16;
+            carry = 1;
+        } else {
+            *slot = raw as i16;
+            carry = 0;
+        }
+    }
+    debug_assert_eq!(carry, 0, "scalar exceeds the window coverage");
+}
+
+/// How a pair of bucket points combines; classification is a pure function
+/// of the two (immutable) inputs so the two passes of
+/// [`batch_add_round`] agree without storing per-pair state.
+enum PairKind {
+    /// Distinct x-coordinates: `λ = (y₂−y₁)/(x₂−x₁)`.
+    Add,
+    /// Same point with `y ≠ 0`: `λ = 3x²/2y`.
+    Double,
+    /// Either input is ∞, or the points cancel: no inversion needed.
+    Trivial,
+}
+
+fn classify<C: CurveParams>(p: &Affine<C>, q: &Affine<C>) -> PairKind {
+    if p.infinity || q.infinity {
+        PairKind::Trivial
+    } else if p.x != q.x {
+        PairKind::Add
+    } else if p.y == q.y && !p.y.is_zero() {
+        PairKind::Double
+    } else {
+        // x₁ = x₂ with y₁ = −y₂ (or a 2-torsion double): sum is ∞.
+        PairKind::Trivial
+    }
+}
+
+/// One tree-reduction round over all buckets of a window: adds the pairs
+/// `(points[s+2k], points[s+2k+1])` of every bucket with a single batch
+/// inversion and compacts the results to the bucket starts.
+///
+/// Within a bucket, pair `k`'s result lands at offset `k` and its sources
+/// sit at offsets `2k` and `2k+1`, so processing pairs in ascending order
+/// never overwrites a yet-unread source.
+fn batch_add_round<C: CurveParams>(
+    points: &mut [Affine<C>],
+    starts: &[u32],
+    lens: &mut [u32],
+    denoms: &mut Vec<C::Base>,
+) {
+    // Pass 1: collect the λ denominators (1 as placeholder for trivial
+    // pairs, which keeps pair order aligned with the inverted vector).
+    denoms.clear();
+    for (&s, &len) in starts.iter().zip(lens.iter()) {
+        let s = s as usize;
+        for k in 0..(len as usize) / 2 {
+            let p = &points[s + 2 * k];
+            let q = &points[s + 2 * k + 1];
+            denoms.push(match classify(p, q) {
+                PairKind::Add => q.x - p.x,
+                PairKind::Double => p.y.double(),
+                PairKind::Trivial => C::Base::one(),
+            });
+        }
+    }
+    C::Base::batch_invert(denoms);
+
+    // Pass 2: apply the affine addition formulas and compact.
+    let mut pair_idx = 0usize;
+    for (&s, len) in starts.iter().zip(lens.iter_mut()) {
+        let s = s as usize;
+        let l = *len as usize;
+        for k in 0..l / 2 {
+            let p = points[s + 2 * k];
+            let q = points[s + 2 * k + 1];
+            let inv = denoms[pair_idx];
+            pair_idx += 1;
+            points[s + k] = match classify(&p, &q) {
+                PairKind::Add => {
+                    let lambda = (q.y - p.y) * inv;
+                    let x3 = lambda.square() - p.x - q.x;
+                    let y3 = lambda * (p.x - x3) - p.y;
+                    Affine::new_unchecked(x3, y3)
+                }
+                PairKind::Double => {
+                    let xx = p.x.square();
+                    let lambda = (xx.double() + xx) * inv;
+                    let x3 = lambda.square() - p.x.double();
+                    let y3 = lambda * (p.x - x3) - p.y;
+                    Affine::new_unchecked(x3, y3)
+                }
+                PairKind::Trivial => {
+                    if p.infinity {
+                        q
+                    } else if q.infinity {
+                        p
+                    } else {
+                        Affine::identity()
+                    }
+                }
+            };
+        }
+        // Odd leftover survives into the next round, after the results.
+        if l % 2 == 1 {
+            points[s + l / 2] = points[s + l - 1];
+        }
+        *len = (l / 2 + l % 2) as u32;
+    }
+}
+
+/// Computes the bucket-accumulated sum `Σ d·bucket_d` of one window via
+/// batch-affine reduction followed by the running-sum trick. `parts` is a
+/// logical concatenation of `(bases, signed digits)` runs — digits are
+/// flattened per point (`digits[i·num_windows + w]`) — so callers can sum
+/// several base/scalar lists in one MSM without copying them together.
+fn window_sum<C: CurveParams>(
+    parts: &[(&[Affine<C>], Vec<i16>)],
+    w: usize,
+    num_windows: usize,
+    c: usize,
+) -> Projective<C> {
+    let num_buckets = 1usize << (c - 1);
+
+    // Counting-sort the window's points into contiguous bucket ranges.
+    let mut counts = vec![0u32; num_buckets];
+    for (bases, digits) in parts {
+        for (base, d) in bases.iter().zip(digits.iter().skip(w).step_by(num_windows)) {
+            if *d != 0 && !base.infinity {
+                counts[(d.unsigned_abs() - 1) as usize] += 1;
+            }
+        }
+    }
+    let mut starts = vec![0u32; num_buckets];
+    let mut total = 0u32;
+    for (st, count) in starts.iter_mut().zip(counts.iter()) {
+        *st = total;
+        total += count;
+    }
+    // Scatter, skipping the dead identity-fill of the buffer: the bucket
+    // ranges partition [0, total) and each cursor slot advances once per
+    // point, so every entry is written exactly once before it is read.
+    let mut points: Vec<std::mem::MaybeUninit<Affine<C>>> = Vec::with_capacity(total as usize);
+    // SAFETY: MaybeUninit needs no initialization; all `total` slots are
+    // initialized by the scatter below before use.
+    unsafe { points.set_len(total as usize) };
+    let mut cursor = starts.clone();
+    for (bases, digits) in parts {
+        for (base, d) in bases.iter().zip(digits.iter().skip(w).step_by(num_windows)) {
+            if *d != 0 && !base.infinity {
+                let b = (d.unsigned_abs() - 1) as usize;
+                points[cursor[b] as usize].write(if *d < 0 { base.neg() } else { *base });
+                cursor[b] += 1;
+            }
+        }
+    }
+    // SAFETY: Σ counts = total, so the scatter initialized every slot;
+    // MaybeUninit<T> has T's layout, making the buffer reinterpretation
+    // sound (and Affine is Copy, so no drops are at stake).
+    let mut points: Vec<Affine<C>> = {
+        let mut buf = std::mem::ManuallyDrop::new(points);
+        unsafe {
+            Vec::from_raw_parts(
+                buf.as_mut_ptr() as *mut Affine<C>,
+                buf.len(),
+                buf.capacity(),
+            )
+        }
+    };
+
+    // Tree-reduce every bucket to a single point.
+    let mut lens = counts;
+    let mut denoms: Vec<C::Base> = Vec::new();
+    while lens.iter().any(|&l| l > 1) {
+        batch_add_round(&mut points, &starts, &mut lens, &mut denoms);
+    }
+
+    // Running-sum trick: Σ d·bucket_d with only 2·(#buckets) additions.
+    let mut running = Projective::<C>::identity();
+    let mut acc = Projective::<C>::identity();
+    for b in (0..num_buckets).rev() {
+        if lens[b] == 1 {
+            running = running.add_mixed(&points[starts[b] as usize]);
+        }
+        acc = acc.add(&running);
+    }
+    acc
+}
+
 /// Computes `Σ scalarᵢ · baseᵢ`.
 ///
 /// # Panics
 ///
 /// Panics if `bases.len() != scalars.len()`.
 pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
-    assert_eq!(bases.len(), scalars.len(), "mismatched msm input lengths");
-    if bases.is_empty() {
+    msm_chunked(&[(bases, scalars)])
+}
+
+/// Computes `Σ Σ scalarᵢⱼ · baseᵢⱼ` over a logical concatenation of
+/// base/scalar lists, as one Pippenger instance.
+///
+/// One larger MSM beats several small ones (the bucket phase is paid per
+/// window per point, so fewer, wider windows win); the Groth16 prover uses
+/// this to fuse the `L` and `H` query MSMs of the `C` element.
+///
+/// # Panics
+///
+/// Panics if any part's base and scalar lengths differ.
+pub fn msm_chunked<C: CurveParams>(parts: &[(&[Affine<C>], &[Fr])]) -> Projective<C> {
+    for (bases, scalars) in parts {
+        assert_eq!(bases.len(), scalars.len(), "mismatched msm input lengths");
+    }
+    let n: usize = parts.iter().map(|(b, _)| b.len()).sum();
+    if n == 0 {
         return Projective::identity();
     }
-    if bases.len() < 32 {
-        return naive_msm(bases, scalars);
+    if n < 32 {
+        let mut acc = Projective::identity();
+        for (bases, scalars) in parts {
+            acc = acc.add(&naive_msm(bases, scalars));
+        }
+        return acc;
     }
-    let limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
-    let c = window_size(bases.len());
+    let c = window_size(n);
     let num_windows = 256_usize.div_ceil(c);
-
-    // Each window is independent: accumulate buckets, then a running sum.
-    let window_sums: Vec<Projective<C>> = {
-        let mut sums = vec![Projective::<C>::identity(); num_windows];
-        std::thread::scope(|scope| {
-            for (w, slot) in sums.iter_mut().enumerate() {
-                let limbs = &limbs;
-                scope.spawn(move || {
-                    let start = w * c;
-                    let mut buckets = vec![Projective::<C>::identity(); (1 << c) - 1];
-                    for (base, l) in bases.iter().zip(limbs.iter()) {
-                        let digit = window_digit(l, start, c);
-                        if digit != 0 {
-                            buckets[digit - 1] = buckets[digit - 1].add_mixed(base);
-                        }
-                    }
-                    // running-sum trick: Σ i·bucketᵢ
-                    let mut running = Projective::<C>::identity();
-                    let mut acc = Projective::<C>::identity();
-                    for b in buckets.iter().rev() {
-                        running = running.add(b);
-                        acc = acc.add(&running);
-                    }
-                    *slot = acc;
-                });
+    // Signed digits are recoded once (they carry between windows, so the
+    // per-window tasks index a precomputed table instead).
+    let with_digits: Vec<(&[Affine<C>], Vec<i16>)> = parts
+        .iter()
+        .map(|(bases, scalars)| {
+            let mut digits = vec![0i16; scalars.len() * num_windows];
+            for (s, out) in scalars.iter().zip(digits.chunks_mut(num_windows)) {
+                recode_signed(&s.to_canonical_limbs(), c, out);
             }
-        });
-        sums
-    };
+            (*bases, digits)
+        })
+        .collect();
+
+    // Each window is independent: a pool task per window, executed by at
+    // most `pool size` threads via work stealing.
+    let windows: Vec<usize> = (0..num_windows).collect();
+    let window_sums =
+        waku_pool::par_map(&windows, |&w| window_sum(&with_digits, w, num_windows, c));
 
     // Combine windows from the most significant down.
     let mut total = Projective::identity();
@@ -118,7 +344,8 @@ pub struct WindowTable<C: CurveParams> {
 }
 
 impl<C: CurveParams> WindowTable<C> {
-    /// Builds the table for `base` with `window_bits`-wide digits.
+    /// Builds the table for `base` with `window_bits`-wide digits; the rows
+    /// are filled as parallel pool tasks.
     ///
     /// # Panics
     ///
@@ -130,20 +357,25 @@ impl<C: CurveParams> WindowTable<C> {
         );
         let windows = 256_usize.div_ceil(window_bits);
         let entries = (1usize << window_bits) - 1;
-        let mut table = Vec::with_capacity(windows);
+        // The row bases (base << w·bits) form a serial doubling chain…
+        let mut window_bases = Vec::with_capacity(windows);
         let mut window_base = base;
         for _ in 0..windows {
-            let mut row = Vec::with_capacity(entries);
-            let mut acc = window_base;
-            for _ in 0..entries {
-                row.push(acc);
-                acc = acc.add(&window_base);
-            }
-            table.push(Projective::batch_to_affine(&row));
+            window_bases.push(window_base);
             for _ in 0..window_bits {
                 window_base = window_base.double();
             }
         }
+        // …but the rows themselves are independent.
+        let table = waku_pool::par_map(&window_bases, |&wb| {
+            let mut row = Vec::with_capacity(entries);
+            let mut acc = wb;
+            for _ in 0..entries {
+                row.push(acc);
+                acc = acc.add(&wb);
+            }
+            Projective::batch_to_affine(&row)
+        });
         WindowTable { window_bits, table }
     }
 
@@ -160,17 +392,14 @@ impl<C: CurveParams> WindowTable<C> {
         acc
     }
 
-    /// Multiplies a batch of scalars, parallelized across chunks.
+    /// Multiplies a batch of scalars, chunked across the pool (previously
+    /// a hardcoded 8-way split with one raw thread per chunk).
     pub fn mul_batch(&self, scalars: &[Fr]) -> Vec<Projective<C>> {
-        let chunk = (scalars.len() / 8).max(256);
         let mut out = vec![Projective::<C>::identity(); scalars.len()];
-        std::thread::scope(|scope| {
-            for (s_chunk, o_chunk) in scalars.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (s, o) in s_chunk.iter().zip(o_chunk.iter_mut()) {
-                        *o = self.mul(*s);
-                    }
-                });
+        let chunk = waku_pool::chunk_size_for(scalars.len(), 32);
+        waku_pool::par_zip_chunks(scalars, &mut out, chunk, |_, s_chunk, o_chunk| {
+            for (s, o) in s_chunk.iter().zip(o_chunk.iter_mut()) {
+                *o = self.mul(*s);
             }
         });
         out
@@ -218,8 +447,51 @@ mod tests {
     }
 
     #[test]
+    fn msm_with_identity_bases_and_duplicates() {
+        // Exercises the batch-affine special cases: ∞ inputs, equal points
+        // (doubling), and P + (−P) cancellation inside one bucket.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut bases, mut scalars) = random_g1(&mut rng, 96);
+        bases[0] = G1Affine::identity();
+        bases[1] = bases[2]; // forced doubling when digits collide
+        scalars[1] = scalars[2];
+        bases[3] = bases[4].neg();
+        scalars[3] = scalars[4]; // same bucket, opposite points
+        assert_eq!(msm(&bases, &scalars), naive_msm(&bases, &scalars));
+    }
+
+    #[test]
+    fn msm_matches_at_any_pool_size() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (bases, scalars) = random_g1(&mut rng, 200);
+        let serial = waku_pool::with_threads(1, || msm(&bases, &scalars));
+        let parallel = waku_pool::with_threads(4, || msm(&bases, &scalars));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, naive_msm(&bases, &scalars));
+    }
+
+    #[test]
     fn msm_empty() {
         assert!(msm::<crate::g1::G1Params>(&[], &[]).is_identity());
+        assert!(msm_chunked::<crate::g1::G1Params>(&[]).is_identity());
+    }
+
+    #[test]
+    fn msm_chunked_matches_concatenation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (b1, s1) = random_g1(&mut rng, 150);
+        let (b2, s2) = random_g1(&mut rng, 70);
+        let (b3, s3) = random_g1(&mut rng, 5);
+        let fused = msm_chunked(&[(&b1[..], &s1[..]), (&b2[..], &s2[..]), (&b3[..], &s3[..])]);
+        let concat_bases: Vec<G1Affine> = [&b1[..], &b2[..], &b3[..]].concat();
+        let concat_scalars: Vec<Fr> = [&s1[..], &s2[..], &s3[..]].concat();
+        assert_eq!(fused, msm(&concat_bases, &concat_scalars));
+        // Small total goes through the naive path.
+        let small = msm_chunked(&[(&b3[..], &s3[..]), (&b3[..2], &s3[..2])]);
+        assert_eq!(
+            small,
+            naive_msm(&b3, &s3).add(&naive_msm(&b3[..2], &s3[..2]))
+        );
     }
 
     #[test]

@@ -11,13 +11,29 @@ use std::marker::PhantomData;
 use waku_arith::fields::Fr;
 use waku_arith::traits::{Field, PrimeField};
 
+/// Batch inversion strategy for a coordinate field, used by the
+/// batch-affine MSM buckets. The default is Montgomery's trick directly in
+/// the field; extension fields can override it to push the inversions down
+/// to the base field (see the `Fp2` impl).
+pub trait BatchInvert: Field {
+    /// Inverts every element of `values` in place; zeros stay zero.
+    fn batch_invert(values: &mut [Self])
+    where
+        Self: Sized,
+    {
+        waku_arith::batch_inv::batch_inverse_in_place(values);
+    }
+}
+
+impl BatchInvert for waku_arith::fields::Fq {}
+
 /// Static description of one curve (coefficient `b` and a generator of the
 /// prime-order subgroup).
 pub trait CurveParams:
     Copy + Clone + Eq + PartialEq + Hash + fmt::Debug + Default + Send + Sync + 'static
 {
     /// Field the coordinates live in.
-    type Base: Field;
+    type Base: BatchInvert;
     /// Short name used in `Debug` output.
     const NAME: &'static str;
     /// The constant `b` of `y² = x³ + b`.

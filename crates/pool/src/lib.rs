@@ -1,0 +1,571 @@
+//! # waku-pool
+//!
+//! A hand-rolled work-stealing thread pool for the proving hot paths
+//! (Pippenger MSM windows, FFT butterfly stages, the Groth16 prover's
+//! concurrent MSM/FFT tasks). The build environment has no crates.io
+//! access, so this is a from-scratch `rayon`-flavoured pool, like the
+//! `vendor/` stubs: per-worker LIFO deques, a FIFO injector for external
+//! submissions, FIFO stealing from the back of other workers' deques, and
+//! fork-join primitives (`scope`, `join`, `par_map`, chunked loops) whose
+//! waiters *help* — they run queued jobs instead of blocking, so nested
+//! parallelism cannot deadlock.
+//!
+//! ## Sizing and determinism
+//!
+//! A pool of size `n` spawns `n − 1` worker OS threads; the thread that
+//! schedules work is the n-th participant. The global pool is lazily
+//! initialized from the `WAKU_POOL_THREADS` environment variable when set
+//! (clamped to ≥ 1), otherwise from [`std::thread::available_parallelism`].
+//! Size 1 spawns **no** threads at all: every primitive degrades to the
+//! plain serial loop, so `WAKU_POOL_THREADS=1` reproduces single-threaded
+//! results exactly. All parallel callers in this workspace are written so
+//! the computed values are bit-identical at any pool size; tests pin the
+//! size with [`with_threads`].
+//!
+//! ```
+//! let (a, b) = waku_pool::join(|| 2 + 2, || "concurrently");
+//! assert_eq!((a, b), (4, "concurrently"));
+//! let doubled = waku_pool::par_map(&[1, 2, 3], |x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable pinning the global pool size (workers + caller).
+pub const POOL_THREADS_ENV: &str = "WAKU_POOL_THREADS";
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the workers of one pool and its schedulers.
+struct Shared {
+    /// FIFO queue for jobs submitted from threads outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques: the owner pushes and pops the front (LIFO, for
+    /// cache locality on nested forks); thieves pop the back (FIFO, so they
+    /// steal the largest pending subtrees first).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Queued-but-unclaimed jobs across all queues, used to park workers.
+    pending_jobs: AtomicUsize,
+    /// Idle workers park here until `pending_jobs` becomes nonzero.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Total compute participants (spawned workers + the scheduling caller).
+    size: usize,
+}
+
+impl Shared {
+    /// Enqueues a job: onto the current worker's own deque when called from
+    /// inside this pool, otherwise onto the injector.
+    fn push_job(self: &Arc<Self>, job: Job) {
+        let own = WORKER.with(|w| match &*w.borrow() {
+            Some(ctx) if Arc::ptr_eq(&ctx.shared, self) => Some(ctx.index),
+            _ => None,
+        });
+        // Count before publishing: a claimer's decrement can then never
+        // race ahead of the increment and wrap the counter.
+        self.pending_jobs.fetch_add(1, Ordering::SeqCst);
+        match own {
+            Some(i) => self.deques[i].lock().unwrap().push_front(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.sleep_cv.notify_one();
+    }
+
+    /// Claims one job: own deque front, then injector, then steal from the
+    /// back of the other deques.
+    fn find_job(&self, own_index: Option<usize>) -> Option<Job> {
+        if self.pending_jobs.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        if let Some(i) = own_index {
+            if let Some(job) = self.deques[i].lock().unwrap().pop_front() {
+                self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let start = own_index.map_or(0, |i| i + 1);
+        let n = self.deques.len();
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == own_index {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_back() {
+                self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// Set on worker threads: which pool they belong to and their deque.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+    /// Pools installed by [`with_threads`], innermost last.
+    static OVERRIDE: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+}
+
+struct WorkerCtx {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx {
+            shared: Arc::clone(&shared),
+            index,
+        });
+    });
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+        } else {
+            let guard = shared.sleep_lock.lock().unwrap();
+            if shared.pending_jobs.load(Ordering::SeqCst) == 0
+                && !shared.shutdown.load(Ordering::SeqCst)
+            {
+                // The timeout only bounds the cost of a lost race between
+                // the queue check above and a concurrent push.
+                let _ = shared
+                    .sleep_cv
+                    .wait_timeout(guard, Duration::from_millis(10))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// A work-stealing pool. Most callers never construct one: the free
+/// functions ([`scope`], [`join`], [`par_map`], …) use the ambient pool —
+/// the worker's own pool on pool threads, the innermost [`with_threads`]
+/// pool, or the lazily-started global one.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool with `size` compute participants, spawning `size − 1`
+    /// worker threads (size 1 spawns none and runs everything inline).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let workers = size - 1;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending_jobs: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            size,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("waku-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of compute participants (spawned workers + caller).
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Number of worker OS threads this pool spawned (`size − 1`).
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep_lock.lock().unwrap();
+            self.shared.sleep_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+fn default_size() -> usize {
+    if let Ok(v) = std::env::var(POOL_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_size()))
+}
+
+/// The ambient pool for the current thread, or `None` when execution should
+/// be plain serial (effective size 1).
+fn current_shared() -> Option<Arc<Shared>> {
+    let worker = WORKER.with(|w| w.borrow().as_ref().map(|ctx| Arc::clone(&ctx.shared)));
+    let shared = match worker {
+        Some(s) => s,
+        None => match OVERRIDE.with(|o| o.borrow().last().cloned()) {
+            Some(s) => s,
+            None => Arc::clone(&global().shared),
+        },
+    };
+    if shared.size <= 1 {
+        None
+    } else {
+        Some(shared)
+    }
+}
+
+/// Size of the ambient pool (1 means everything runs inline).
+pub fn current_num_threads() -> usize {
+    current_shared().map_or(1, |s| s.size)
+}
+
+/// Runs `f` with a dedicated pool of exactly `n` participants installed for
+/// the current thread, then tears the pool down (workers joined). Intended
+/// for tests and experiments that must pin the worker count regardless of
+/// the machine or `WAKU_POOL_THREADS`; `n = 1` forces fully serial
+/// execution.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let pool = Pool::new(n);
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+        }
+    }
+    OVERRIDE.with(|o| o.borrow_mut().push(Arc::clone(&pool.shared)));
+    let _guard = Guard;
+    f()
+    // `_guard` pops the override, then `pool` shuts its workers down.
+}
+
+/// Tracks the outstanding tasks of one [`scope`] and the first panic any of
+/// them raised.
+struct ScopeState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Spawn handle passed to the closure of [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    pool: Option<Arc<Shared>>,
+    // Invariant over 'scope (the rayon trick): stops the borrow checker
+    // from shrinking the region and letting tasks outlive their borrows.
+    _marker: PhantomData<*mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Schedules `f` on the pool; with an effective pool size of 1 it runs
+    /// inline immediately. All tasks complete before [`scope`] returns.
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        let Some(pool) = &self.pool else {
+            f();
+            return;
+        };
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let task = move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = state.lock.lock().unwrap();
+                state.cv.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: `scope` does not return before `pending` reaches zero, so
+        // every borrow captured in the task outlives its execution; the
+        // transmute only erases the `'scope` bound on the box.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        pool.push_job(job);
+    }
+}
+
+/// Fork-join region: tasks spawned on the [`Scope`] are guaranteed to have
+/// finished when `scope` returns. The calling thread *helps* while waiting
+/// (it executes queued jobs), so scopes nest without deadlock. Panics from
+/// tasks are propagated to the caller after all tasks have completed.
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R + 'scope) -> R {
+    let pool = current_shared();
+    let s = Scope {
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        pool,
+        _marker: PhantomData,
+    };
+    // Catch a panic from `f` itself: already-spawned tasks still borrow
+    // caller data, so the wait below must run before unwinding continues.
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    if let Some(pool) = &s.pool {
+        let own_index = WORKER.with(|w| match &*w.borrow() {
+            Some(ctx) if Arc::ptr_eq(&ctx.shared, pool) => Some(ctx.index),
+            _ => None,
+        });
+        while s.state.pending.load(Ordering::SeqCst) != 0 {
+            if let Some(job) = pool.find_job(own_index) {
+                job();
+            } else {
+                let guard = s.state.lock.lock().unwrap();
+                if s.state.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                let _ = s
+                    .state
+                    .cv
+                    .wait_timeout(guard, Duration::from_micros(200))
+                    .unwrap();
+            }
+        }
+    }
+    match result {
+        Ok(r) => {
+            if let Some(payload) = s.state.panic.lock().unwrap().take() {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Runs `a` on the calling thread and `b` as a pool task, returning both
+/// results ("fork-join"). Serial pools run `a` then `b` inline.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let mut ra = None;
+    let mut rb = None;
+    scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        ra = Some(a());
+    });
+    (
+        ra.expect("join task a completed"),
+        rb.expect("join task b completed"),
+    )
+}
+
+/// Maps `f` over `items` with one pool task per item, preserving order.
+/// Meant for coarse items (MSM windows, prover stages) — for fine-grained
+/// data use [`par_for_each_chunk_mut`].
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    scope(|s| {
+        for (item, slot) in items.iter().zip(out.iter_mut()) {
+            let f = &f;
+            s.spawn(move || *slot = Some(f(item)));
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("par_map task completed"))
+        .collect()
+}
+
+/// Splits `data` into chunks of `chunk_size` and runs `f(offset, chunk)` on
+/// the pool for each; `offset` is the chunk's start index in `data`.
+pub fn par_for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    chunk_size: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let chunk_size = chunk_size.max(1);
+    scope(|s| {
+        for (k, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            let f = &f;
+            s.spawn(move || f(k * chunk_size, chunk));
+        }
+    });
+}
+
+/// Like [`par_for_each_chunk_mut`] over two equally-chunked slices that the
+/// closure consumes in lockstep (`f(offset, in_chunk, out_chunk)`), the
+/// parallel analogue of `zip(a.chunks(c), b.chunks_mut(c))`.
+pub fn par_zip_chunks<T: Sync, U: Send>(
+    input: &[T],
+    output: &mut [U],
+    chunk_size: usize,
+    f: impl Fn(usize, &[T], &mut [U]) + Sync,
+) {
+    assert_eq!(input.len(), output.len(), "par_zip_chunks length mismatch");
+    let chunk_size = chunk_size.max(1);
+    scope(|s| {
+        for (k, (in_chunk, out_chunk)) in input
+            .chunks(chunk_size)
+            .zip(output.chunks_mut(chunk_size))
+            .enumerate()
+        {
+            let f = &f;
+            s.spawn(move || f(k * chunk_size, in_chunk, out_chunk));
+        }
+    });
+}
+
+/// A chunk size that oversplits `len` ~4× relative to the pool size (for
+/// stealing-based load balance) without going below `min_chunk`.
+pub fn chunk_size_for(len: usize, min_chunk: usize) -> usize {
+    let tasks = current_num_threads() * 4;
+    len.div_ceil(tasks.max(1)).max(min_chunk.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        with_threads(4, || {
+            let (a, b) = join(|| 1 + 1, || "two");
+            assert_eq!(a, 2);
+            assert_eq!(b, "two");
+        });
+    }
+
+    #[test]
+    fn serial_pool_spawns_no_workers() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.spawned_workers(), 0);
+        let pool4 = Pool::new(4);
+        assert_eq!(pool4.size(), 4);
+        assert_eq!(pool4.spawned_workers(), 3);
+    }
+
+    #[test]
+    fn with_threads_pins_reported_size() {
+        with_threads(1, || assert_eq!(current_num_threads(), 1));
+        with_threads(5, || assert_eq!(current_num_threads(), 5));
+        with_threads(3, || {
+            with_threads(1, || assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 8] {
+            with_threads(threads, || {
+                let items: Vec<usize> = (0..100).collect();
+                let mapped = par_map(&items, |x| x * x);
+                let expected: Vec<usize> = (0..100).map(|x| x * x).collect();
+                assert_eq!(mapped, expected);
+            });
+        }
+    }
+
+    #[test]
+    fn chunked_loops_cover_every_element() {
+        for threads in [1, 3] {
+            with_threads(threads, || {
+                let mut data = vec![0u64; 1000];
+                par_for_each_chunk_mut(&mut data, 64, |offset, chunk| {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = (offset + i) as u64;
+                    }
+                });
+                assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+
+                let input: Vec<u64> = (0..1000).collect();
+                let mut out = vec![0u64; 1000];
+                par_zip_chunks(&input, &mut out, 77, |_, inp, outp| {
+                    for (i, o) in inp.iter().zip(outp.iter_mut()) {
+                        *o = i * 2;
+                    }
+                });
+                assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+            });
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        with_threads(2, || {
+            let outer: Vec<usize> = (0..8).collect();
+            let sums = par_map(&outer, |&i| {
+                let inner: Vec<usize> = (0..50).collect();
+                par_map(&inner, |&j| i * j).into_iter().sum::<usize>()
+            });
+            for (i, s) in sums.iter().enumerate() {
+                assert_eq!(*s, i * (49 * 50) / 2);
+            }
+        });
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        with_threads(4, || {
+            let counter = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 64);
+        });
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let result = panic::catch_unwind(|| {
+            with_threads(2, || {
+                scope(|s| {
+                    s.spawn(|| panic!("boom in task"));
+                });
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_parse_is_clamped() {
+        // default_size falls back to available_parallelism without the env
+        // var; we only check the clamp logic on the parsed path here.
+        assert_eq!("1".trim().parse::<usize>().unwrap().max(1), 1);
+        assert_eq!("0".trim().parse::<usize>().unwrap().max(1), 1);
+    }
+}

@@ -4,6 +4,7 @@
 
 use rand::Rng;
 use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
 use waku_merkle::MerklePath;
 use waku_snark::groth16::{prove, setup, PreparedVerifyingKey, Proof, ProvingKey};
 use waku_snark::SnarkError;
@@ -125,10 +126,16 @@ impl TryFrom<&[u8]> for ProofBytes {
     }
 }
 
-/// RLN prover: holds the Groth16 proving key for a fixed tree depth.
+/// RLN prover: holds the Groth16 proving key for a fixed tree depth, plus
+/// the circuit *template* — the constraint system is built symbolically
+/// once at keygen and only its assignment is recomputed per message (free
+/// witnesses `sk`, path bits, and siblings are set directly; every gadget
+/// intermediate is derived by the [`waku_snark::WitnessSolver`]).
 pub struct RlnProver {
     depth: usize,
     pk: ProvingKey,
+    template: waku_snark::ConstraintSystem,
+    solver: waku_snark::WitnessSolver,
 }
 
 impl std::fmt::Debug for RlnProver {
@@ -149,7 +156,21 @@ impl RlnProver {
             depth,
             pvk: PreparedVerifyingKey::from(pk.vk.clone()),
         };
-        (RlnProver { depth, pk }, verifier)
+        let solver = waku_snark::WitnessSolver::analyze(&cs);
+        debug_assert_eq!(
+            solver.free_indices().len(),
+            1 + 2 * depth,
+            "RLN free witnesses are sk plus (bit, sibling) per level"
+        );
+        (
+            RlnProver {
+                depth,
+                pk,
+                template: cs,
+                solver,
+            },
+            verifier,
+        )
     }
 
     /// Tree depth this prover is bound to.
@@ -170,7 +191,9 @@ impl RlnProver {
     /// # Errors
     ///
     /// Returns [`SnarkError::Unsatisfied`] when the path does not match the
-    /// identity (e.g. stale tree view — the §III-C synchronization hazard).
+    /// identity (e.g. stale tree view — the §III-C synchronization hazard),
+    /// and [`SnarkError::KeyMismatch`] when the path's depth differs from
+    /// the depth this prover's key was generated for.
     pub fn prove_message<R: Rng + ?Sized>(
         &self,
         identity: &Identity,
@@ -190,11 +213,41 @@ impl RlnProver {
             y,
             nullifier: phi,
         };
-        let witness = RlnWitness {
-            sk: identity.secret(),
-            path: path.clone(),
-        };
-        let cs = build(&witness, &public);
+        if path.siblings.len() != self.depth {
+            // A wrong-depth path cannot rebind the fixed-depth template;
+            // fall back to a fresh build, which reports the mismatch the
+            // same way it did before template caching: the wrong-depth
+            // circuit has a different variable count than the proving
+            // key, so `prove` returns `SnarkError::KeyMismatch`.
+            let witness = RlnWitness {
+                sk: identity.secret(),
+                path: path.clone(),
+            };
+            let cs = build(&witness, &public);
+            let proof = prove(&self.pk, &cs, rng)?;
+            return Ok(RlnMessageBundle {
+                payload: payload.to_vec(),
+                y,
+                nullifier: phi,
+                epoch,
+                root,
+                proof,
+            });
+        }
+        // Rebind the cached template: instance values, then the free
+        // witnesses in allocation order (sk, then per level bit, sibling).
+        let mut cs = self.template.clone();
+        for (k, v) in [x, ext, root, y, phi].into_iter().enumerate() {
+            cs.set_instance_value(k + 1, v);
+        }
+        let mut free = Vec::with_capacity(1 + 2 * self.depth);
+        free.push(identity.secret());
+        for (level, sibling) in path.siblings.iter().enumerate() {
+            let bit = (path.index >> level) & 1 == 1;
+            free.push(if bit { Fr::one() } else { Fr::zero() });
+            free.push(*sibling);
+        }
+        self.solver.solve(&mut cs, &free);
         let proof = prove(&self.pk, &cs, rng)?;
         Ok(RlnMessageBundle {
             payload: payload.to_vec(),

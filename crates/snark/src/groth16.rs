@@ -14,7 +14,7 @@ use waku_arith::traits::{Field, PrimeField};
 use waku_curve::fp12::Fp12;
 use waku_curve::g1::{G1Affine, G1Projective};
 use waku_curve::g2::{G2Affine, G2Projective};
-use waku_curve::msm::{msm, WindowTable};
+use waku_curve::msm::{msm, msm_chunked, WindowTable};
 use waku_curve::pairing::{final_exponentiation, miller_loop, pairing};
 use waku_curve::point::Projective;
 
@@ -213,44 +213,64 @@ pub fn prove<R: Rng + ?Sized>(
     if !cs.is_finalized() {
         return Err(SnarkError::NotFinalized);
     }
-    if let Err(i) = cs.check_satisfied() {
-        return Err(SnarkError::Unsatisfied(i));
-    }
     if pk.a_query.len() != cs.num_instance() + cs.num_witness() {
         return Err(SnarkError::KeyMismatch);
     }
 
     let z = cs.full_assignment();
+    // Draw the blinding factors before any parallel work so the RNG stream
+    // (and therefore the proof) is identical at every pool size.
     let r = Fr::random(rng);
     let s = Fr::random(rng);
 
     let delta_g1 = pk.delta_g1.to_projective();
+    let witness = &z[cs.num_instance()..];
+
+    // The three query MSMs and the quotient-polynomial pipeline (its FFTs,
+    // satisfaction check, and the fused L+H MSM of the C element) are
+    // independent: run all four as concurrent pool tasks instead of
+    // sequentially. Each MSM further fans its Pippenger windows out on the
+    // same pool, and the satisfaction check rides on the row evaluations
+    // the quotient computes anyway.
+    let ((a_sum, b2_sum), (b1_sum, lh_sum)) = waku_pool::join(
+        || waku_pool::join(|| msm(&pk.a_query, &z), || msm(&pk.b_g2_query, &z)),
+        || {
+            waku_pool::join(
+                || msm(&pk.b_g1_query, &z),
+                || {
+                    let h = qap::quotient_poly_checked(cs)?;
+                    Ok::<_, usize>(msm_chunked(&[
+                        (&pk.l_query[..], witness),
+                        (&pk.h_query[..], &h),
+                    ]))
+                },
+            )
+        },
+    );
+    let lh_sum = lh_sum.map_err(SnarkError::Unsatisfied)?;
 
     // A = α + Σ zᵢAᵢ(τ) + rδ
     let a = pk
         .vk
         .alpha_g1
         .to_projective()
-        .add(&msm(&pk.a_query, &z))
+        .add(&a_sum)
         .add(&delta_g1.mul(r));
     // B = β + Σ zᵢBᵢ(τ) + sδ   (in both groups)
     let b_g2 = pk
         .vk
         .beta_g2
         .to_projective()
-        .add(&msm(&pk.b_g2_query, &z))
+        .add(&b2_sum)
         .add(&pk.vk.delta_g2.to_projective().mul(s));
     let b_g1 = pk
         .beta_g1
         .to_projective()
-        .add(&msm(&pk.b_g1_query, &z))
+        .add(&b1_sum)
         .add(&delta_g1.mul(s));
 
     // C = Σ_w zᵢLᵢ + Σ hₖ·(τᵏZ(τ)/δ) + sA + rB − rsδ
-    let h = qap::quotient_poly(cs);
-    let witness = &z[cs.num_instance()..];
-    let c = msm(&pk.l_query, witness)
-        .add(&msm(&pk.h_query, &h))
+    let c = lh_sum
         .add(&a.mul(s))
         .add(&b_g1.mul(r))
         .add(&delta_g1.mul(r * s).neg());

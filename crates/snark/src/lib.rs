@@ -39,9 +39,11 @@ pub mod gadgets;
 pub mod groth16;
 pub mod qap;
 pub mod r1cs;
+pub mod solver;
 
 pub use groth16::{prove, setup, verify, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
 pub use r1cs::{ConstraintSystem, LinearCombination, Variable};
+pub use solver::WitnessSolver;
 
 /// Errors produced by the proof system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

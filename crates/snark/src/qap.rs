@@ -1,6 +1,13 @@
 //! The R1CS → QAP reduction used by both the Groth16 setup (evaluating the
 //! per-variable polynomials at the toxic point τ) and the prover (computing
 //! the quotient polynomial `h = (A·B − C)/Z`).
+//!
+//! The prover-side [`quotient_poly`] is a proving hot path and runs on the
+//! [`waku_pool`] work-stealing pool: the per-constraint ⟨row, z⟩
+//! evaluations are chunked across workers, the three interpolate→coset
+//! pipelines run as concurrent tasks (each using the parallel FFT in
+//! `waku-arith`), and the pointwise quotient loop is chunk-parallel. All
+//! of it is bit-identical to the serial schedule at any pool size.
 
 use waku_arith::fft::Radix2Domain;
 use waku_arith::fields::Fr;
@@ -93,67 +100,110 @@ pub fn evaluate_at(cs: &ConstraintSystem, tau: Fr) -> QapEvaluations {
 ///
 /// Panics if the constraint system has not been finalized.
 pub fn quotient_poly(cs: &ConstraintSystem) -> Vec<Fr> {
+    quotient_poly_checked(cs).unwrap_or_else(|j| panic!("constraint {j} unsatisfied"))
+}
+
+/// As [`quotient_poly`], but verifies constraint satisfaction from the row
+/// evaluations it computes anyway (`⟨A_j,z⟩·⟨B_j,z⟩ = ⟨C_j,z⟩` per row),
+/// returning the first violated constraint index. The prover uses this
+/// instead of a separate `check_satisfied` pass, which would evaluate
+/// every linear combination a second time.
+///
+/// # Errors
+///
+/// Returns the index of the first unsatisfied constraint.
+///
+/// # Panics
+///
+/// Panics if the constraint system has not been finalized.
+pub fn quotient_poly_checked(cs: &ConstraintSystem) -> Result<Vec<Fr>, usize> {
     assert!(cs.is_finalized(), "finalize the constraint system first");
     let m = cs.num_constraints();
     let domain = Radix2Domain::<Fr>::new(m).expect("domain fits Fr 2-adicity");
     let n = domain.size();
 
     // Row evaluations ⟨A_j, z⟩ etc. are just the constraint LCs evaluated
-    // against the assignment.
+    // against the assignment, chunked across the pool.
     let mut a_evals = vec![Fr::zero(); n];
     let mut b_evals = vec![Fr::zero(); n];
     let mut c_evals = vec![Fr::zero(); n];
-    for (j, (la, lb, lc)) in cs.constraints().iter().enumerate() {
-        a_evals[j] = cs.eval_lc(la);
-        b_evals[j] = cs.eval_lc(lb);
-        c_evals[j] = cs.eval_lc(lc);
+    let constraints = cs.constraints();
+    let chunk = waku_pool::chunk_size_for(m, 64);
+    waku_pool::scope(|s| {
+        for (((ea, eb), ec), rows) in a_evals[..m]
+            .chunks_mut(chunk)
+            .zip(b_evals[..m].chunks_mut(chunk))
+            .zip(c_evals[..m].chunks_mut(chunk))
+            .zip(constraints.chunks(chunk))
+        {
+            s.spawn(move || {
+                for (((a, b), c), (la, lb, lc)) in ea
+                    .iter_mut()
+                    .zip(eb.iter_mut())
+                    .zip(ec.iter_mut())
+                    .zip(rows)
+                {
+                    *a = cs.eval_lc(la);
+                    *b = cs.eval_lc(lb);
+                    *c = cs.eval_lc(lc);
+                }
+            });
+        }
+    });
+
+    // Satisfaction check, fused: constraint j holds iff its row evals do.
+    if let Some(j) = (0..m).find(|&j| a_evals[j] * b_evals[j] != c_evals[j]) {
+        return Err(j);
     }
 
-    // Interpolate, move to the coset, multiply pointwise, divide by the
-    // (constant-on-coset) vanishing polynomial, and interpolate back.
-    let a_coeffs = domain.ifft(&a_evals);
-    let b_coeffs = domain.ifft(&b_evals);
-    let c_coeffs = domain.ifft(&c_evals);
-    let a_coset = domain.coset_fft(&a_coeffs);
-    let b_coset = domain.coset_fft(&b_coeffs);
-    let c_coset = domain.coset_fft(&c_coeffs);
+    // Interpolate and move to the coset — the three polynomial pipelines
+    // are independent, so they run as concurrent pool tasks (and each FFT
+    // additionally splits its butterfly stages across the same pool). The
+    // twiddle tables are forced first so the tasks share them instead of
+    // racing on the lazy initialization.
+    domain.prepare_twiddles();
+    let (a_coset, (b_coset, c_coset)) = waku_pool::join(
+        || domain.coset_fft(&domain.ifft(&a_evals)),
+        || {
+            waku_pool::join(
+                || domain.coset_fft(&domain.ifft(&b_evals)),
+                || domain.coset_fft(&domain.ifft(&c_evals)),
+            )
+        },
+    );
+    // Multiply pointwise, divide by the (constant-on-coset) vanishing
+    // polynomial, and interpolate back.
     let z_inv = domain
         .z_on_coset()
         .inverse()
         .expect("Z nonzero away from the domain");
-    let h_coset: Vec<Fr> = (0..n)
-        .map(|i| (a_coset[i] * b_coset[i] - c_coset[i]) * z_inv)
-        .collect();
+    let mut h_coset = a_coset;
+    let chunk = waku_pool::chunk_size_for(n, 1024);
+    waku_pool::scope(|s| {
+        for ((ha, eb), ec) in h_coset
+            .chunks_mut(chunk)
+            .zip(b_coset.chunks(chunk))
+            .zip(c_coset.chunks(chunk))
+        {
+            s.spawn(move || {
+                for ((h, b), c) in ha.iter_mut().zip(eb).zip(ec) {
+                    *h = (*h * *b - *c) * z_inv;
+                }
+            });
+        }
+    });
     let mut h = domain.coset_ifft(&h_coset);
     // deg h ≤ n − 2 for a satisfied system.
     let top = h.pop().expect("nonempty");
-    debug_assert!(
-        top.is_zero(),
-        "quotient has unexpected degree (unsatisfied system?)"
-    );
-    h
+    debug_assert!(top.is_zero(), "quotient has unexpected degree");
+    Ok(h)
 }
 
 /// Batch inversion (Montgomery's trick); zero entries are left as zero.
+/// Thin re-export of the shared implementation in `waku-arith`, kept for
+/// API stability.
 pub fn batch_inverse(values: &[Fr]) -> Vec<Fr> {
-    let mut prods = Vec::with_capacity(values.len());
-    let mut acc = Fr::one();
-    for v in values {
-        prods.push(acc);
-        if !v.is_zero() {
-            acc *= *v;
-        }
-    }
-    let mut inv = acc.inverse().expect("product nonzero");
-    let mut out = vec![Fr::zero(); values.len()];
-    for (i, v) in values.iter().enumerate().rev() {
-        if v.is_zero() {
-            continue;
-        }
-        out[i] = prods[i] * inv;
-        inv *= *v;
-    }
-    out
+    waku_arith::batch_inv::batch_inverse(values)
 }
 
 // Small helper so qap.rs does not import PrimeField just for from_u64.

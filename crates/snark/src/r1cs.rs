@@ -4,6 +4,8 @@
 //! A constraint is `⟨A, z⟩ · ⟨B, z⟩ = ⟨C, z⟩` over the assignment vector
 //! `z = (1, instance…, witness…)`.
 
+use std::sync::Arc;
+
 use waku_arith::fields::Fr;
 use waku_arith::traits::Field;
 
@@ -126,7 +128,9 @@ impl From<Fr> for LinearCombination {
 pub struct ConstraintSystem {
     instance: Vec<Fr>,
     witness: Vec<Fr>,
-    constraints: Vec<(LinearCombination, LinearCombination, LinearCombination)>,
+    /// Shared so cloning a finalized template (the per-proof rebind path
+    /// in `waku-rln`) is O(1) instead of a deep copy of every combination.
+    constraints: Arc<Vec<(LinearCombination, LinearCombination, LinearCombination)>>,
     finalized: bool,
 }
 
@@ -136,7 +140,7 @@ impl ConstraintSystem {
         ConstraintSystem {
             instance: vec![Fr::one()],
             witness: Vec::new(),
-            constraints: Vec::new(),
+            constraints: Arc::new(Vec::new()),
             finalized: false,
         }
     }
@@ -165,7 +169,7 @@ impl ConstraintSystem {
         b: impl Into<LinearCombination>,
         c: impl Into<LinearCombination>,
     ) {
-        self.constraints.push((a.into(), b.into(), c.into()));
+        Arc::make_mut(&mut self.constraints).push((a.into(), b.into(), c.into()));
     }
 
     /// Number of instance variables (including the constant 1).
@@ -186,6 +190,29 @@ impl ConstraintSystem {
     /// The constraints (for the QAP reduction).
     pub fn constraints(&self) -> &[(LinearCombination, LinearCombination, LinearCombination)] {
         &self.constraints
+    }
+
+    /// Current value of the `k`-th witness variable.
+    pub fn witness_value(&self, k: usize) -> Fr {
+        self.witness[k]
+    }
+
+    /// Overwrites the `k`-th witness value (assignments are orthogonal to
+    /// the finalized shape, so this is allowed after `finalize`; used by
+    /// the [`crate::solver::WitnessSolver`] to rebind a template system).
+    pub fn set_witness_value(&mut self, k: usize, value: Fr) {
+        self.witness[k] = value;
+    }
+
+    /// Overwrites the `k`-th instance value (`k = 0` is the constant 1 and
+    /// cannot be changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn set_instance_value(&mut self, k: usize, value: Fr) {
+        assert!(k != 0, "instance 0 is the constant one");
+        self.instance[k] = value;
     }
 
     /// Current value of a variable.
@@ -231,7 +258,7 @@ impl ConstraintSystem {
             return;
         }
         for i in 0..self.instance.len() {
-            self.constraints.push((
+            Arc::make_mut(&mut self.constraints).push((
                 LinearCombination::from_var(Variable::Instance(i)),
                 LinearCombination::zero(),
                 LinearCombination::zero(),

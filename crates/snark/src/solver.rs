@@ -1,0 +1,174 @@
+//! Witness (re)computation from a constraint-system template.
+//!
+//! Building a circuit symbolically (gadget by gadget) costs far more than
+//! evaluating it: the RLN prover was spending ~10% of each proof rebuilding
+//! identical linear combinations. The [`WitnessSolver`] splits that work:
+//! the circuit is built **once** as a template, and per proof only the
+//! assignment is recomputed — *free* witnesses (true private inputs) are
+//! supplied by the caller, while every gadget-allocated intermediate is
+//! *derived* by evaluating the product constraint that defines it.
+//!
+//! A witness variable `w` is derived by constraint `⟨A,z⟩·⟨B,z⟩ = ⟨C,z⟩`
+//! when `C` is exactly `1·w`, `w` has no earlier definition, and `A`/`B`
+//! only reference instance variables or witnesses defined before it — the
+//! shape every `mul`-style gadget produces. Everything else is free.
+
+use waku_arith::fields::Fr;
+use waku_arith::traits::Field;
+
+use crate::r1cs::{ConstraintSystem, LinearCombination, Variable};
+
+/// A solve plan extracted from a finalized template system.
+#[derive(Clone, Debug)]
+pub struct WitnessSolver {
+    /// Witness indices the caller must supply, in allocation order.
+    free: Vec<usize>,
+    /// `(constraint index, witness index)` pairs in solve order.
+    derived: Vec<(u32, u32)>,
+}
+
+impl WitnessSolver {
+    /// Analyzes the template's constraints and classifies every witness
+    /// variable as free or derived.
+    pub fn analyze(cs: &ConstraintSystem) -> Self {
+        let num_witness = cs.num_witness();
+        let mut defined = vec![false; num_witness];
+        let mut free = Vec::new();
+        let mut derived = Vec::new();
+
+        // Any witness referenced before a constraint defines it must be an
+        // input; record it (once) as free and consider it defined.
+        let mark_used = |lc: &LinearCombination, defined: &mut Vec<bool>, free: &mut Vec<usize>| {
+            for (v, _) in &lc.0 {
+                if let Variable::Witness(k) = v {
+                    if !defined[*k] {
+                        defined[*k] = true;
+                        free.push(*k);
+                    }
+                }
+            }
+        };
+
+        for (j, (a, b, c)) in cs.constraints().iter().enumerate() {
+            // Defining shape: C = 1·w for a yet-undefined witness w.
+            let defines = match &c.0[..] {
+                [(Variable::Witness(k), coeff)] if *coeff == Fr::one() && !defined[*k] => Some(*k),
+                _ => None,
+            };
+            if let Some(k) = defines {
+                mark_used(a, &mut defined, &mut free);
+                mark_used(b, &mut defined, &mut free);
+                defined[k] = true;
+                derived.push((j as u32, k as u32));
+            } else {
+                mark_used(a, &mut defined, &mut free);
+                mark_used(b, &mut defined, &mut free);
+                mark_used(c, &mut defined, &mut free);
+            }
+        }
+        // A witness never referenced at all is free (the caller may still
+        // care about its value even if no constraint does).
+        for (k, d) in defined.iter().enumerate() {
+            if !d {
+                free.push(k);
+            }
+        }
+        // Callers supply free values in allocation order, which is the
+        // canonical order of the circuit's true inputs.
+        free.sort_unstable();
+        WitnessSolver { free, derived }
+    }
+
+    /// Witness indices the caller must supply, ascending.
+    pub fn free_indices(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Number of derived (solver-computed) witnesses.
+    pub fn num_derived(&self) -> usize {
+        self.derived.len()
+    }
+
+    /// Installs `free_values` (matching [`Self::free_indices`] order) and
+    /// recomputes every derived witness from its defining constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `free_values.len() != self.free_indices().len()` or if
+    /// `cs` is not the system the plan was built from (shape mismatch).
+    pub fn solve(&self, cs: &mut ConstraintSystem, free_values: &[Fr]) {
+        assert_eq!(
+            free_values.len(),
+            self.free.len(),
+            "free witness count mismatch"
+        );
+        for (&k, &v) in self.free.iter().zip(free_values.iter()) {
+            cs.set_witness_value(k, v);
+        }
+        for &(j, k) in &self.derived {
+            let (a, b, _) = &cs.constraints()[j as usize];
+            let v = cs.eval_lc(a) * cs.eval_lc(b);
+            cs.set_witness_value(k as usize, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::{alloc_bit, cond_swap, mul, quintic, Wire};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waku_arith::traits::{Field, PrimeField};
+
+    /// out = (x⁵ swapped-with s by bit b) · x, with out public.
+    fn gadget_cs(x: u64, s: u64, bit: bool) -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new();
+        let out = cs.alloc_input(Fr::zero()); // patched below
+        let x_var = cs.alloc_witness(Fr::from_u64(x));
+        let xw = Wire::from_var(&cs, x_var);
+        let x5 = quintic(&mut cs, &xw);
+        let b = alloc_bit(&mut cs, bit);
+        let s_var = cs.alloc_witness(Fr::from_u64(s));
+        let sw = Wire::from_var(&cs, s_var);
+        let (l, _r) = cond_swap(&mut cs, &b, &x5, &sw);
+        let prod = mul(&mut cs, &l, &xw);
+        let out_wire = Wire::from_var(&cs, out);
+        crate::gadgets::enforce_equal(&mut cs, &prod, &out_wire);
+        cs.finalize();
+        cs
+    }
+
+    #[test]
+    fn classifies_inputs_as_free_and_intermediates_as_derived() {
+        let cs = gadget_cs(3, 7, false);
+        let solver = WitnessSolver::analyze(&cs);
+        // Free: x, bit, s. Derived: x², x⁴, x⁵, swap product, final product.
+        assert_eq!(solver.free_indices().len(), 3);
+        assert_eq!(
+            solver.free_indices().len() + solver.num_derived(),
+            cs.num_witness()
+        );
+    }
+
+    #[test]
+    fn solve_reproduces_gadget_assignment() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bit in [false, true] {
+            let reference = gadget_cs(5, 11, bit);
+            let solver = WitnessSolver::analyze(&reference);
+            // Start from a template with scrambled witness values.
+            let mut template = reference.clone();
+            for k in 0..template.num_witness() {
+                template.set_witness_value(k, Fr::random(&mut rng));
+            }
+            let free: Vec<Fr> = solver
+                .free_indices()
+                .iter()
+                .map(|&k| reference.witness_value(k))
+                .collect();
+            solver.solve(&mut template, &free);
+            assert_eq!(template.full_assignment(), reference.full_assignment());
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub use waku_curve as curve;
 pub use waku_gossip as gossip;
 pub use waku_hash as hash;
 pub use waku_merkle as merkle;
+pub use waku_pool as pool;
 pub use waku_poseidon as poseidon;
 pub use waku_relay as relay;
 pub use waku_rln as rln;

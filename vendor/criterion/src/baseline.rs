@@ -1,0 +1,320 @@
+//! Benchmark-baseline persistence for the vendored criterion stub.
+//!
+//! Real criterion keeps history under `target/criterion/` with full
+//! statistics; this stub records one JSON object per benchmark id —
+//! min/median/mean nanoseconds per iteration — merged into a single
+//! baseline file so CI can archive it and `exp_bench_compare` (in
+//! `waku-bench`) can diff two baselines for regressions.
+//!
+//! The file defaults to `target/bench-baseline.json` relative to the
+//! working directory (the workspace root under `cargo bench`) and can be
+//! redirected with the `WAKU_BENCH_BASELINE` environment variable.
+//! Successive bench binaries in one `cargo bench` run all merge into the
+//! same file, keyed by benchmark id.
+
+use std::sync::Mutex;
+
+/// Environment variable overriding the baseline path.
+pub const BASELINE_ENV: &str = "WAKU_BENCH_BASELINE";
+
+/// Default baseline path, relative to the working directory.
+pub const BASELINE_PATH: &str = "target/bench-baseline.json";
+
+/// Summary statistics of one benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark id (`group/param` or bare function name).
+    pub id: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: u128,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: u128,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: u128,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static REGISTRY: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Records one finished benchmark (called by `Bencher::report`).
+pub(crate) fn record(rec: BenchRecord) {
+    REGISTRY.lock().unwrap().push(rec);
+}
+
+fn registry_snapshot() -> Vec<BenchRecord> {
+    REGISTRY.lock().unwrap().clone()
+}
+
+/// Resolved baseline path: the `WAKU_BENCH_BASELINE` env var if set,
+/// otherwise `bench-baseline.json` inside the build's real `target/`
+/// directory (located by walking up from the bench executable, since cargo
+/// runs bench binaries with the package directory as CWD).
+pub fn baseline_path() -> String {
+    if let Ok(path) = std::env::var(BASELINE_ENV) {
+        return path;
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                return ancestor.join("bench-baseline.json").display().to_string();
+            }
+        }
+    }
+    BASELINE_PATH.to_string()
+}
+
+/// Serializes records as the baseline JSON document.
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benches\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {}: {{\"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            json_string(&r.id),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            comma
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a baseline document produced by [`to_json`] (tolerates arbitrary
+/// whitespace; numbers must be unsigned integers).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem encountered.
+pub fn parse_baseline(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.expect('{')?;
+    let key = p.string()?;
+    if key != "benches" {
+        return Err(format!("expected \"benches\" key, found {key:?}"));
+    }
+    p.expect(':')?;
+    p.expect('{')?;
+    let mut records = Vec::new();
+    if !p.peek_is('}') {
+        loop {
+            let id = p.string()?;
+            p.expect(':')?;
+            p.expect('{')?;
+            let mut rec = BenchRecord {
+                id,
+                min_ns: 0,
+                median_ns: 0,
+                mean_ns: 0,
+                samples: 0,
+            };
+            if !p.peek_is('}') {
+                loop {
+                    let field = p.string()?;
+                    p.expect(':')?;
+                    let value = p.number()?;
+                    match field.as_str() {
+                        "min_ns" => rec.min_ns = value,
+                        "median_ns" => rec.median_ns = value,
+                        "mean_ns" => rec.mean_ns = value,
+                        "samples" => rec.samples = value as usize,
+                        other => return Err(format!("unknown field {other:?}")),
+                    }
+                    if !p.comma_or_close('}')? {
+                        break;
+                    }
+                }
+            }
+            p.expect('}')?;
+            records.push(rec);
+            if !p.comma_or_close('}')? {
+                break;
+            }
+        }
+    }
+    p.expect('}')?;
+    p.expect('}')?;
+    Ok(records)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.chars.get(self.pos) == Some(&c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some(&got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected {c:?} at offset {}, found {got:?}",
+                self.pos
+            )),
+        }
+    }
+
+    /// Consumes either a comma (continue) or peeks the closing delimiter
+    /// (stop, not consumed).
+    fn comma_or_close(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some(',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&c) if c == close => Ok(false),
+            got => Err(format!("expected ',' or {close:?}, found {got:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos) {
+                        Some('n') => out.push('\n'),
+                        Some(&c) => out.push(c),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u128, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at offset {start}"));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+/// Merges this process's recorded benchmarks into the baseline file
+/// (records with the same id are replaced, others preserved), creating it
+/// and its parent directory as needed. Called by `criterion_main!` after
+/// all groups have run; a no-op when nothing was recorded.
+pub fn write_baseline() {
+    let new = registry_snapshot();
+    if new.is_empty() {
+        return;
+    }
+    let path = baseline_path();
+    let mut merged: Vec<BenchRecord> = match std::fs::read_to_string(&path) {
+        Ok(text) => parse_baseline(&text).unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    for rec in new {
+        if let Some(existing) = merged.iter_mut().find(|r| r.id == rec.id) {
+            *existing = rec;
+        } else {
+            merged.push(rec);
+        }
+    }
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, to_json(&merged)) {
+        Ok(()) => println!("\nbaseline written to {path}"),
+        Err(e) => eprintln!("warning: could not write bench baseline {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchRecord> {
+        vec![
+            BenchRecord {
+                id: "rln_prove/10".into(),
+                min_ns: 123_456,
+                median_ns: 130_000,
+                mean_ns: 131_002,
+                samples: 10,
+            },
+            BenchRecord {
+                id: "merkle/insert".into(),
+                min_ns: 42,
+                median_ns: 43,
+                mean_ns: 44,
+                samples: 20,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let records = sample();
+        let parsed = parse_baseline(&to_json(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn empty_document_roundtrip() {
+        assert_eq!(parse_baseline(&to_json(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"other\": {}}").is_err());
+    }
+}

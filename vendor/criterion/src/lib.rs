@@ -1,8 +1,12 @@
 //! Minimal drop-in for the subset of `criterion` used by this workspace
 //! (the build environment has no crates.io access). It performs real
 //! wall-clock measurement — warmup, then `sample_size` timed batches — and
-//! reports min/mean/max per benchmark to stdout, but does no statistical
-//! analysis, HTML reports, or baseline comparison.
+//! reports min/mean/max per benchmark to stdout. Unlike upstream there is
+//! no statistical analysis or HTML report, but each run's per-benchmark
+//! min/median/mean are merged into a JSON baseline file (see [`baseline`])
+//! that `exp_bench_compare` in `waku-bench` diffs for regressions.
+
+pub mod baseline;
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -71,7 +75,19 @@ impl Bencher {
         let min = self.samples.iter().min().unwrap();
         let max = self.samples.iter().max().unwrap();
         let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let median = {
+            let mut sorted = self.samples.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        };
         println!("{id:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+        baseline::record(baseline::BenchRecord {
+            id: id.to_string(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            samples: self.samples.len(),
+        });
     }
 }
 
@@ -202,12 +218,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `fn main` running the listed groups.
+/// Declares `fn main` running the listed groups, then merging the run's
+/// results into the JSON baseline file (see [`baseline`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::baseline::write_baseline();
         }
     };
 }
