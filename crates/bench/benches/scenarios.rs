@@ -1,0 +1,101 @@
+//! E6-at-scale: wall-clock cost of the sharded scenario engine.
+//!
+//! Two kinds of records land in `target/bench-baseline.json`:
+//!
+//! * `scenarios/e6_200_peers` — a criterion-timed small sweep (cheap
+//!   enough to sample repeatedly), guarding the engine's constant factors;
+//! * `scenarios/e6_1k_peers/ns_per_event` — a self-timed 1 000-peer RLN
+//!   run recorded as **ns per simulated event** (wall time ÷ events
+//!   dispatched), the scale-tracking metric: it is workload-normalized, so
+//!   regressions mean the engine got slower, not the scenario bigger.
+//!
+//! `WAKU_SIM_PEERS` overrides the large run's peer count (the 10 k sweep
+//! stays opt-in via `exp_scale_sweep`); `WAKU_SIM_SHARDS` forces a shard
+//! count.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use waku_gossip::NetworkConfig;
+use waku_sim::{peers_from_env, run_scenario, Defense, ScenarioConfig};
+
+fn scale_config(peers: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        peers,
+        spammers: 5.min(peers / 10).max(1),
+        duration_ms: 15_000,
+        honest_interval_ms: 5_000,
+        spam_interval_ms: 500,
+        // Bounded publisher set: event count scales with peers, not peers².
+        honest_publishers: Some(100.min(peers)),
+        defense: Defense::RlnRelay {
+            epoch_secs: 1,
+            thr: 1,
+        },
+        net: NetworkConfig {
+            // Valid for tiny WAKU_SIM_PEERS overrides too.
+            degree: 8.min(peers - 1),
+            ..NetworkConfig::default()
+        },
+        seed: 2024,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn bench_small_sweep(c: &mut Criterion) {
+    let config = ScenarioConfig {
+        peers: 200,
+        spammers: 2,
+        duration_ms: 8_000,
+        honest_interval_ms: 4_000,
+        spam_interval_ms: 500,
+        honest_publishers: Some(50),
+        defense: Defense::RlnRelay {
+            epoch_secs: 1,
+            thr: 1,
+        },
+        net: NetworkConfig {
+            degree: 8,
+            ..NetworkConfig::default()
+        },
+        seed: 7,
+        ..ScenarioConfig::default()
+    };
+    c.bench_function("scenarios/e6_200_peers", |b| {
+        b.iter(|| run_scenario(&config))
+    });
+}
+
+fn bench_large_sweep(_c: &mut Criterion) {
+    let peers = peers_from_env(1_000);
+    let config = scale_config(peers);
+    let start = Instant::now();
+    let report = run_scenario(&config);
+    let wall = start.elapsed();
+    let events = report.events_processed.max(1);
+    let events_per_sec = events as f64 / wall.as_secs_f64();
+    let ns_per_event = (wall.as_nanos() / events as u128).max(1);
+    println!(
+        "scenarios/e6_{peers}_peers: {} events in {:.2} s — {:.0} events/s \
+         ({ns_per_event} ns/event), spam delivery {:.3}, {} spammers caught",
+        events,
+        wall.as_secs_f64(),
+        events_per_sec,
+        report.spam_delivery_ratio,
+        report.spammers_detected
+    );
+    // Record under a peer-count-qualified id so baselines produced at
+    // different WAKU_SIM_PEERS never diff against each other.
+    criterion::baseline::record_value(
+        format!("scenarios/e6_{peers}_peers/ns_per_event"),
+        ns_per_event,
+        1,
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_small_sweep, bench_large_sweep
+}
+criterion_main!(benches);

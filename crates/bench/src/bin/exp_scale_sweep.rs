@@ -1,0 +1,153 @@
+//! E6 at network scale: the same RLN spam-containment scenario swept over
+//! peer counts, timing the event-sharded simulation engine.
+//!
+//! ```text
+//! exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS]
+//! ```
+//!
+//! Defaults to `--peers 100,1000` (the CI smoke run); pass
+//! `--peers 100,1000,10000` for the full sweep (opt-in — a 10 k-peer run
+//! dispatches tens of millions of events). `WAKU_SIM_PEERS` adds one more
+//! peer count, `WAKU_SIM_SHARDS` forces the shard count, and
+//! `WAKU_POOL_THREADS` pins the pool (1 reproduces the serial engine
+//! exactly — same report, slower wall-clock).
+//!
+//! Containment quality must not depend on scale: the run fails (exit 2)
+//! if any point's spam-delivery ratio exceeds `MAX_SPAM_DELIVERY`, so the
+//! CI smoke run doubles as a correctness gate for the paper's §IV claim
+//! at sizes the unit tests never reach.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use waku_gossip::NetworkConfig;
+use waku_sim::{peers_from_env, run_scenario, Defense, ScenarioConfig};
+
+/// §IV-C: ~2 spam msgs/s against a 1 s epoch caps delivery near 1/2 plus
+/// seeded jitter; anything above this means containment broke at scale.
+const MAX_SPAM_DELIVERY: f64 = 0.6;
+
+fn sweep_config(peers: usize, duration_ms: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        peers,
+        spammers: 5.min(peers / 10).max(1),
+        duration_ms,
+        honest_interval_ms: 5_000,
+        spam_interval_ms: 500,
+        honest_publishers: Some(100.min(peers)),
+        defense: Defense::RlnRelay {
+            epoch_secs: 1,
+            thr: 1,
+        },
+        net: NetworkConfig {
+            // Valid for tiny sweeps too (degree must be < peers).
+            degree: 8.min(peers - 1),
+            ..NetworkConfig::default()
+        },
+        seed: 2024,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut peer_counts: Vec<usize> = vec![100, 1_000];
+    let mut duration_ms = 15_000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--peers" => match it.next() {
+                Some(list) => {
+                    let parsed: Option<Vec<usize>> = list
+                        .split(',')
+                        .map(|v| v.trim().parse::<usize>().ok().filter(|&n| n >= 2))
+                        .collect();
+                    match parsed {
+                        Some(p) if !p.is_empty() => peer_counts = p,
+                        _ => {
+                            eprintln!("--peers needs a comma-separated list of counts ≥ 2");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("--peers needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--duration-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => duration_ms = ms,
+                None => {
+                    eprintln!("--duration-ms needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // The env knob appends a point rather than replacing the sweep, so
+    // `WAKU_SIM_PEERS=10000 exp_scale_sweep` still shows the small points
+    // for comparison.
+    let env_peers = peers_from_env(0);
+    if env_peers >= 2 && !peer_counts.contains(&env_peers) {
+        peer_counts.push(env_peers);
+    }
+
+    println!(
+        "# E6 scale sweep — RLN containment, {duration_ms} ms simulated, \
+         pool size {}",
+        waku_pool::current_num_threads()
+    );
+    println!();
+    println!("| peers | shards | events | wall (s) | events/s | honest delivery | spam delivery | spammers caught |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut failed = false;
+    for &peers in &peer_counts {
+        let config = sweep_config(peers, duration_ms);
+        let start = Instant::now();
+        let report = run_scenario(&config);
+        let wall = start.elapsed();
+        let events_per_sec = report.events_processed as f64 / wall.as_secs_f64().max(1e-9);
+        // Shard count as the engine resolves it for this size.
+        let shards = waku_gossip::SchedulerKind::Auto.resolve(peers);
+        println!(
+            "| {peers} | {shards} | {} | {:.2} | {:.0} | {:.3} | {:.3} | {} |",
+            report.events_processed,
+            wall.as_secs_f64(),
+            events_per_sec,
+            report.honest_delivery_ratio,
+            report.spam_delivery_ratio,
+            report.spammers_detected
+        );
+        if report.spam_delivery_ratio > MAX_SPAM_DELIVERY {
+            eprintln!(
+                "FAIL: spam delivery {:.3} > {MAX_SPAM_DELIVERY} at {peers} peers",
+                report.spam_delivery_ratio
+            );
+            failed = true;
+        }
+        if report.honest_delivery_ratio < 0.8 {
+            eprintln!(
+                "FAIL: honest delivery {:.3} < 0.8 at {peers} peers",
+                report.honest_delivery_ratio
+            );
+            failed = true;
+        }
+    }
+
+    println!();
+    println!("reading the table: events/s is simulated-event throughput (the");
+    println!("engine metric tracked in the bench baseline); containment ratios");
+    println!("must hold at every scale — the sweep exits 2 if they don't.");
+
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

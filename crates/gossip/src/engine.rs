@@ -1,0 +1,551 @@
+//! Event-processing core shared by every [`crate::scheduler::Scheduler`]:
+//! one [`PeerSlot`] per peer bundles the GossipSub protocol state with a
+//! **private RNG stream** and a **private event-sequence counter**.
+//!
+//! Determinism contract (what makes serial and sharded execution
+//! bit-identical):
+//!
+//! * a peer's state is mutated *only* while dispatching events targeted at
+//!   that peer — handlers never touch another peer's slot;
+//! * every random draw a handler makes comes from the target peer's own
+//!   RNG, seeded from `(network seed, peer id)` — no draw order is shared
+//!   across peers;
+//! * every event carries a globally unique, totally ordered [`EventKey`]
+//!   `(fire time, origin peer, per-origin sequence)`. Schedulers may
+//!   interleave *different* peers' events however they like, but must
+//!   deliver each peer's events in ascending key order — which both the
+//!   serial global heap and the sharded per-shard heaps do, because heap
+//!   pop order over unique keys is insertion-order independent.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
+use crate::network::{NetworkConfig, PeerStats, Validator};
+use crate::scoring::PeerScore;
+
+/// Globally unique, totally ordered event identity. The derived `Ord`
+/// compares `(at, origin, seq)` lexicographically; `(origin, seq)` pairs
+/// are never reused, so keys are unique and any heap pops them in the same
+/// order regardless of how they were inserted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    /// Network time the event fires (ms).
+    pub at: SimTime,
+    /// Peer whose dispatch created the event.
+    pub origin: PeerId,
+    /// Origin-local scheduling sequence number.
+    pub seq: u64,
+}
+
+/// The simulator's event alphabet.
+#[derive(Clone, Debug)]
+pub(crate) enum SimEvent {
+    Rpc {
+        from: PeerId,
+        rpc: Rpc,
+    },
+    Heartbeat,
+    Publish {
+        topic: Topic,
+        data: Vec<u8>,
+        class: TrafficClass,
+    },
+}
+
+/// An event routed to `target`'s shard and dispatched at `key.at`.
+#[derive(Clone, Debug)]
+pub(crate) struct QueuedEvent {
+    pub key: EventKey,
+    pub target: PeerId,
+    pub event: SimEvent,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.target == other.target
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.target).cmp(&(other.key, other.target))
+    }
+}
+
+/// First-delivery record for latency analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryRecord {
+    /// The receiving peer.
+    pub peer: PeerId,
+    /// Network time of the delivery.
+    pub at: SimTime,
+    /// Network time the message was published.
+    pub published_at: SimTime,
+}
+
+/// SplitMix64 finalizer — decorrelates the per-peer RNG streams derived
+/// from one network seed.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed for peer `p`'s private stream under network seed `seed`.
+pub(crate) fn peer_stream_seed(seed: u64, peer: PeerId) -> u64 {
+    mix64(seed ^ mix64(peer as u64 + 1))
+}
+
+/// One peer: protocol state + private RNG + private event counter.
+/// `Send` end to end (the validator bound included) so shards can migrate
+/// across pool workers between rounds.
+pub(crate) struct PeerSlot {
+    pub neighbors: Vec<PeerId>,
+    pub subscriptions: BTreeSet<Topic>,
+    pub mesh: BTreeMap<Topic, BTreeSet<PeerId>>,
+    pub seen: HashSet<MessageId>,
+    pub mcache: VecDeque<Vec<Message>>,
+    pub current_window: Vec<Message>,
+    pub scores: HashMap<PeerId, PeerScore>,
+    pub validator: Option<Validator>,
+    pub drift_ms: i64,
+    pub stats: PeerStats,
+    pub next_seq: u64,
+    /// First deliveries observed by this peer (merged across peers in
+    /// peer-id order for network-wide latency stats).
+    pub deliveries: Vec<(MessageId, DeliveryRecord)>,
+    pub(crate) rng: StdRng,
+    pub(crate) event_seq: u64,
+}
+
+impl PeerSlot {
+    pub(crate) fn new(seed: u64, peer: PeerId, drift_ms: i64) -> Self {
+        PeerSlot {
+            neighbors: Vec::new(),
+            subscriptions: BTreeSet::new(),
+            mesh: BTreeMap::new(),
+            seen: HashSet::new(),
+            mcache: VecDeque::new(),
+            current_window: Vec::new(),
+            scores: HashMap::new(),
+            validator: None,
+            drift_ms,
+            stats: PeerStats::default(),
+            next_seq: 0,
+            deliveries: Vec::new(),
+            rng: StdRng::seed_from_u64(peer_stream_seed(seed, peer)),
+            event_seq: 0,
+        }
+    }
+
+    pub(crate) fn score_of(&self, peer: PeerId, params: &crate::scoring::ScoreParams) -> f64 {
+        self.scores
+            .get(&peer)
+            .map(|s| s.score(params))
+            .unwrap_or(0.0)
+    }
+
+    pub(crate) fn local_time(&self, now: SimTime) -> SimTime {
+        (now as i64 + self.drift_ms).max(0) as SimTime
+    }
+
+    fn find_cached(&self, id: &MessageId) -> Option<&Message> {
+        self.current_window
+            .iter()
+            .chain(self.mcache.iter().flatten())
+            .find(|m| m.id == *id)
+    }
+
+    /// Mints the next event key for an event this peer schedules. Called
+    /// both from dispatch handlers and from the network facade (external
+    /// injections like `publish_at` and the initial heartbeats), so the
+    /// key stream is identical no matter which scheduler runs the peer.
+    pub(crate) fn next_key(&mut self, me: PeerId, at: SimTime) -> EventKey {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        EventKey {
+            at,
+            origin: me,
+            seq,
+        }
+    }
+
+    fn schedule(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        delay: SimTime,
+        target: PeerId,
+        event: SimEvent,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        let key = self.next_key(me, now + delay);
+        out.push(QueuedEvent { key, target, event });
+    }
+
+    /// Samples a one-way link latency from this peer's stream. Clamped to
+    /// ≥ 1 ms so cross-peer events always land at least one quantum ahead
+    /// (the sharded scheduler's correctness hinges on this floor).
+    fn link_latency(&mut self, config: &NetworkConfig) -> SimTime {
+        self.rng
+            .gen_range(config.latency_min_ms..=config.latency_max_ms)
+            .max(1)
+    }
+
+    fn send_rpc(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        to: PeerId,
+        rpc: Rpc,
+        config: &NetworkConfig,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        self.stats.bytes_sent += rpc.size() as u64;
+        let latency = self.link_latency(config);
+        out.push(QueuedEvent {
+            key: self.next_key(me, now + latency),
+            target: to,
+            event: SimEvent::Rpc { from: me, rpc },
+        });
+    }
+
+    /// Dispatches one event targeted at this peer, appending any newly
+    /// scheduled events (for any peer) to `out`.
+    pub(crate) fn dispatch(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        event: SimEvent,
+        config: &NetworkConfig,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        match event {
+            SimEvent::Publish { topic, data, class } => {
+                self.handle_local_publish(me, now, topic, data, class, config, out)
+            }
+            SimEvent::Heartbeat => self.handle_heartbeat(me, now, config, out),
+            SimEvent::Rpc { from, rpc } => self.handle_rpc(me, now, from, rpc, config, out),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_local_publish(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        topic: Topic,
+        data: Vec<u8>,
+        class: TrafficClass,
+        config: &NetworkConfig,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut message = Message::new(topic, data, me, seq, class);
+        message.published_at = now;
+        self.seen.insert(message.id);
+        self.current_window.push(message.clone());
+        let targets = self.mesh_targets(me, topic, None, config);
+        for t in targets {
+            self.send_rpc(me, now, t, Rpc::Publish(message.clone()), config, out);
+        }
+    }
+
+    /// Mesh peers for forwarding (fallback: random subscribed neighbors
+    /// when the mesh hasn't formed yet).
+    fn mesh_targets(
+        &mut self,
+        me: PeerId,
+        topic: Topic,
+        exclude: Option<PeerId>,
+        config: &NetworkConfig,
+    ) -> Vec<PeerId> {
+        let mut targets: Vec<PeerId> = self
+            .mesh
+            .get(&topic)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default();
+        if targets.is_empty() {
+            targets = self.neighbors.clone();
+            targets.shuffle(&mut self.rng);
+            targets.truncate(config.gossip.d);
+        }
+        targets.retain(|t| Some(*t) != exclude && *t != me);
+        targets
+    }
+
+    fn handle_rpc(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        from: PeerId,
+        rpc: Rpc,
+        config: &NetworkConfig,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        self.stats.bytes_received += rpc.size() as u64;
+        // Graylisted peers are ignored outright (scoring defense).
+        let score = self.score_of(from, &config.scoring);
+        if score < config.scoring.graylist_threshold {
+            return;
+        }
+        match rpc {
+            Rpc::Publish(message) => self.handle_publish(me, now, from, message, config, out),
+            Rpc::IHave(topic, ids) => {
+                if !self.subscriptions.contains(&topic) {
+                    return;
+                }
+                let wanted: Vec<MessageId> = ids
+                    .into_iter()
+                    .filter(|id| !self.seen.contains(id))
+                    .collect();
+                if !wanted.is_empty() {
+                    self.send_rpc(me, now, from, Rpc::IWant(wanted), config, out);
+                }
+            }
+            Rpc::IWant(ids) => {
+                let messages: Vec<Message> = ids
+                    .iter()
+                    .filter_map(|id| self.find_cached(id).cloned())
+                    .collect();
+                for m in messages {
+                    self.send_rpc(me, now, from, Rpc::Publish(m), config, out);
+                }
+            }
+            Rpc::Graft(topic) => {
+                let subscribed = self.subscriptions.contains(&topic);
+                let acceptable = score >= config.scoring.prune_threshold;
+                if subscribed && acceptable {
+                    self.mesh.entry(topic).or_default().insert(from);
+                } else {
+                    self.send_rpc(me, now, from, Rpc::Prune(topic), config, out);
+                }
+            }
+            Rpc::Prune(topic) => {
+                if let Some(mesh) = self.mesh.get_mut(&topic) {
+                    mesh.remove(&from);
+                }
+            }
+        }
+    }
+
+    fn handle_publish(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        from: PeerId,
+        message: Message,
+        config: &NetworkConfig,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        if !self.subscriptions.contains(&message.topic) {
+            return;
+        }
+        if self.seen.contains(&message.id) {
+            return; // duplicate floods are absorbed by the seen-cache
+        }
+        // Validate (the RLN pipeline plugs in here, §III-F). The validator
+        // is temporarily moved out so it can run while stats are updated.
+        let local = self.local_time(now);
+        let mut validator = self.validator.take();
+        let verdict = match validator.as_mut() {
+            Some(v) => {
+                self.stats.validations += 1;
+                v(from, &message, local)
+            }
+            None => Validation::Accept,
+        };
+        self.validator = validator;
+        match verdict {
+            Validation::Accept => {
+                self.seen.insert(message.id);
+                self.current_window.push(message.clone());
+                match message.class {
+                    TrafficClass::Honest => self.stats.honest_delivered += 1,
+                    TrafficClass::Spam => self.stats.spam_delivered += 1,
+                    TrafficClass::Invalid => self.stats.invalid_delivered += 1,
+                }
+                self.scores.entry(from).or_default().on_first_delivery();
+                self.deliveries.push((
+                    message.id,
+                    DeliveryRecord {
+                        peer: me,
+                        at: now,
+                        published_at: message.published_at,
+                    },
+                ));
+                let targets = self.mesh_targets(me, message.topic, Some(from), config);
+                for t in targets {
+                    if t != message.origin {
+                        self.send_rpc(me, now, t, Rpc::Publish(message.clone()), config, out);
+                    }
+                }
+            }
+            Validation::Reject => {
+                // Not marked seen: the spam signature (nullifier clash) must
+                // keep triggering detection, and scoring punishes repeats.
+                self.stats.rejected += 1;
+                self.scores.entry(from).or_default().on_invalid_message();
+            }
+            Validation::Ignore => {
+                self.seen.insert(message.id);
+                self.stats.ignored += 1;
+            }
+        }
+    }
+
+    fn handle_heartbeat(
+        &mut self,
+        me: PeerId,
+        now: SimTime,
+        config: &NetworkConfig,
+        out: &mut Vec<QueuedEvent>,
+    ) {
+        let heartbeat_ms = config.gossip.heartbeat_ms;
+        let scoring = config.scoring;
+        let (d, d_lo, d_hi, d_lazy) = (
+            config.gossip.d,
+            config.gossip.d_lo,
+            config.gossip.d_hi,
+            config.gossip.d_lazy,
+        );
+
+        let topics: Vec<Topic> = self.subscriptions.iter().copied().collect();
+        for topic in topics {
+            // 1. prune negative-score mesh members
+            let mesh: Vec<PeerId> = self
+                .mesh
+                .get(&topic)
+                .map(|m| m.iter().copied().collect())
+                .unwrap_or_default();
+            let mut to_prune = Vec::new();
+            for m in &mesh {
+                if self.score_of(*m, &scoring) < scoring.prune_threshold {
+                    to_prune.push(*m);
+                }
+            }
+            for m in to_prune {
+                self.mesh.get_mut(&topic).expect("mesh exists").remove(&m);
+                self.send_rpc(me, now, m, Rpc::Prune(topic), config, out);
+            }
+
+            // 2. degree maintenance
+            let current: BTreeSet<PeerId> = self.mesh.get(&topic).cloned().unwrap_or_default();
+            if current.len() < d_lo {
+                let mut candidates: Vec<PeerId> = self
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|n| {
+                        !current.contains(n)
+                            && self.score_of(*n, &scoring) >= scoring.prune_threshold
+                    })
+                    .collect();
+                candidates.shuffle(&mut self.rng);
+                for c in candidates.into_iter().take(d - current.len()) {
+                    self.mesh.entry(topic).or_default().insert(c);
+                    self.send_rpc(me, now, c, Rpc::Graft(topic), config, out);
+                }
+            } else if current.len() > d_hi {
+                let mut members: Vec<PeerId> = current.iter().copied().collect();
+                members.shuffle(&mut self.rng);
+                for m in members.into_iter().take(current.len() - d) {
+                    self.mesh.get_mut(&topic).expect("mesh exists").remove(&m);
+                    self.send_rpc(me, now, m, Rpc::Prune(topic), config, out);
+                }
+            }
+
+            // 3. IHAVE gossip to non-mesh subscribed neighbors
+            let gossip_ids: Vec<MessageId> = self
+                .mcache
+                .iter()
+                .take(config.gossip.mcache_gossip)
+                .flatten()
+                .filter(|m| m.topic == topic)
+                .map(|m| m.id)
+                .collect();
+            if !gossip_ids.is_empty() {
+                let mesh_now: BTreeSet<PeerId> = self.mesh.get(&topic).cloned().unwrap_or_default();
+                let mut lazy: Vec<PeerId> = self
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|n| !mesh_now.contains(n))
+                    .collect();
+                lazy.shuffle(&mut self.rng);
+                for l in lazy.into_iter().take(d_lazy) {
+                    self.send_rpc(
+                        me,
+                        now,
+                        l,
+                        Rpc::IHave(topic, gossip_ids.clone()),
+                        config,
+                        out,
+                    );
+                }
+            }
+        }
+
+        // 4. mesh-time accrual + decay
+        let mesh_members: Vec<PeerId> =
+            self.mesh.values().flat_map(|m| m.iter().copied()).collect();
+        for m in mesh_members {
+            self.scores
+                .entry(m)
+                .or_default()
+                .on_mesh_time(heartbeat_ms as f64 / 1000.0);
+        }
+        for s in self.scores.values_mut() {
+            s.decay(&scoring);
+        }
+
+        // 5. rotate the mcache window
+        let window = std::mem::take(&mut self.current_window);
+        self.mcache.push_front(window);
+        self.mcache.truncate(config.gossip.mcache_len);
+
+        self.schedule(me, now, heartbeat_ms, me, SimEvent::Heartbeat, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_keys_order_by_time_then_origin_then_seq() {
+        let k = |at, origin, seq| EventKey { at, origin, seq };
+        assert!(k(1, 9, 9) < k(2, 0, 0));
+        assert!(k(5, 1, 9) < k(5, 2, 0));
+        assert!(k(5, 1, 3) < k(5, 1, 4));
+    }
+
+    #[test]
+    fn peer_streams_are_distinct_and_stable() {
+        let a = peer_stream_seed(42, 0);
+        let b = peer_stream_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, peer_stream_seed(42, 0));
+        assert_ne!(a, peer_stream_seed(43, 0));
+    }
+
+    #[test]
+    fn key_stream_is_per_peer_monotone() {
+        let mut slot = PeerSlot::new(1, 3, 0);
+        let k1 = slot.next_key(3, 100);
+        let k2 = slot.next_key(3, 100);
+        assert!(k1 < k2);
+        assert_eq!(k1.origin, 3);
+    }
+}

@@ -4,21 +4,32 @@
 //! transport substrate of WAKU-RELAY (paper §I: "a thin layer over the
 //! libp2p GossipSub routing protocol").
 //!
-//! * [`network`] — event-queue simulator: latency, clock drift, topology,
+//! * [`network`] — the simulator facade: latency, clock drift, topology,
 //!   the GossipSub mesh/heartbeat/IHAVE-IWANT machinery, and per-class
 //!   delivery accounting.
+//! * [`engine`] — per-peer event-processing core: each peer owns its
+//!   protocol state, a private RNG stream, and a private event-sequence
+//!   counter, so no mutable state is shared across peers.
+//! * [`scheduler`] — execution strategies behind one trait: a serial
+//!   global-heap scheduler and an event-sharded engine that runs each
+//!   time quantum as a fork-join round on `waku-pool`, exchanging
+//!   cross-shard RPCs through outboxes drained at quantum barriers.
 //! * [`scoring`] — the peer-scoring defense (gossipsub v1.1, reference [2])
 //!   that the paper both compares against and composes with.
 //! * [`message`] — message/RPC types and the `Validator` verdicts that the
 //!   RLN validation pipeline plugs into (§III-F).
 //!
-//! Every run is seeded and reproducible; experiment binaries in
-//! `waku-bench` rely on that.
+//! Every run is seeded and reproducible — **bit-identical across
+//! schedulers, shard counts, and pool sizes**; experiment binaries in
+//! `waku-bench` and the equivalence tests rely on that.
 
+pub mod engine;
 pub mod message;
 pub mod network;
+pub mod scheduler;
 pub mod scoring;
 
 pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 pub use network::{DeliveryRecord, GossipConfig, Network, NetworkConfig, PeerStats, Validator};
+pub use scheduler::SchedulerKind;
 pub use scoring::{PeerScore, ScoreParams};

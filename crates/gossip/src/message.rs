@@ -1,5 +1,7 @@
 //! Message and RPC types for the GossipSub-style transport.
 
+use std::sync::Arc;
+
 use waku_hash::keccak256;
 
 /// Peer identifier (index into the network's peer table).
@@ -37,7 +39,9 @@ pub enum TrafficClass {
     Invalid,
 }
 
-/// A pubsub message.
+/// A pubsub message. The payload is reference-counted: flooding a message
+/// to `n` mesh peers clones the header, not the bytes, which is what keeps
+/// 10⁴-peer sweeps affordable.
 #[derive(Clone, Debug)]
 pub struct Message {
     /// Content-derived identifier.
@@ -45,13 +49,16 @@ pub struct Message {
     /// Topic it was published to.
     pub topic: Topic,
     /// Opaque payload (e.g. a serialized RLN bundle).
-    pub data: Vec<u8>,
+    pub data: Arc<[u8]>,
     /// Originating peer.
     pub origin: PeerId,
     /// Origin-local sequence number.
     pub seq: u64,
     /// Accounting tag (not visible to protocol logic).
     pub class: TrafficClass,
+    /// Network time the origin published (stamped by the simulator; rides
+    /// with every copy so first-delivery latency needs no global map).
+    pub published_at: SimTime,
 }
 
 impl Message {
@@ -65,10 +72,11 @@ impl Message {
         Message {
             id: MessageId(keccak256(&buf)),
             topic,
-            data,
+            data: data.into(),
             origin,
             seq,
             class,
+            published_at: 0,
         }
     }
 

@@ -12,16 +12,24 @@
 //!   slot in without touching routing code,
 //! * bandwidth/delivery accounting per traffic class → §IV's containment
 //!   claims become measurable.
+//!
+//! This module is the facade; the event-processing core lives in
+//! [`crate::engine`] and execution strategies in [`crate::scheduler`]. A
+//! seeded run produces bit-identical results under the serial and the
+//! event-sharded scheduler, at any shard count and any
+//! `WAKU_POOL_THREADS` — determinism is a tested invariant, not luck.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
-use crate::scoring::{PeerScore, ScoreParams};
+use crate::engine::{PeerSlot, QueuedEvent, SimEvent};
+use crate::message::{Message, MessageId, PeerId, SimTime, Topic, TrafficClass, Validation};
+use crate::scheduler::{Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler};
+use crate::scoring::ScoreParams;
+
+pub use crate::engine::DeliveryRecord;
 
 /// GossipSub protocol parameters (libp2p defaults).
 #[derive(Clone, Copy, Debug)]
@@ -63,7 +71,8 @@ pub struct NetworkConfig {
     pub peers: usize,
     /// Connections per peer (the gossip mesh is a subset of these).
     pub degree: usize,
-    /// Minimum one-way link latency (ms).
+    /// Minimum one-way link latency (ms). Also the sharded scheduler's
+    /// time quantum (clamped to ≥ 1 ms).
     pub latency_min_ms: u64,
     /// Maximum one-way link latency (ms).
     pub latency_max_ms: u64,
@@ -75,6 +84,8 @@ pub struct NetworkConfig {
     pub scoring: ScoreParams,
     /// Determinism seed.
     pub seed: u64,
+    /// Execution engine (never affects results, only wall-clock speed).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for NetworkConfig {
@@ -88,6 +99,7 @@ impl Default for NetworkConfig {
             gossip: GossipConfig::default(),
             scoring: ScoreParams::default(),
             seed: 0,
+            scheduler: SchedulerKind::Auto,
         }
     }
 }
@@ -95,8 +107,11 @@ impl Default for NetworkConfig {
 /// A message validator: `(from, message, local_time_ms) → verdict`.
 ///
 /// `local_time_ms` already includes the peer's clock drift, so epoch
-/// checks observe asynchrony exactly as §III-F describes.
-pub type Validator = Box<dyn FnMut(PeerId, &Message, SimTime) -> Validation>;
+/// checks observe asynchrony exactly as §III-F describes. Validators are
+/// `Send` because the sharded scheduler migrates peers across pool
+/// workers between quantum rounds; shared defense state (e.g. a detection
+/// log) must be `Send + Sync` and order-insensitive (set unions, counters).
+pub type Validator = Box<dyn FnMut(PeerId, &Message, SimTime) -> Validation + Send>;
 
 /// Per-peer delivery/bandwidth statistics.
 #[derive(Clone, Debug, Default)]
@@ -120,80 +135,13 @@ pub struct PeerStats {
     pub validations: u64,
 }
 
-struct Peer {
-    neighbors: Vec<PeerId>,
-    subscriptions: BTreeSet<Topic>,
-    mesh: BTreeMap<Topic, BTreeSet<PeerId>>,
-    seen: HashSet<MessageId>,
-    mcache: VecDeque<Vec<Message>>,
-    current_window: Vec<Message>,
-    scores: HashMap<PeerId, PeerScore>,
-    validator: Option<Validator>,
-    drift_ms: i64,
-    stats: PeerStats,
-    next_seq: u64,
-}
-
-impl Peer {
-    fn score_of(&self, peer: PeerId, params: &ScoreParams) -> f64 {
-        self.scores
-            .get(&peer)
-            .map(|s| s.score(params))
-            .unwrap_or(0.0)
-    }
-
-    fn local_time(&self, now: SimTime) -> SimTime {
-        (now as i64 + self.drift_ms).max(0) as SimTime
-    }
-
-    fn find_cached(&self, id: &MessageId) -> Option<&Message> {
-        self.current_window
-            .iter()
-            .chain(self.mcache.iter().flatten())
-            .find(|m| m.id == *id)
-    }
-}
-
-#[derive(Clone, Debug)]
-enum SimEvent {
-    Rpc {
-        from: PeerId,
-        to: PeerId,
-        rpc: Rpc,
-    },
-    Heartbeat {
-        peer: PeerId,
-    },
-    Publish {
-        peer: PeerId,
-        topic: Topic,
-        data: Vec<u8>,
-        class: TrafficClass,
-    },
-}
-
-/// First-delivery record for latency analysis.
-#[derive(Clone, Copy, Debug)]
-pub struct DeliveryRecord {
-    /// The receiving peer.
-    pub peer: PeerId,
-    /// Network time of the delivery.
-    pub at: SimTime,
-    /// Network time the message was published.
-    pub published_at: SimTime,
-}
-
 /// The simulated network.
 pub struct Network {
-    config: NetworkConfig,
-    peers: Vec<Peer>,
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    events: Vec<Option<SimEvent>>,
+    pub(crate) config: NetworkConfig,
+    pub(crate) slots: Vec<PeerSlot>,
+    scheduler: Box<dyn Scheduler>,
     now: SimTime,
-    next_tick: u64,
-    rng: StdRng,
-    publish_times: HashMap<MessageId, SimTime>,
-    deliveries: HashMap<MessageId, Vec<DeliveryRecord>>,
+    events_processed: u64,
 }
 
 impl Network {
@@ -206,21 +154,15 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         assert!(config.peers >= 2, "need at least two peers");
         assert!(config.degree < config.peers, "degree must be < peers");
+        // Construction RNG: drift, topology, and heartbeat stagger are
+        // drawn once here, identically for every scheduler; runtime draws
+        // come from the per-peer streams instead.
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut peers: Vec<Peer> = (0..config.peers)
-            .map(|_| Peer {
-                neighbors: Vec::new(),
-                subscriptions: BTreeSet::new(),
-                mesh: BTreeMap::new(),
-                seen: HashSet::new(),
-                mcache: VecDeque::new(),
-                current_window: Vec::new(),
-                scores: HashMap::new(),
-                validator: None,
-                drift_ms: rng
-                    .gen_range(-(config.clock_drift_ms as i64)..=config.clock_drift_ms as i64),
-                stats: PeerStats::default(),
-                next_seq: 0,
+        let mut slots: Vec<PeerSlot> = (0..config.peers)
+            .map(|p| {
+                let drift =
+                    rng.gen_range(-(config.clock_drift_ms as i64)..=config.clock_drift_ms as i64);
+                PeerSlot::new(config.seed, p, drift)
             })
             .collect();
 
@@ -228,9 +170,12 @@ impl Network {
         // random extra edges up to the target degree.
         let n = config.peers;
         let mut adjacency: Vec<HashSet<PeerId>> = vec![HashSet::new(); n];
+        for (i, adj) in adjacency.iter_mut().enumerate() {
+            let j = (i + 1) % n;
+            adj.insert(j);
+        }
         for i in 0..n {
             let j = (i + 1) % n;
-            adjacency[i].insert(j);
             adjacency[j].insert(i);
         }
         for i in 0..n {
@@ -244,28 +189,36 @@ impl Network {
                 guard += 1;
             }
         }
-        for (peer, adj) in peers.iter_mut().zip(adjacency) {
-            peer.neighbors = adj.into_iter().collect();
-            peer.neighbors.sort_unstable();
+        for (slot, adj) in slots.iter_mut().zip(adjacency) {
+            slot.neighbors = adj.into_iter().collect();
+            slot.neighbors.sort_unstable();
         }
 
-        let mut net = Network {
-            config,
-            peers,
-            queue: BinaryHeap::new(),
-            events: Vec::new(),
-            now: 0,
-            next_tick: 0,
-            rng,
-            publish_times: HashMap::new(),
-            deliveries: HashMap::new(),
+        let shards = config.scheduler.resolve(config.peers);
+        let mut scheduler: Box<dyn Scheduler> = if shards <= 1 {
+            Box::new(SerialScheduler::new())
+        } else {
+            Box::new(ShardedScheduler::new(config.peers, shards))
         };
+
         // Stagger heartbeats so the whole network doesn't thunder at once.
-        for p in 0..net.config.peers {
-            let offset = net.rng.gen_range(0..net.config.gossip.heartbeat_ms);
-            net.schedule(offset, SimEvent::Heartbeat { peer: p });
+        for (p, slot) in slots.iter_mut().enumerate() {
+            let offset = rng.gen_range(0..config.gossip.heartbeat_ms);
+            let key = slot.next_key(p, offset);
+            scheduler.enqueue(QueuedEvent {
+                key,
+                target: p,
+                event: SimEvent::Heartbeat,
+            });
         }
-        net
+
+        Network {
+            config,
+            slots,
+            scheduler,
+            now: 0,
+            events_processed: 0,
+        }
     }
 
     /// Current network time (ms).
@@ -275,35 +228,46 @@ impl Network {
 
     /// The peer's local (drifted) clock.
     pub fn local_time(&self, peer: PeerId) -> SimTime {
-        self.peers[peer].local_time(self.now)
+        self.slots[peer].local_time(self.now)
     }
 
     /// A peer's clock drift in ms.
     pub fn drift_ms(&self, peer: PeerId) -> i64 {
-        self.peers[peer].drift_ms
+        self.slots[peer].drift_ms
     }
 
     /// Neighbor list of a peer.
     pub fn neighbors(&self, peer: PeerId) -> &[PeerId] {
-        &self.peers[peer].neighbors
+        &self.slots[peer].neighbors
+    }
+
+    /// Number of peer shards the active scheduler runs (1 = serial).
+    pub fn shards(&self) -> usize {
+        self.scheduler.shards()
+    }
+
+    /// Total events dispatched so far (the simulated-throughput metric:
+    /// deterministic for a seeded run, divide by wall time for events/sec).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Subscribes a peer to a topic (it will join the mesh at heartbeats).
     pub fn subscribe(&mut self, peer: PeerId, topic: Topic) {
-        self.peers[peer].subscriptions.insert(topic);
-        self.peers[peer].mesh.entry(topic).or_default();
+        self.slots[peer].subscriptions.insert(topic);
+        self.slots[peer].mesh.entry(topic).or_default();
     }
 
     /// Subscribes every peer to a topic.
     pub fn subscribe_all(&mut self, topic: Topic) {
-        for p in 0..self.peers.len() {
+        for p in 0..self.slots.len() {
             self.subscribe(p, topic);
         }
     }
 
     /// Installs a message validator for a peer.
     pub fn set_validator(&mut self, peer: PeerId, validator: Validator) {
-        self.peers[peer].validator = Some(validator);
+        self.slots[peer].validator = Some(validator);
     }
 
     /// Schedules a publish at an absolute network time.
@@ -315,41 +279,30 @@ impl Network {
         data: Vec<u8>,
         class: TrafficClass,
     ) {
-        let delay = at.saturating_sub(self.now);
-        self.schedule(
-            delay,
-            SimEvent::Publish {
-                peer,
-                topic,
-                data,
-                class,
-            },
-        );
+        let at = at.max(self.now);
+        let key = self.slots[peer].next_key(peer, at);
+        self.scheduler.enqueue(QueuedEvent {
+            key,
+            target: peer,
+            event: SimEvent::Publish { topic, data, class },
+        });
     }
 
     /// Runs the event loop until (at least) the given network time.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(&Reverse((at, _, _))) = self.queue.peek() {
-            if at > t {
-                break;
-            }
-            let Reverse((at, _, idx)) = self.queue.pop().expect("peeked");
-            self.now = at;
-            let event = self.events[idx].take().expect("event present");
-            self.dispatch(event);
-        }
+        self.events_processed += self.scheduler.run_until(&mut self.slots, &self.config, t);
         self.now = self.now.max(t);
     }
 
     /// Per-peer statistics.
     pub fn stats(&self, peer: PeerId) -> &PeerStats {
-        &self.peers[peer].stats
+        &self.slots[peer].stats
     }
 
     /// Aggregated statistics over all peers.
     pub fn total_stats(&self) -> PeerStats {
         let mut total = PeerStats::default();
-        for p in &self.peers {
+        for p in &self.slots {
             total.honest_delivered += p.stats.honest_delivered;
             total.spam_delivered += p.stats.spam_delivered;
             total.invalid_delivered += p.stats.invalid_delivered;
@@ -362,330 +315,30 @@ impl Network {
         total
     }
 
-    /// First-delivery records for a message.
-    pub fn deliveries(&self, id: MessageId) -> &[DeliveryRecord] {
-        self.deliveries.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    /// First-delivery records for a message, in receiving-peer order.
+    pub fn deliveries(&self, id: MessageId) -> Vec<DeliveryRecord> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.deliveries.iter())
+            .filter(|(mid, _)| *mid == id)
+            .map(|(_, rec)| *rec)
+            .collect()
     }
 
     /// All observed first-delivery latencies (ms), for Thr estimation
-    /// (§III-F: `NetworkDelay`).
+    /// (§III-F: `NetworkDelay`). Deterministic order: peers ascending,
+    /// each peer's deliveries in arrival order.
     pub fn delivery_latencies(&self) -> Vec<u64> {
-        self.deliveries
-            .values()
-            .flatten()
-            .map(|d| d.at - d.published_at)
+        self.slots
+            .iter()
+            .flat_map(|s| s.deliveries.iter())
+            .map(|(_, d)| d.at - d.published_at)
             .collect()
     }
 
     /// Score neighbor `of` currently assigns to `subject`.
     pub fn score(&self, of: PeerId, subject: PeerId) -> f64 {
-        self.peers[of].score_of(subject, &self.config.scoring)
-    }
-
-    fn schedule(&mut self, delay: SimTime, event: SimEvent) {
-        let at = self.now + delay;
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        self.events.push(Some(event));
-        self.queue.push(Reverse((at, tick, self.events.len() - 1)));
-    }
-
-    fn link_latency(&mut self) -> SimTime {
-        self.rng
-            .gen_range(self.config.latency_min_ms..=self.config.latency_max_ms)
-    }
-
-    fn send_rpc(&mut self, from: PeerId, to: PeerId, rpc: Rpc) {
-        let size = rpc.size() as u64;
-        self.peers[from].stats.bytes_sent += size;
-        let latency = self.link_latency();
-        self.schedule(latency, SimEvent::Rpc { from, to, rpc });
-    }
-
-    fn dispatch(&mut self, event: SimEvent) {
-        match event {
-            SimEvent::Publish {
-                peer,
-                topic,
-                data,
-                class,
-            } => self.handle_local_publish(peer, topic, data, class),
-            SimEvent::Heartbeat { peer } => self.handle_heartbeat(peer),
-            SimEvent::Rpc { from, to, rpc } => self.handle_rpc(from, to, rpc),
-        }
-    }
-
-    fn handle_local_publish(
-        &mut self,
-        peer: PeerId,
-        topic: Topic,
-        data: Vec<u8>,
-        class: TrafficClass,
-    ) {
-        let seq = self.peers[peer].next_seq;
-        self.peers[peer].next_seq += 1;
-        let message = Message::new(topic, data, peer, seq, class);
-        self.publish_times.entry(message.id).or_insert(self.now);
-        self.peers[peer].seen.insert(message.id);
-        self.peers[peer].current_window.push(message.clone());
-        let targets = self.mesh_targets(peer, topic, None);
-        for t in targets {
-            self.send_rpc(peer, t, Rpc::Publish(message.clone()));
-        }
-    }
-
-    /// Mesh peers for forwarding (fallback: random subscribed neighbors
-    /// when the mesh hasn't formed yet).
-    fn mesh_targets(&mut self, peer: PeerId, topic: Topic, exclude: Option<PeerId>) -> Vec<PeerId> {
-        let p = &self.peers[peer];
-        let mut targets: Vec<PeerId> = p
-            .mesh
-            .get(&topic)
-            .map(|m| m.iter().copied().collect())
-            .unwrap_or_default();
-        if targets.is_empty() {
-            targets = p.neighbors.clone();
-            targets.shuffle(&mut self.rng);
-            targets.truncate(self.config.gossip.d);
-        }
-        targets.retain(|t| Some(*t) != exclude && *t != peer);
-        targets
-    }
-
-    fn handle_rpc(&mut self, from: PeerId, to: PeerId, rpc: Rpc) {
-        self.peers[to].stats.bytes_received += rpc.size() as u64;
-        // Graylisted peers are ignored outright (scoring defense).
-        let score = self.peers[to].score_of(from, &self.config.scoring);
-        if score < self.config.scoring.graylist_threshold {
-            return;
-        }
-        match rpc {
-            Rpc::Publish(message) => self.handle_publish(from, to, message),
-            Rpc::IHave(topic, ids) => {
-                if !self.peers[to].subscriptions.contains(&topic) {
-                    return;
-                }
-                let wanted: Vec<MessageId> = ids
-                    .into_iter()
-                    .filter(|id| !self.peers[to].seen.contains(id))
-                    .collect();
-                if !wanted.is_empty() {
-                    self.send_rpc(to, from, Rpc::IWant(wanted));
-                }
-            }
-            Rpc::IWant(ids) => {
-                let messages: Vec<Message> = ids
-                    .iter()
-                    .filter_map(|id| self.peers[to].find_cached(id).cloned())
-                    .collect();
-                for m in messages {
-                    self.send_rpc(to, from, Rpc::Publish(m));
-                }
-            }
-            Rpc::Graft(topic) => {
-                let subscribed = self.peers[to].subscriptions.contains(&topic);
-                let acceptable = score >= self.config.scoring.prune_threshold;
-                if subscribed && acceptable {
-                    self.peers[to].mesh.entry(topic).or_default().insert(from);
-                } else {
-                    self.send_rpc(to, from, Rpc::Prune(topic));
-                }
-            }
-            Rpc::Prune(topic) => {
-                if let Some(mesh) = self.peers[to].mesh.get_mut(&topic) {
-                    mesh.remove(&from);
-                }
-            }
-        }
-    }
-
-    fn handle_publish(&mut self, from: PeerId, to: PeerId, message: Message) {
-        if !self.peers[to].subscriptions.contains(&message.topic) {
-            return;
-        }
-        if self.peers[to].seen.contains(&message.id) {
-            return; // duplicate floods are absorbed by the seen-cache
-        }
-        // Validate (the RLN pipeline plugs in here, §III-F). The validator
-        // is temporarily moved out so it can run while stats are updated.
-        let local = self.peers[to].local_time(self.now);
-        let mut validator = self.peers[to].validator.take();
-        let verdict = match validator.as_mut() {
-            Some(v) => {
-                self.peers[to].stats.validations += 1;
-                v(from, &message, local)
-            }
-            None => Validation::Accept,
-        };
-        self.peers[to].validator = validator;
-        match verdict {
-            Validation::Accept => {
-                self.peers[to].seen.insert(message.id);
-                self.peers[to].current_window.push(message.clone());
-                match message.class {
-                    TrafficClass::Honest => self.peers[to].stats.honest_delivered += 1,
-                    TrafficClass::Spam => self.peers[to].stats.spam_delivered += 1,
-                    TrafficClass::Invalid => self.peers[to].stats.invalid_delivered += 1,
-                }
-                self.peers[to]
-                    .scores
-                    .entry(from)
-                    .or_default()
-                    .on_first_delivery();
-                if let Some(published_at) = self.publish_times.get(&message.id).copied() {
-                    self.deliveries
-                        .entry(message.id)
-                        .or_default()
-                        .push(DeliveryRecord {
-                            peer: to,
-                            at: self.now,
-                            published_at,
-                        });
-                }
-                let targets = self.mesh_targets(to, message.topic, Some(from));
-                for t in targets {
-                    if t != message.origin {
-                        self.send_rpc(to, t, Rpc::Publish(message.clone()));
-                    }
-                }
-            }
-            Validation::Reject => {
-                // Not marked seen: the spam signature (nullifier clash) must
-                // keep triggering detection, and scoring punishes repeats.
-                self.peers[to].stats.rejected += 1;
-                self.peers[to]
-                    .scores
-                    .entry(from)
-                    .or_default()
-                    .on_invalid_message();
-            }
-            Validation::Ignore => {
-                self.peers[to].seen.insert(message.id);
-                self.peers[to].stats.ignored += 1;
-            }
-        }
-    }
-
-    fn handle_heartbeat(&mut self, peer: PeerId) {
-        let heartbeat_ms = self.config.gossip.heartbeat_ms;
-        let scoring = self.config.scoring;
-        let (d, d_lo, d_hi, d_lazy) = (
-            self.config.gossip.d,
-            self.config.gossip.d_lo,
-            self.config.gossip.d_hi,
-            self.config.gossip.d_lazy,
-        );
-
-        let topics: Vec<Topic> = self.peers[peer].subscriptions.iter().copied().collect();
-        for topic in topics {
-            // 1. prune negative-score mesh members
-            let mesh: Vec<PeerId> = self.peers[peer]
-                .mesh
-                .get(&topic)
-                .map(|m| m.iter().copied().collect())
-                .unwrap_or_default();
-            let mut to_prune = Vec::new();
-            for m in &mesh {
-                if self.peers[peer].score_of(*m, &scoring) < scoring.prune_threshold {
-                    to_prune.push(*m);
-                }
-            }
-            for m in to_prune {
-                self.peers[peer]
-                    .mesh
-                    .get_mut(&topic)
-                    .expect("mesh exists")
-                    .remove(&m);
-                self.send_rpc(peer, m, Rpc::Prune(topic));
-            }
-
-            // 2. degree maintenance
-            let current: BTreeSet<PeerId> = self.peers[peer]
-                .mesh
-                .get(&topic)
-                .cloned()
-                .unwrap_or_default();
-            if current.len() < d_lo {
-                let mut candidates: Vec<PeerId> = self.peers[peer]
-                    .neighbors
-                    .iter()
-                    .copied()
-                    .filter(|n| {
-                        !current.contains(n)
-                            && self.peers[peer].score_of(*n, &scoring) >= scoring.prune_threshold
-                    })
-                    .collect();
-                candidates.shuffle(&mut self.rng);
-                for c in candidates.into_iter().take(d - current.len()) {
-                    self.peers[peer].mesh.entry(topic).or_default().insert(c);
-                    self.send_rpc(peer, c, Rpc::Graft(topic));
-                }
-            } else if current.len() > d_hi {
-                let mut members: Vec<PeerId> = current.iter().copied().collect();
-                members.shuffle(&mut self.rng);
-                for m in members.into_iter().take(current.len() - d) {
-                    self.peers[peer]
-                        .mesh
-                        .get_mut(&topic)
-                        .expect("mesh exists")
-                        .remove(&m);
-                    self.send_rpc(peer, m, Rpc::Prune(topic));
-                }
-            }
-
-            // 3. IHAVE gossip to non-mesh subscribed neighbors
-            let gossip_ids: Vec<MessageId> = self.peers[peer]
-                .mcache
-                .iter()
-                .take(self.config.gossip.mcache_gossip)
-                .flatten()
-                .filter(|m| m.topic == topic)
-                .map(|m| m.id)
-                .collect();
-            if !gossip_ids.is_empty() {
-                let mesh_now: BTreeSet<PeerId> = self.peers[peer]
-                    .mesh
-                    .get(&topic)
-                    .cloned()
-                    .unwrap_or_default();
-                let mut lazy: Vec<PeerId> = self.peers[peer]
-                    .neighbors
-                    .iter()
-                    .copied()
-                    .filter(|n| !mesh_now.contains(n))
-                    .collect();
-                lazy.shuffle(&mut self.rng);
-                for l in lazy.into_iter().take(d_lazy) {
-                    self.send_rpc(peer, l, Rpc::IHave(topic, gossip_ids.clone()));
-                }
-            }
-        }
-
-        // 4. mesh-time accrual + decay
-        let mesh_members: Vec<PeerId> = self.peers[peer]
-            .mesh
-            .values()
-            .flat_map(|m| m.iter().copied())
-            .collect();
-        for m in mesh_members {
-            self.peers[peer]
-                .scores
-                .entry(m)
-                .or_default()
-                .on_mesh_time(heartbeat_ms as f64 / 1000.0);
-        }
-        for s in self.peers[peer].scores.values_mut() {
-            s.decay(&scoring);
-        }
-
-        // 5. rotate the mcache window
-        let window = std::mem::take(&mut self.peers[peer].current_window);
-        self.peers[peer].mcache.push_front(window);
-        self.peers[peer]
-            .mcache
-            .truncate(self.config.gossip.mcache_len);
-
-        self.schedule(heartbeat_ms, SimEvent::Heartbeat { peer });
+        self.slots[of].score_of(subject, &self.config.scoring)
     }
 }
 
@@ -696,10 +349,15 @@ mod tests {
     const TOPIC: Topic = 1;
 
     fn small_net(seed: u64) -> Network {
+        small_net_with(seed, SchedulerKind::Auto)
+    }
+
+    fn small_net_with(seed: u64, scheduler: SchedulerKind) -> Network {
         let mut net = Network::new(NetworkConfig {
             peers: 30,
             degree: 6,
             seed,
+            scheduler,
             ..NetworkConfig::default()
         });
         net.subscribe_all(TOPIC);
@@ -793,7 +451,7 @@ mod tests {
         let mut net = small_net(5);
         net.run_until(10_000);
         for p in 0..30 {
-            let mesh_size = net.peers[p].mesh.get(&TOPIC).map(|m| m.len()).unwrap_or(0);
+            let mesh_size = net.slots[p].mesh.get(&TOPIC).map(|m| m.len()).unwrap_or(0);
             assert!(
                 mesh_size >= 1 && mesh_size <= net.config.gossip.d_hi + net.config.degree,
                 "peer {p} mesh size {mesh_size}"
@@ -851,6 +509,61 @@ mod tests {
         let neighbors: Vec<PeerId> = net.neighbors(0).to_vec();
         for n in neighbors {
             assert!(net.score(n, 0) >= 0.0);
+        }
+    }
+
+    /// The tentpole invariant, at transport level: serial and sharded
+    /// schedulers produce bit-identical stats, scores, and latencies.
+    #[test]
+    fn sharded_scheduler_matches_serial_bit_for_bit() {
+        let digest = |scheduler: SchedulerKind| {
+            let mut net = small_net_with(9, scheduler);
+            for p in 1..30 {
+                // A stateful validator: every 5th message is rejected, so
+                // validator-internal state must also replay identically.
+                let mut count = 0u64;
+                net.set_validator(
+                    p,
+                    Box::new(move |_, _, _| {
+                        count += 1;
+                        if count.is_multiple_of(5) {
+                            Validation::Reject
+                        } else {
+                            Validation::Accept
+                        }
+                    }),
+                );
+            }
+            net.run_until(3_000);
+            for i in 0..10u64 {
+                net.publish_at(
+                    3_000 + i * 700,
+                    (i as usize) % 30,
+                    TOPIC,
+                    format!("m{i}").into_bytes(),
+                    TrafficClass::Honest,
+                );
+            }
+            net.run_until(25_000);
+            let t = net.total_stats();
+            let mut lats = net.delivery_latencies();
+            lats.sort_unstable();
+            (
+                t.honest_delivered,
+                t.bytes_sent,
+                t.bytes_received,
+                t.validations,
+                net.events_processed(),
+                lats,
+            )
+        };
+        let serial = digest(SchedulerKind::Serial);
+        for shards in [2, 3, 7, 30] {
+            assert_eq!(
+                serial,
+                digest(SchedulerKind::Sharded { shards }),
+                "shards={shards}"
+            );
         }
     }
 }

@@ -1,0 +1,268 @@
+//! Event schedulers: the serial reference implementation and the
+//! event-sharded, pool-parallel engine.
+//!
+//! ## Why the two agree bit-for-bit
+//!
+//! Peers never share mutable state (see [`crate::engine`]), so a run is
+//! fully determined by the per-peer sequence of dispatched events, and
+//! event keys `(at, origin, seq)` are unique and totally ordered. The
+//! serial scheduler pops one global heap in key order; the sharded
+//! scheduler pops per-shard heaps in key order. Both therefore dispatch
+//! each peer's events in ascending key order — the only order that can
+//! influence state — so the final network state is identical.
+//!
+//! ## The quantum invariant
+//!
+//! The sharded engine advances simulated time in quanta of
+//! `Δ = max(1, latency_min_ms)`. Every *cross-peer* event is an RPC whose
+//! link latency is sampled ≥ `max(1, latency_min_ms)` = Δ, so an event
+//! dispatched at `t ∈ [T, T+Δ)` can only schedule cross-peer work at
+//! `≥ t + Δ ≥ T + Δ` — strictly after the current round. Cross-shard
+//! events buffered in per-shard outboxes and drained at the quantum
+//! barrier thus always arrive before any shard could need them; only
+//! self-events (heartbeat re-arms, local publishes) can fire inside the
+//! round, and those stay on the owning shard's heap. Outboxes are drained
+//! in fixed shard order, and heap pop order over unique keys is
+//! insertion-order independent, so the drain order cannot leak into
+//! results either.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::engine::{PeerSlot, QueuedEvent};
+use crate::message::SimTime;
+use crate::network::NetworkConfig;
+
+/// Which engine executes the event queue. Results are bit-identical across
+/// every variant (and every `WAKU_POOL_THREADS` value); the choice only
+/// affects wall-clock speed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Pick automatically: serial for small networks, sharded for large
+    /// ones. `WAKU_SIM_SHARDS` (≥ 1; 1 = serial) overrides the heuristic.
+    Auto,
+    /// Single global event heap on the calling thread.
+    Serial,
+    /// Event-sharded quantum-stepped engine on `waku-pool`.
+    Sharded {
+        /// Number of peer shards (clamped to `1..=peers`).
+        shards: usize,
+    },
+}
+
+impl SchedulerKind {
+    /// Resolves to the concrete shard count a network of `peers` would run
+    /// with (1 ⇒ the serial scheduler).
+    pub fn resolve(self, peers: usize) -> usize {
+        let clamp = |s: usize| s.clamp(1, peers.max(1));
+        match self {
+            SchedulerKind::Serial => 1,
+            SchedulerKind::Sharded { shards } => clamp(shards),
+            SchedulerKind::Auto => {
+                if let Some(s) = std::env::var("WAKU_SIM_SHARDS")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                {
+                    return clamp(s.max(1));
+                }
+                if peers < 512 {
+                    1
+                } else {
+                    // ~512 peers per shard, capped so tiny pools aren't
+                    // drowned in barrier overhead.
+                    clamp((peers / 512).clamp(2, 64))
+                }
+            }
+        }
+    }
+}
+
+/// Executes queued events against the peer slots up to a target time.
+pub(crate) trait Scheduler: Send {
+    /// Adds an externally injected event (initial heartbeats, `publish_at`).
+    fn enqueue(&mut self, ev: QueuedEvent);
+    /// Dispatches every event with `at ≤ t`; returns how many ran.
+    fn run_until(&mut self, slots: &mut [PeerSlot], config: &NetworkConfig, t: SimTime) -> u64;
+    /// Shard count (1 for the serial engine) — for diagnostics.
+    fn shards(&self) -> usize;
+}
+
+/// Reference implementation: one global min-heap, popped in key order.
+pub(crate) struct SerialScheduler {
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+}
+
+impl SerialScheduler {
+    pub(crate) fn new() -> Self {
+        SerialScheduler {
+            queue: BinaryHeap::new(),
+        }
+    }
+}
+
+impl Scheduler for SerialScheduler {
+    fn enqueue(&mut self, ev: QueuedEvent) {
+        self.queue.push(Reverse(ev));
+    }
+
+    fn run_until(&mut self, slots: &mut [PeerSlot], config: &NetworkConfig, t: SimTime) -> u64 {
+        let mut processed = 0u64;
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.key.at > t {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            processed += 1;
+            slots[ev.target].dispatch(ev.target, ev.key.at, ev.event, config, &mut out);
+            for e in out.drain(..) {
+                self.queue.push(Reverse(e));
+            }
+        }
+        processed
+    }
+
+    fn shards(&self) -> usize {
+        1
+    }
+}
+
+/// One shard's work for one quantum round: drain the shard-local heap up
+/// to the round boundary, keeping self/intra-shard events local and
+/// buffering cross-shard events in the outbox.
+struct ShardRound<'a> {
+    queue: &'a mut BinaryHeap<Reverse<QueuedEvent>>,
+    slots: &'a mut [PeerSlot],
+    /// First peer id owned by this shard.
+    base: usize,
+    outbox: Vec<QueuedEvent>,
+    processed: u64,
+}
+
+impl ShardRound<'_> {
+    fn run(&mut self, config: &NetworkConfig, round_end: SimTime, t: SimTime) {
+        let mut out = Vec::new();
+        while let Some(at) = self.queue.peek().map(|Reverse(e)| e.key.at) {
+            if at >= round_end || at > t {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.processed += 1;
+            self.slots[ev.target - self.base]
+                .dispatch(ev.target, ev.key.at, ev.event, config, &mut out);
+            for e in out.drain(..) {
+                if e.target >= self.base && e.target < self.base + self.slots.len() {
+                    self.queue.push(Reverse(e));
+                } else {
+                    self.outbox.push(e);
+                }
+            }
+        }
+    }
+}
+
+/// Event-sharded engine: peers are partitioned into contiguous shards,
+/// each with its own event heap; every time quantum runs as one fork-join
+/// round on `waku-pool` (see module docs for the correctness argument).
+pub(crate) struct ShardedScheduler {
+    queues: Vec<BinaryHeap<Reverse<QueuedEvent>>>,
+    /// Peers per shard (the last shard may be smaller).
+    chunk: usize,
+}
+
+impl ShardedScheduler {
+    pub(crate) fn new(peers: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, peers.max(1));
+        let chunk = peers.div_ceil(shards).max(1);
+        let num_queues = peers.div_ceil(chunk).max(1);
+        ShardedScheduler {
+            queues: (0..num_queues).map(|_| BinaryHeap::new()).collect(),
+            chunk,
+        }
+    }
+}
+
+impl Scheduler for ShardedScheduler {
+    fn enqueue(&mut self, ev: QueuedEvent) {
+        self.queues[ev.target / self.chunk].push(Reverse(ev));
+    }
+
+    fn run_until(&mut self, slots: &mut [PeerSlot], config: &NetworkConfig, t: SimTime) -> u64 {
+        let quantum = config.latency_min_ms.max(1);
+        let chunk = self.chunk;
+        let mut processed = 0u64;
+        // Each iteration is one quantum round, starting at the earliest
+        // pending event (idle gaps — e.g. between heartbeat waves — are
+        // skipped, not stepped).
+        while let Some(start) = self
+            .queues
+            .iter()
+            .filter_map(|q| q.peek().map(|Reverse(e)| e.key.at))
+            .min()
+        {
+            if start > t {
+                break;
+            }
+            let round_end = start.saturating_add(quantum);
+            let mut rounds: Vec<ShardRound> = self
+                .queues
+                .iter_mut()
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+                .map(|(i, (queue, slots))| ShardRound {
+                    queue,
+                    slots,
+                    base: i * chunk,
+                    outbox: Vec::new(),
+                    processed: 0,
+                })
+                .collect();
+            waku_pool::par_for_each_mut(&mut rounds, |_, round| round.run(config, round_end, t));
+            let results: Vec<(u64, Vec<QueuedEvent>)> = rounds
+                .into_iter()
+                .map(|r| (r.processed, r.outbox))
+                .collect();
+            // Quantum barrier: drain outboxes in fixed shard order.
+            for (count, outbox) in results {
+                processed += count;
+                for ev in outbox {
+                    self.queues[ev.target / chunk].push(Reverse(ev));
+                }
+            }
+        }
+        processed
+    }
+
+    fn shards(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_resolution() {
+        assert_eq!(SchedulerKind::Serial.resolve(10_000), 1);
+        assert_eq!(SchedulerKind::Sharded { shards: 8 }.resolve(100), 8);
+        // Sharded never exceeds the peer count.
+        assert_eq!(SchedulerKind::Sharded { shards: 64 }.resolve(10), 10);
+        assert_eq!(SchedulerKind::Auto.resolve(100), 1);
+        assert!(SchedulerKind::Auto.resolve(10_000) >= 2);
+    }
+
+    #[test]
+    fn sharded_partition_covers_all_peers() {
+        for (peers, shards) in [(10, 3), (100, 7), (1, 4), (512, 2)] {
+            let s = ShardedScheduler::new(peers, shards);
+            // Every peer maps to a valid queue.
+            for p in 0..peers {
+                assert!(
+                    p / s.chunk < s.queues.len(),
+                    "peers={peers} shards={shards}"
+                );
+            }
+        }
+    }
+}

@@ -444,6 +444,22 @@ pub fn par_zip_chunks<T: Sync, U: Send>(
     });
 }
 
+/// One fork-join **round** over mutable items: runs `f(i, &mut items[i])`
+/// as a pool task per item and returns only when every item has been
+/// processed — the barrier primitive for quantum-stepped execution (each
+/// simulation quantum is one round; cross-item effects are exchanged
+/// between rounds, never inside one). Size-1 pools run the items in order
+/// on the calling thread, so round-stepped callers degrade to pure serial
+/// execution under `WAKU_POOL_THREADS=1`.
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    scope(|s| {
+        for (i, item) in items.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, item));
+        }
+    });
+}
+
 /// A chunk size that oversplits `len` ~4× relative to the pool size (for
 /// stealing-based load balance) without going below `min_chunk`.
 pub fn chunk_size_for(len: usize, min_chunk: usize) -> usize {
@@ -516,6 +532,24 @@ mod tests {
                     }
                 });
                 assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+            });
+        }
+    }
+
+    #[test]
+    fn round_barrier_completes_every_item() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let mut items: Vec<u64> = vec![0; 257];
+                par_for_each_mut(&mut items, |i, x| *x = i as u64 + 1);
+                assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+                // Rounds are barriers: state written in round k is visible
+                // to round k + 1 on every item.
+                par_for_each_mut(&mut items, |_, x| *x *= 2);
+                assert!(items
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &x)| x == 2 * (i as u64 + 1)));
             });
         }
     }

@@ -1,7 +1,11 @@
 //! Scenario result aggregation.
 
 /// Outcome of one network scenario run.
-#[derive(Clone, Debug, Default)]
+///
+/// Derives `PartialEq`: a seeded scenario must produce a **bit-identical**
+/// report under the serial and sharded schedulers at any pool size — the
+/// equivalence tests compare whole reports with `==`.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScenarioReport {
     /// Defense label (for tables).
     pub defense: String,
@@ -21,6 +25,9 @@ pub struct ScenarioReport {
     pub validations: u64,
     /// Total bytes sent network-wide.
     pub bytes_sent: u64,
+    /// Simulator events dispatched during the run (deterministic for a
+    /// seeded scenario; divide by wall-clock for simulated events/sec).
+    pub events_processed: u64,
     /// Unique spammer identities recovered by routers (RLN only).
     pub spammers_detected: usize,
     /// Median honest propagation latency (ms).

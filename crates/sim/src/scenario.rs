@@ -14,9 +14,8 @@
 //! by the workspace integration tests. This substitution is documented in
 //! DESIGN.md §2.
 
-use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,6 +90,11 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// RLN membership deposit (for the attack-cost economics).
     pub deposit_wei: u128,
+    /// How many honest peers publish (`None` = all of them). Network-scale
+    /// sweeps (10⁴+ peers) bound the publisher set so the event count
+    /// scales with `publishers × peers` instead of `peers²`; every peer
+    /// still routes, validates, and keeps defense state.
+    pub honest_publishers: Option<usize>,
 }
 
 impl Default for ScenarioConfig {
@@ -106,8 +110,19 @@ impl Default for ScenarioConfig {
             net: NetworkConfig::default(),
             seed: 1,
             deposit_wei: 1_000_000_000_000_000_000,
+            honest_publishers: None,
         }
     }
+}
+
+/// Peer-count override for examples and benches: `WAKU_SIM_PEERS` when set
+/// (≥ 2), otherwise the given default.
+pub fn peers_from_env(default: usize) -> usize {
+    std::env::var("WAKU_SIM_PEERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(2))
+        .unwrap_or(default)
 }
 
 const TOPIC: u32 = 1;
@@ -153,12 +168,47 @@ fn decode_rln_payload(data: &[u8]) -> Option<DecodedRln> {
     })
 }
 
-/// Shared spam-detection log (unique recovered secrets).
-type DetectionLog = Rc<RefCell<HashSet<[u8; 32]>>>;
+/// Sharded spam-detection log: one slot of unique recovered secrets per
+/// peer (the finest shard granularity), merged deterministically — union
+/// in ascending peer order — when the report is built. Each slot's mutex
+/// is only ever taken by the peer that owns it, so the sharded scheduler
+/// runs detection without contention, and a set union is order-insensitive
+/// by construction, which keeps reports bit-identical across schedulers.
+struct DetectionLog {
+    per_peer: Vec<Mutex<BTreeSet<[u8; 32]>>>,
+}
 
-fn rln_validator(epoch_secs: u64, thr: u64, detections: DetectionLog) -> waku_gossip::Validator {
-    // per-validator nullifier map: (epoch, nullifier) → first share
-    let mut nmap: HashMap<(u64, [u8; 32]), (Fr, Fr)> = HashMap::new();
+impl DetectionLog {
+    fn new(peers: usize) -> Arc<Self> {
+        Arc::new(DetectionLog {
+            per_peer: (0..peers).map(|_| Mutex::new(BTreeSet::new())).collect(),
+        })
+    }
+
+    fn record(&self, peer: usize, secret: [u8; 32]) {
+        self.per_peer[peer].lock().unwrap().insert(secret);
+    }
+
+    /// Deterministic merge: union across peer slots in ascending order.
+    fn merged(&self) -> BTreeSet<[u8; 32]> {
+        let mut all = BTreeSet::new();
+        for slot in &self.per_peer {
+            all.extend(slot.lock().unwrap().iter().copied());
+        }
+        all
+    }
+}
+
+fn rln_validator(
+    epoch_secs: u64,
+    thr: u64,
+    peer: usize,
+    detections: Arc<DetectionLog>,
+) -> waku_gossip::Validator {
+    // Per-validator nullifier map: (epoch, nullifier) → first share. A
+    // BTreeMap so any future iteration (e.g. epoch-window pruning) is
+    // deterministic regardless of scheduler or pool size.
+    let mut nmap: BTreeMap<(u64, [u8; 32]), (Fr, Fr)> = BTreeMap::new();
     Box::new(move |_from, message, local_ms| {
         let Some(decoded) = decode_rln_payload(&message.data) else {
             return Validation::Reject;
@@ -182,7 +232,7 @@ fn rln_validator(epoch_secs: u64, thr: u64, detections: DetectionLog) -> waku_go
             Some(&prev) if prev == (decoded.x, decoded.y) => Validation::Ignore,
             Some(&prev) => {
                 if let Ok(sk) = recover_from_two(prev, (decoded.x, decoded.y)) {
-                    detections.borrow_mut().insert(sk.to_le_bytes());
+                    detections.record(peer, sk.to_le_bytes());
                 }
                 Validation::Reject
             }
@@ -210,7 +260,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         .map(|_| Identity::random(&mut rng))
         .collect();
 
-    let detections: DetectionLog = Rc::new(RefCell::new(HashSet::new()));
+    let detections = DetectionLog::new(config.peers);
 
     // Install validators.
     match config.defense {
@@ -236,7 +286,10 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         }
         Defense::RlnRelay { epoch_secs, thr } => {
             for p in 0..config.peers {
-                net.set_validator(p, rln_validator(epoch_secs, thr, Rc::clone(&detections)));
+                net.set_validator(
+                    p,
+                    rln_validator(epoch_secs, thr, p, Arc::clone(&detections)),
+                );
             }
         }
     }
@@ -247,8 +300,18 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let mut send_delays: Vec<u64> = Vec::new();
     let end = WARMUP_MS + config.duration_ms;
 
+    // Honest publishers are the first `honest_publishers` peers after the
+    // spammers (`None` = every honest peer publishes).
+    let honest_cutoff = config
+        .honest_publishers
+        .map(|k| config.spammers + k)
+        .unwrap_or(config.peers);
+
     for (peer, identity) in identities.iter().enumerate() {
         let is_spammer = peer < config.spammers;
+        if !is_spammer && peer >= honest_cutoff {
+            continue;
+        }
         let interval = if is_spammer {
             config.spam_interval_ms
         } else {
@@ -324,7 +387,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let totals = net.total_stats();
     let receivers = (config.peers - 1) as f64;
     let mut honest_latencies = net.delivery_latencies();
-    let report = ScenarioReport {
+    ScenarioReport {
         defense: config.defense.label().to_string(),
         honest_sent,
         spam_sent,
@@ -342,13 +405,13 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         },
         validations: totals.validations,
         bytes_sent: totals.bytes_sent,
-        spammers_detected: detections.borrow().len(),
+        events_processed: net.events_processed(),
+        spammers_detected: detections.merged().len(),
         honest_latency_p50_ms: percentile(&mut honest_latencies, 50.0),
         honest_latency_p95_ms: percentile(&mut honest_latencies, 95.0),
         honest_send_delay_p50_ms: percentile(&mut send_delays, 50.0),
         attack_cost_wei: attack_cost(config),
-    };
-    report
+    }
 }
 
 /// Economic cost for the attacker to run this scenario's spam rate.

@@ -1,14 +1,27 @@
-//! Network-scale spam attack: 60 peers, 3 spammers flooding at 10× the
-//! honest rate, compared across all four defenses (the quantitative form
-//! of the paper's §I/§IV claims).
+//! Network-scale spam attack: 60 peers (default), 3 spammers flooding at
+//! 10× the honest rate, compared across all four defenses (the
+//! quantitative form of the paper's §I/§IV claims).
 //!
-//! Run with: `cargo run --release --example spam_attack_sim`
+//! Run with: `cargo run --release --example spam_attack_sim [PEERS]`
+//!
+//! Scale it up with the positional arg or `WAKU_SIM_PEERS` (e.g. 10000 —
+//! the sharded engine kicks in automatically above ~512 peers). Above
+//! 1 000 peers the honest publisher set is capped at 200 so the workload
+//! grows with the network instead of quadratically.
 
 use waku_gossip::NetworkConfig;
-use waku_sim::{run_scenario, Defense, ScenarioConfig, ScenarioReport};
+use waku_sim::{peers_from_env, run_scenario, Defense, ScenarioConfig, ScenarioReport};
 
 fn main() {
-    println!("spam attack: 60 peers, 3 spammers @ 2 msg/s, honest @ 0.2 msg/s, 45 s\n");
+    let peers = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(5))
+        .unwrap_or_else(|| peers_from_env(60).max(5));
+    let honest_publishers = if peers > 1_000 { Some(200) } else { None };
+    // Keep the mesh degree valid for tiny networks (degree must be < peers).
+    let degree = 8.min(peers - 1);
+    println!("spam attack: {peers} peers, 3 spammers @ 2 msg/s, honest @ 0.2 msg/s, 45 s\n");
     println!("{}", ScenarioReport::table_header());
 
     for defense in [
@@ -25,14 +38,15 @@ fn main() {
         },
     ] {
         let report = run_scenario(&ScenarioConfig {
-            peers: 60,
+            peers,
             spammers: 3,
             duration_ms: 45_000,
             honest_interval_ms: 5_000,
             spam_interval_ms: 500,
+            honest_publishers,
             defense,
             net: NetworkConfig {
-                degree: 8,
+                degree,
                 ..NetworkConfig::default()
             },
             seed: 99,

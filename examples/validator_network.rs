@@ -4,14 +4,26 @@
 //! throughput/anti-spam trade-off, plus the Thr the §III-F formula
 //! prescribes for each.
 //!
-//! Run with: `cargo run --release --example validator_network`
+//! Run with: `cargo run --release --example validator_network [PEERS]`
+//!
+//! The peer count defaults to 40; override with the positional arg or
+//! `WAKU_SIM_PEERS` to watch the trade-off at network scale (above 1 000
+//! peers the publisher set is capped at 200 to keep the workload linear).
 
 use waku_gossip::NetworkConfig;
 use waku_rln_relay::EpochManager;
-use waku_sim::{run_scenario, Defense, ScenarioConfig};
+use waku_sim::{peers_from_env, run_scenario, Defense, ScenarioConfig};
 
 fn main() {
-    println!("validator-network tuning: 40 peers, honest publish attempt every 500 ms\n");
+    let peers = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(4))
+        .unwrap_or_else(|| peers_from_env(40).max(4));
+    let honest_publishers = if peers > 1_000 { Some(200) } else { None };
+    // Keep the mesh degree valid for tiny networks (degree must be < peers).
+    let degree = 8.min(peers - 1);
+    println!("validator-network tuning: {peers} peers, honest publish attempt every 500 ms\n");
 
     // Empirical NetworkDelay ≈ p95 latency (measured below), drift ±100 ms.
     println!("| epoch T | Thr (formula, delay 0.5s, async 0.2s) | honest sent (rate-limited) | delivery ratio | spam delivery |");
@@ -21,14 +33,15 @@ fn main() {
         let em = EpochManager::new(epoch_secs);
         let thr = em.max_epoch_gap(0.5, 0.2);
         let report = run_scenario(&ScenarioConfig {
-            peers: 40,
+            peers,
             spammers: 2,
             duration_ms: 40_000,
             honest_interval_ms: 500, // validators want ~2 msg/s
             spam_interval_ms: 250,
+            honest_publishers,
             defense: Defense::RlnRelay { epoch_secs, thr },
             net: NetworkConfig {
-                degree: 8,
+                degree,
                 clock_drift_ms: 100,
                 ..NetworkConfig::default()
             },

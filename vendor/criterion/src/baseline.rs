@@ -42,6 +42,20 @@ pub(crate) fn record(rec: BenchRecord) {
     REGISTRY.lock().unwrap().push(rec);
 }
 
+/// Records an externally measured per-unit cost (nanoseconds) under a
+/// benchmark id, e.g. ns/simulated-event from a scenario sweep the bench
+/// timed itself. Stored as min = median = mean so `exp_bench_compare`
+/// treats it like any timing benchmark (higher = regression).
+pub fn record_value(id: impl Into<String>, ns: u128, samples: usize) {
+    record(BenchRecord {
+        id: id.into(),
+        min_ns: ns,
+        median_ns: ns,
+        mean_ns: ns,
+        samples,
+    });
+}
+
 fn registry_snapshot() -> Vec<BenchRecord> {
     REGISTRY.lock().unwrap().clone()
 }
