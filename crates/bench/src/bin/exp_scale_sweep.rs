@@ -2,12 +2,15 @@
 //! peer counts, timing the event-sharded simulation engine.
 //!
 //! ```text
-//! exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS]
+//! exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS] [--json PATH]
 //! ```
 //!
 //! Defaults to `--peers 100,1000` (the CI smoke run); pass
 //! `--peers 100,1000,10000` for the full sweep (opt-in — a 10 k-peer run
-//! dispatches tens of millions of events). `WAKU_SIM_PEERS` adds one more
+//! dispatches tens of millions of events). `--json PATH` additionally
+//! writes the per-point records (events, barriers, ns/event, containment
+//! ratios) as a JSON report — CI uploads it as an artifact so regressions
+//! are diagnosable from the run page. `WAKU_SIM_PEERS` adds one more
 //! peer count, `WAKU_SIM_SHARDS` forces the shard count, and
 //! `WAKU_POOL_THREADS` pins the pool (1 reproduces the serial engine
 //! exactly — same report, slower wall-clock).
@@ -21,7 +24,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use waku_gossip::NetworkConfig;
-use waku_sim::{peers_from_env, run_scenario, Defense, ScenarioConfig};
+use waku_sim::{peers_from_env, run_scenario_instrumented, Defense, ScenarioConfig};
 
 /// §IV-C: ~2 spam msgs/s against a 1 s epoch caps delivery near 1/2 plus
 /// seeded jitter; anything above this means containment broke at scale.
@@ -49,10 +52,45 @@ fn sweep_config(peers: usize, duration_ms: u64) -> ScenarioConfig {
     }
 }
 
+/// One sweep point, as printed and as serialized into the JSON report.
+struct SweepPoint {
+    peers: usize,
+    shards: usize,
+    events: u64,
+    barriers: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    ns_per_event: u128,
+    honest_delivery: f64,
+    spam_delivery: f64,
+    spammers_detected: usize,
+}
+
+impl SweepPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"peers\": {}, \"shards\": {}, \"events\": {}, \"barriers\": {}, \
+             \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"ns_per_event\": {}, \
+             \"honest_delivery\": {:.4}, \"spam_delivery\": {:.4}, \"spammers_detected\": {}}}",
+            self.peers,
+            self.shards,
+            self.events,
+            self.barriers,
+            self.wall_secs,
+            self.events_per_sec,
+            self.ns_per_event,
+            self.honest_delivery,
+            self.spam_delivery,
+            self.spammers_detected
+        )
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut peer_counts: Vec<usize> = vec![100, 1_000];
     let mut duration_ms = 15_000u64;
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -82,9 +120,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS]");
+                eprintln!(
+                    "usage: exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS] [--json PATH]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -103,47 +150,80 @@ fn main() -> ExitCode {
         waku_pool::current_num_threads()
     );
     println!();
-    println!("| peers | shards | events | wall (s) | events/s | honest delivery | spam delivery | spammers caught |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("| peers | shards | events | barriers | wall (s) | events/s | ns/event | honest delivery | spam delivery | spammers caught |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
 
     let mut failed = false;
+    let mut points: Vec<SweepPoint> = Vec::new();
     for &peers in &peer_counts {
         let config = sweep_config(peers, duration_ms);
         let start = Instant::now();
-        let report = run_scenario(&config);
+        let (report, engine) = run_scenario_instrumented(&config);
         let wall = start.elapsed();
-        let events_per_sec = report.events_processed as f64 / wall.as_secs_f64().max(1e-9);
-        // Shard count as the engine resolves it for this size.
-        let shards = waku_gossip::SchedulerKind::Auto.resolve(peers);
+        let events = report.events_processed.max(1);
+        let point = SweepPoint {
+            peers,
+            shards: engine.shards,
+            events: report.events_processed,
+            barriers: engine.barriers,
+            wall_secs: wall.as_secs_f64(),
+            events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+            ns_per_event: (wall.as_nanos() / events as u128).max(1),
+            honest_delivery: report.honest_delivery_ratio,
+            spam_delivery: report.spam_delivery_ratio,
+            spammers_detected: report.spammers_detected,
+        };
         println!(
-            "| {peers} | {shards} | {} | {:.2} | {:.0} | {:.3} | {:.3} | {} |",
-            report.events_processed,
-            wall.as_secs_f64(),
-            events_per_sec,
-            report.honest_delivery_ratio,
-            report.spam_delivery_ratio,
-            report.spammers_detected
+            "| {} | {} | {} | {} | {:.2} | {:.0} | {} | {:.3} | {:.3} | {} |",
+            point.peers,
+            point.shards,
+            point.events,
+            point.barriers,
+            point.wall_secs,
+            point.events_per_sec,
+            point.ns_per_event,
+            point.honest_delivery,
+            point.spam_delivery,
+            point.spammers_detected
         );
-        if report.spam_delivery_ratio > MAX_SPAM_DELIVERY {
+        if point.spam_delivery > MAX_SPAM_DELIVERY {
             eprintln!(
                 "FAIL: spam delivery {:.3} > {MAX_SPAM_DELIVERY} at {peers} peers",
-                report.spam_delivery_ratio
+                point.spam_delivery
             );
             failed = true;
         }
-        if report.honest_delivery_ratio < 0.8 {
+        if point.honest_delivery < 0.8 {
             eprintln!(
                 "FAIL: honest delivery {:.3} < 0.8 at {peers} peers",
-                report.honest_delivery_ratio
+                point.honest_delivery
             );
             failed = true;
         }
+        points.push(point);
     }
 
     println!();
-    println!("reading the table: events/s is simulated-event throughput (the");
-    println!("engine metric tracked in the bench baseline); containment ratios");
+    println!("reading the table: events/s and ns/event are simulated-event");
+    println!("throughput (the engine metric tracked in the bench baseline);");
+    println!("barriers counts the sharded engine's fork-join rounds (what the");
+    println!("adaptive lookahead minimizes; 0 = serial); containment ratios");
     println!("must hold at every scale — the sweep exits 2 if they don't.");
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = points.iter().map(SweepPoint::to_json).collect();
+        let json = format!(
+            "{{\n  \"duration_ms\": {},\n  \"pool_threads\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+            duration_ms,
+            waku_pool::current_num_threads(),
+            body.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sweep report written to {path}");
+    }
 
     if failed {
         ExitCode::from(2)

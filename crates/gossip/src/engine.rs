@@ -17,15 +17,17 @@
 //!   serial global heap and the sharded per-shard heaps do, because heap
 //!   pop order over unique keys is insertion-order independent.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::cache::{SeenSet, TopicCaches};
 use crate::message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 use crate::network::{NetworkConfig, PeerStats, Validator};
-use crate::scoring::PeerScore;
+use crate::scoring::ScoreTable;
 
 /// Globally unique, totally ordered event identity. The derived `Ord`
 /// compares `(at, origin, seq)` lexicographically; `(origin, seq)` pairs
@@ -113,10 +115,11 @@ pub(crate) struct PeerSlot {
     pub neighbors: Vec<PeerId>,
     pub subscriptions: BTreeSet<Topic>,
     pub mesh: BTreeMap<Topic, BTreeSet<PeerId>>,
-    pub seen: HashSet<MessageId>,
-    pub mcache: VecDeque<Vec<Message>>,
-    pub current_window: Vec<Message>,
-    pub scores: HashMap<PeerId, PeerScore>,
+    /// Generational duplicate-suppression set (rotated each heartbeat).
+    pub seen: SeenSet,
+    /// Per-topic mcache rings (rotated each heartbeat).
+    pub cache: TopicCaches,
+    pub scores: ScoreTable,
     pub validator: Option<Validator>,
     pub drift_ms: i64,
     pub stats: PeerStats,
@@ -126,18 +129,24 @@ pub(crate) struct PeerSlot {
     pub deliveries: Vec<(MessageId, DeliveryRecord)>,
     pub(crate) rng: StdRng,
     pub(crate) event_seq: u64,
+    /// Reusable buffer for forward-target lists — the accept path runs
+    /// allocation-free in steady state.
+    targets_scratch: Vec<PeerId>,
 }
 
 impl PeerSlot {
-    pub(crate) fn new(seed: u64, peer: PeerId, drift_ms: i64) -> Self {
+    /// `seen_window` is how many heartbeat rotations a seen-id survives —
+    /// sized by the network from the gossip config so it outlives any
+    /// path a message could still travel (mcache retention + gossip range
+    /// + in-flight slack).
+    pub(crate) fn new(seed: u64, peer: PeerId, drift_ms: i64, seen_window: u32) -> Self {
         PeerSlot {
             neighbors: Vec::new(),
             subscriptions: BTreeSet::new(),
             mesh: BTreeMap::new(),
-            seen: HashSet::new(),
-            mcache: VecDeque::new(),
-            current_window: Vec::new(),
-            scores: HashMap::new(),
+            seen: SeenSet::new(seen_window),
+            cache: TopicCaches::new(),
+            scores: ScoreTable::default(),
             validator: None,
             drift_ms,
             stats: PeerStats::default(),
@@ -145,25 +154,19 @@ impl PeerSlot {
             deliveries: Vec::new(),
             rng: StdRng::seed_from_u64(peer_stream_seed(seed, peer)),
             event_seq: 0,
+            targets_scratch: Vec::new(),
         }
     }
 
     pub(crate) fn score_of(&self, peer: PeerId, params: &crate::scoring::ScoreParams) -> f64 {
         self.scores
-            .get(&peer)
+            .get(peer)
             .map(|s| s.score(params))
             .unwrap_or(0.0)
     }
 
     pub(crate) fn local_time(&self, now: SimTime) -> SimTime {
         (now as i64 + self.drift_ms).max(0) as SimTime
-    }
-
-    fn find_cached(&self, id: &MessageId) -> Option<&Message> {
-        self.current_window
-            .iter()
-            .chain(self.mcache.iter().flatten())
-            .find(|m| m.id == *id)
     }
 
     /// Mints the next event key for an event this peer schedules. Called
@@ -254,35 +257,38 @@ impl PeerSlot {
         self.next_seq += 1;
         let mut message = Message::new(topic, data, me, seq, class);
         message.published_at = now;
-        self.seen.insert(message.id);
-        self.current_window.push(message.clone());
-        let targets = self.mesh_targets(me, topic, None, config);
-        for t in targets {
-            self.send_rpc(me, now, t, Rpc::Publish(message.clone()), config, out);
+        let message = Arc::new(message);
+        self.seen.insert(&message.id);
+        self.cache.insert(Arc::clone(&message));
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        self.mesh_targets(me, topic, None, config, &mut targets);
+        for &t in &targets {
+            self.send_rpc(me, now, t, Rpc::Publish(Arc::clone(&message)), config, out);
         }
+        self.targets_scratch = targets;
     }
 
     /// Mesh peers for forwarding (fallback: random subscribed neighbors
-    /// when the mesh hasn't formed yet).
+    /// when the mesh hasn't formed yet). Fills the caller-provided buffer
+    /// (the reusable [`Self::targets_scratch`]) instead of allocating.
     fn mesh_targets(
         &mut self,
         me: PeerId,
         topic: Topic,
         exclude: Option<PeerId>,
         config: &NetworkConfig,
-    ) -> Vec<PeerId> {
-        let mut targets: Vec<PeerId> = self
-            .mesh
-            .get(&topic)
-            .map(|m| m.iter().copied().collect())
-            .unwrap_or_default();
+        targets: &mut Vec<PeerId>,
+    ) {
+        targets.clear();
+        if let Some(m) = self.mesh.get(&topic) {
+            targets.extend(m.iter().copied());
+        }
         if targets.is_empty() {
-            targets = self.neighbors.clone();
+            targets.extend_from_slice(&self.neighbors);
             targets.shuffle(&mut self.rng);
             targets.truncate(config.gossip.d);
         }
         targets.retain(|t| Some(*t) != exclude && *t != me);
-        targets
     }
 
     fn handle_rpc(
@@ -295,6 +301,16 @@ impl PeerSlot {
         out: &mut Vec<QueuedEvent>,
     ) {
         self.stats.bytes_received += rpc.size() as u64;
+        // Fast path: duplicate publishes (the dominant event class at
+        // scale — every message arrives ~mesh-degree times) are absorbed
+        // before the score lookup. Behavior is identical: a duplicate is
+        // dropped with no state change whether or not the sender is
+        // graylisted.
+        if let Rpc::Publish(message) = &rpc {
+            if !self.subscriptions.contains(&message.topic) || self.seen.contains(&message.id) {
+                return;
+            }
+        }
         // Graylisted peers are ignored outright (scoring defense).
         let score = self.score_of(from, &config.scoring);
         if score < config.scoring.graylist_threshold {
@@ -307,17 +323,18 @@ impl PeerSlot {
                     return;
                 }
                 let wanted: Vec<MessageId> = ids
-                    .into_iter()
+                    .iter()
                     .filter(|id| !self.seen.contains(id))
+                    .copied()
                     .collect();
                 if !wanted.is_empty() {
                     self.send_rpc(me, now, from, Rpc::IWant(wanted), config, out);
                 }
             }
             Rpc::IWant(ids) => {
-                let messages: Vec<Message> = ids
+                let messages: Vec<Arc<Message>> = ids
                     .iter()
-                    .filter_map(|id| self.find_cached(id).cloned())
+                    .filter_map(|id| self.cache.find(id).cloned())
                     .collect();
                 for m in messages {
                     self.send_rpc(me, now, from, Rpc::Publish(m), config, out);
@@ -345,7 +362,7 @@ impl PeerSlot {
         me: PeerId,
         now: SimTime,
         from: PeerId,
-        message: Message,
+        message: Arc<Message>,
         config: &NetworkConfig,
         out: &mut Vec<QueuedEvent>,
     ) {
@@ -369,14 +386,14 @@ impl PeerSlot {
         self.validator = validator;
         match verdict {
             Validation::Accept => {
-                self.seen.insert(message.id);
-                self.current_window.push(message.clone());
+                self.seen.insert(&message.id);
+                self.cache.insert(Arc::clone(&message));
                 match message.class {
                     TrafficClass::Honest => self.stats.honest_delivered += 1,
                     TrafficClass::Spam => self.stats.spam_delivered += 1,
                     TrafficClass::Invalid => self.stats.invalid_delivered += 1,
                 }
-                self.scores.entry(from).or_default().on_first_delivery();
+                self.scores.entry_or_default(from).on_first_delivery();
                 self.deliveries.push((
                     message.id,
                     DeliveryRecord {
@@ -385,21 +402,23 @@ impl PeerSlot {
                         published_at: message.published_at,
                     },
                 ));
-                let targets = self.mesh_targets(me, message.topic, Some(from), config);
-                for t in targets {
+                let mut targets = std::mem::take(&mut self.targets_scratch);
+                self.mesh_targets(me, message.topic, Some(from), config, &mut targets);
+                for &t in &targets {
                     if t != message.origin {
                         self.send_rpc(me, now, t, Rpc::Publish(message.clone()), config, out);
                     }
                 }
+                self.targets_scratch = targets;
             }
             Validation::Reject => {
                 // Not marked seen: the spam signature (nullifier clash) must
                 // keep triggering detection, and scoring punishes repeats.
                 self.stats.rejected += 1;
-                self.scores.entry(from).or_default().on_invalid_message();
+                self.scores.entry_or_default(from).on_invalid_message();
             }
             Validation::Ignore => {
-                self.seen.insert(message.id);
+                self.seen.insert(&message.id);
                 self.stats.ignored += 1;
             }
         }
@@ -466,16 +485,9 @@ impl PeerSlot {
                 }
             }
 
-            // 3. IHAVE gossip to non-mesh subscribed neighbors
-            let gossip_ids: Vec<MessageId> = self
-                .mcache
-                .iter()
-                .take(config.gossip.mcache_gossip)
-                .flatten()
-                .filter(|m| m.topic == topic)
-                .map(|m| m.id)
-                .collect();
-            if !gossip_ids.is_empty() {
+            // 3. IHAVE gossip to non-mesh subscribed neighbors: one id
+            // list per topic per heartbeat, refcount-shared across sends.
+            if let Some(gossip_ids) = self.cache.gossip_ids(topic, config.gossip.mcache_gossip) {
                 let mesh_now: BTreeSet<PeerId> = self.mesh.get(&topic).cloned().unwrap_or_default();
                 let mut lazy: Vec<PeerId> = self
                     .neighbors
@@ -489,7 +501,7 @@ impl PeerSlot {
                         me,
                         now,
                         l,
-                        Rpc::IHave(topic, gossip_ids.clone()),
+                        Rpc::IHave(topic, Arc::clone(&gossip_ids)),
                         config,
                         out,
                     );
@@ -502,18 +514,16 @@ impl PeerSlot {
             self.mesh.values().flat_map(|m| m.iter().copied()).collect();
         for m in mesh_members {
             self.scores
-                .entry(m)
-                .or_default()
+                .entry_or_default(m)
                 .on_mesh_time(heartbeat_ms as f64 / 1000.0);
         }
         for s in self.scores.values_mut() {
             s.decay(&scoring);
         }
 
-        // 5. rotate the mcache window
-        let window = std::mem::take(&mut self.current_window);
-        self.mcache.push_front(window);
-        self.mcache.truncate(config.gossip.mcache_len);
+        // 5. rotate the mcache windows and the seen-set generation
+        self.cache.rotate(config.gossip.mcache_len);
+        self.seen.rotate();
 
         self.schedule(me, now, heartbeat_ms, me, SimEvent::Heartbeat, out);
     }
@@ -542,7 +552,7 @@ mod tests {
 
     #[test]
     fn key_stream_is_per_peer_monotone() {
-        let mut slot = PeerSlot::new(1, 3, 0);
+        let mut slot = PeerSlot::new(1, 3, 0, 10);
         let k1 = slot.next_key(3, 100);
         let k2 = slot.next_key(3, 100);
         assert!(k1 < k2);

@@ -12,8 +12,12 @@
 //!   counter, so no mutable state is shared across peers.
 //! * [`scheduler`] — execution strategies behind one trait: a serial
 //!   global-heap scheduler and an event-sharded engine that runs each
-//!   time quantum as a fork-join round on `waku-pool`, exchanging
-//!   cross-shard RPCs through outboxes drained at quantum barriers.
+//!   round as a fork-join on `waku-pool`, bounded by adaptive per-shard
+//!   Chandy–Misra lookahead horizons, exchanging cross-shard RPCs
+//!   through outboxes drained at round barriers.
+//! * [`cache`] — compact generational message caches: the open-addressed
+//!   duplicate-suppression set and the per-topic mcache rings behind the
+//!   10⁴-peer hot path.
 //! * [`scoring`] — the peer-scoring defense (gossipsub v1.1, reference [2])
 //!   that the paper both compares against and composes with.
 //! * [`message`] — message/RPC types and the `Validator` verdicts that the
@@ -23,6 +27,7 @@
 //! schedulers, shard counts, and pool sizes**; experiment binaries in
 //! `waku-bench` and the equivalence tests rely on that.
 
+pub mod cache;
 pub mod engine;
 pub mod message;
 pub mod network;
@@ -31,5 +36,5 @@ pub mod scoring;
 
 pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 pub use network::{DeliveryRecord, GossipConfig, Network, NetworkConfig, PeerStats, Validator};
-pub use scheduler::SchedulerKind;
+pub use scheduler::{Lookahead, SchedulerKind};
 pub use scoring::{PeerScore, ScoreParams};

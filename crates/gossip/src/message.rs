@@ -89,11 +89,17 @@ impl Message {
 /// GossipSub control and data RPCs.
 #[derive(Clone, Debug)]
 pub enum Rpc {
-    /// Full message propagation.
-    Publish(Message),
+    /// Full message propagation. The message is reference-counted:
+    /// flooding to `n` mesh peers and parking copies in event queues
+    /// bumps a refcount instead of copying the ~100-byte header each
+    /// hop — at 10⁴ peers the queues hold tens of thousands of in-flight
+    /// publishes at once.
+    Publish(Arc<Message>),
     /// Gossip: "I have these messages" (heartbeat fan-out to non-mesh
-    /// peers).
-    IHave(Topic, Vec<MessageId>),
+    /// peers). The id list is assembled once per heartbeat and shared
+    /// across all `d_lazy` sends — cloning the RPC bumps a refcount
+    /// instead of copying 32 bytes per cached message.
+    IHave(Topic, Arc<[MessageId]>),
     /// Gossip reply: "send me these".
     IWant(Vec<MessageId>),
     /// Mesh join request.
@@ -151,7 +157,7 @@ mod tests {
     #[test]
     fn rpc_sizes_scale() {
         let m = Message::new(1, vec![0; 100], 0, 0, TrafficClass::Honest);
-        assert!(Rpc::Publish(m.clone()).size() > 100);
-        assert!(Rpc::IHave(1, vec![m.id; 3]).size() > Rpc::Graft(1).size());
+        assert!(Rpc::Publish(Arc::new(m.clone())).size() > 100);
+        assert!(Rpc::IHave(1, vec![m.id; 3].into()).size() > Rpc::Graft(1).size());
     }
 }

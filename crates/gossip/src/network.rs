@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::engine::{PeerSlot, QueuedEvent, SimEvent};
 use crate::message::{Message, MessageId, PeerId, SimTime, Topic, TrafficClass, Validation};
-use crate::scheduler::{Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler};
+use crate::scheduler::{Lookahead, Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler};
 use crate::scoring::ScoreParams;
 
 pub use crate::engine::DeliveryRecord;
@@ -86,6 +86,9 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Execution engine (never affects results, only wall-clock speed).
     pub scheduler: SchedulerKind,
+    /// Round-bounding strategy for the sharded engine (never affects
+    /// results, only barrier counts and wall-clock speed).
+    pub lookahead: Lookahead,
 }
 
 impl Default for NetworkConfig {
@@ -100,6 +103,7 @@ impl Default for NetworkConfig {
             scoring: ScoreParams::default(),
             seed: 0,
             scheduler: SchedulerKind::Auto,
+            lookahead: Lookahead::Adaptive,
         }
     }
 }
@@ -158,11 +162,15 @@ impl Network {
         // drawn once here, identically for every scheduler; runtime draws
         // come from the per-peer streams instead.
         let mut rng = StdRng::seed_from_u64(config.seed);
+        // Seen-ids must outlive every path a message can still travel:
+        // mcache retention + the gossip window it can be IHAVE'd from,
+        // plus slack for in-flight IWANT round-trips and clock stagger.
+        let seen_window = (config.gossip.mcache_len + config.gossip.mcache_gossip + 2) as u32;
         let mut slots: Vec<PeerSlot> = (0..config.peers)
             .map(|p| {
                 let drift =
                     rng.gen_range(-(config.clock_drift_ms as i64)..=config.clock_drift_ms as i64);
-                PeerSlot::new(config.seed, p, drift)
+                PeerSlot::new(config.seed, p, drift, seen_window)
             })
             .collect();
 
@@ -198,7 +206,9 @@ impl Network {
         let mut scheduler: Box<dyn Scheduler> = if shards <= 1 {
             Box::new(SerialScheduler::new())
         } else {
-            Box::new(ShardedScheduler::new(config.peers, shards))
+            // Built after the topology: the adaptive lookahead derives its
+            // shard-pair latency matrix from the peers' neighbor lists.
+            Box::new(ShardedScheduler::new(config.peers, shards, &config, &slots))
         };
 
         // Stagger heartbeats so the whole network doesn't thunder at once.
@@ -244,6 +254,14 @@ impl Network {
     /// Number of peer shards the active scheduler runs (1 = serial).
     pub fn shards(&self) -> usize {
         self.scheduler.shards()
+    }
+
+    /// Fork-join barrier rounds the sharded engine has executed so far
+    /// (0 under the serial scheduler) — the cost metric the adaptive
+    /// lookahead minimizes. Deliberately *not* part of any scenario
+    /// report: it depends on the execution strategy, results do not.
+    pub fn barriers(&self) -> u64 {
+        self.scheduler.barriers()
     }
 
     /// Total events dispatched so far (the simulated-throughput metric:

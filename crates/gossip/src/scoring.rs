@@ -113,6 +113,43 @@ impl PeerScore {
     }
 }
 
+/// Per-peer score table keyed by neighbor id: a sorted small-vec map.
+///
+/// A peer only ever scores its direct neighbors (8–16 entries), so a
+/// contiguous sorted array with binary search beats a `HashMap` on the
+/// per-RPC graylist check — no SipHash, one or two cache lines — and its
+/// iteration order is naturally deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreTable {
+    entries: Vec<(usize, PeerScore)>,
+}
+
+impl ScoreTable {
+    /// Read-only lookup.
+    pub fn get(&self, peer: usize) -> Option<&PeerScore> {
+        self.entries
+            .binary_search_by_key(&peer, |(p, _)| *p)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable lookup, inserting a default entry when absent.
+    pub fn entry_or_default(&mut self, peer: usize) -> &mut PeerScore {
+        match self.entries.binary_search_by_key(&peer, |(p, _)| *p) {
+            Ok(i) => &mut self.entries[i].1,
+            Err(i) => {
+                self.entries.insert(i, (peer, PeerScore::default()));
+                &mut self.entries[i].1
+            }
+        }
+    }
+
+    /// Mutable iteration over every tracked score (ascending peer id).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut PeerScore> {
+        self.entries.iter_mut().map(|(_, s)| s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

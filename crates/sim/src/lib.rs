@@ -14,4 +14,6 @@ pub mod scenario;
 
 pub use epoch_gap::{sweep_thr, EpochGapPoint};
 pub use report::{percentile, ScenarioReport};
-pub use scenario::{peers_from_env, run_scenario, Defense, ScenarioConfig};
+pub use scenario::{
+    peers_from_env, run_scenario, run_scenario_instrumented, Defense, EngineStats, ScenarioConfig,
+};

@@ -14,7 +14,7 @@
 //! by the workspace integration tests. This substitution is documented in
 //! DESIGN.md §2.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
@@ -199,16 +199,91 @@ impl DetectionLog {
     }
 }
 
+/// Per-validator nullifier map: `(epoch, nullifier)` → first share.
+/// Open-addressed on a 64-bit fingerprint of the (uniform, Poseidon-
+/// derived) nullifier with full-key verification — the map sits on the
+/// accept path of every relayed message, where the `BTreeMap` it replaced
+/// paid 40-byte key walks and a node allocation per insert.
+///
+/// Same probing scheme as `waku_gossip::cache::SeenSet`, kept separate
+/// deliberately: that structure is a *set* with generational window
+/// expiry (lazy slot reclamation, rebuild-time filtering), this is an
+/// append-only *map* into a dense entry arena — unifying them would
+/// entangle two different sets of invariants for ~30 shared lines.
+struct NullifierMap {
+    /// Entry index + 1 (0 = empty slot).
+    slots: Vec<u32>,
+    shift: u32,
+    entries: Vec<(u64, [u8; 32], (Fr, Fr))>,
+}
+
+impl NullifierMap {
+    fn new() -> Self {
+        NullifierMap {
+            slots: vec![0; 64],
+            shift: 64 - 6,
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn fingerprint(epoch: u64, nullifier: &[u8; 32]) -> u64 {
+        let lead = u64::from_le_bytes(nullifier[..8].try_into().expect("8-byte prefix"));
+        lead ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Returns the share already recorded for this key, or records the
+    /// given one and returns `None`.
+    fn lookup_or_insert(
+        &mut self,
+        epoch: u64,
+        nullifier: [u8; 32],
+        share: (Fr, Fr),
+    ) -> Option<(Fr, Fr)> {
+        if (self.entries.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let fp = Self::fingerprint(epoch, &nullifier);
+        let mask = self.slots.len() - 1;
+        let mut i = (fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+        loop {
+            let slot = self.slots[i & mask];
+            if slot == 0 {
+                self.slots[i & mask] = u32::try_from(self.entries.len() + 1).expect("fits");
+                self.entries.push((epoch, nullifier, share));
+                return None;
+            }
+            let (e, n, s) = &self.entries[slot as usize - 1];
+            if *e == epoch && *n == nullifier {
+                return Some(*s);
+            }
+            i += 1;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(64);
+        self.slots = vec![0; cap];
+        self.shift = 64 - cap.trailing_zeros();
+        let mask = cap - 1;
+        for (idx, (e, n, _)) in self.entries.iter().enumerate() {
+            let fp = Self::fingerprint(*e, n);
+            let mut i = (fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+            while self.slots[i & mask] != 0 {
+                i += 1;
+            }
+            self.slots[i & mask] = idx as u32 + 1;
+        }
+    }
+}
+
 fn rln_validator(
     epoch_secs: u64,
     thr: u64,
     peer: usize,
     detections: Arc<DetectionLog>,
 ) -> waku_gossip::Validator {
-    // Per-validator nullifier map: (epoch, nullifier) → first share. A
-    // BTreeMap so any future iteration (e.g. epoch-window pruning) is
-    // deterministic regardless of scheduler or pool size.
-    let mut nmap: BTreeMap<(u64, [u8; 32]), (Fr, Fr)> = BTreeMap::new();
+    let mut nmap = NullifierMap::new();
     Box::new(move |_from, message, local_ms| {
         let Some(decoded) = decode_rln_payload(&message.data) else {
             return Validation::Reject;
@@ -223,15 +298,12 @@ fn rln_validator(
             return Validation::Reject;
         }
         // 4. nullifier map
-        let key = (decoded.epoch, decoded.nullifier);
-        match nmap.get(&key) {
-            None => {
-                nmap.insert(key, (decoded.x, decoded.y));
-                Validation::Accept
-            }
-            Some(&prev) if prev == (decoded.x, decoded.y) => Validation::Ignore,
-            Some(&prev) => {
-                if let Ok(sk) = recover_from_two(prev, (decoded.x, decoded.y)) {
+        let share = (decoded.x, decoded.y);
+        match nmap.lookup_or_insert(decoded.epoch, decoded.nullifier, share) {
+            None => Validation::Accept,
+            Some(prev) if prev == share => Validation::Ignore,
+            Some(prev) => {
+                if let Ok(sk) = recover_from_two(prev, share) {
                     detections.record(peer, sk.to_le_bytes());
                 }
                 Validation::Reject
@@ -240,8 +312,28 @@ fn rln_validator(
     })
 }
 
+/// Execution-engine cost counters for one scenario run. Deliberately
+/// separate from [`ScenarioReport`]: these depend on the scheduler
+/// strategy (serial runs have 0 barriers), while reports are bit-identical
+/// across strategies — folding them together would break the equivalence
+/// tests' whole-report `==`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Peer shards the engine resolved to (1 = serial scheduler).
+    pub shards: usize,
+    /// Fork-join barrier rounds executed (the cost the adaptive lookahead
+    /// minimizes; 0 = serial scheduler).
+    pub barriers: u64,
+}
+
 /// Runs one scenario and aggregates the report.
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
+    run_scenario_instrumented(config).0
+}
+
+/// [`run_scenario`] plus the engine-cost counters the scale sweeps report
+/// (barriers-per-run, shard count).
+pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, EngineStats) {
     assert!(
         config.spammers < config.peers,
         "need at least one honest peer"
@@ -387,7 +479,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let totals = net.total_stats();
     let receivers = (config.peers - 1) as f64;
     let mut honest_latencies = net.delivery_latencies();
-    ScenarioReport {
+    let engine = EngineStats {
+        shards: net.shards(),
+        barriers: net.barriers(),
+    };
+    let report = ScenarioReport {
         defense: config.defense.label().to_string(),
         honest_sent,
         spam_sent,
@@ -411,7 +507,8 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         honest_latency_p95_ms: percentile(&mut honest_latencies, 95.0),
         honest_send_delay_p50_ms: percentile(&mut send_delays, 50.0),
         attack_cost_wei: attack_cost(config),
-    }
+    };
+    (report, engine)
 }
 
 /// Economic cost for the attacker to run this scenario's spam rate.

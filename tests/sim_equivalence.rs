@@ -2,18 +2,26 @@
 //! scenario must produce a **bit-identical** `ScenarioReport` no matter
 //! how it is executed — serial scheduler or event-sharded scheduler, any
 //! shard count, any pool size (`WAKU_POOL_THREADS ∈ {1, 2, 8}` via
-//! `with_threads`). This is the sim-layer extension of
-//! `tests/parallel_equivalence.rs` (which pins the same property for the
-//! proving pipeline).
+//! `with_threads`), and either round-bounding strategy (the adaptive
+//! Chandy–Misra lookahead or the legacy fixed quantum). This is the
+//! sim-layer extension of `tests/parallel_equivalence.rs` (which pins the
+//! same property for the proving pipeline).
 //!
 //! The reports compare with `==` across every field, including f64 ratios
 //! and latency percentiles — not "statistically close", identical.
 
-use waku_suite::gossip::{NetworkConfig, SchedulerKind};
+use waku_suite::gossip::{Lookahead, NetworkConfig, SchedulerKind};
 use waku_suite::pool::with_threads;
-use waku_suite::sim::{run_scenario, Defense, ScenarioConfig, ScenarioReport};
+use waku_suite::sim::{
+    run_scenario, run_scenario_instrumented, Defense, ScenarioConfig, ScenarioReport,
+};
 
-fn config_at(peers: usize, defense: Defense, scheduler: SchedulerKind) -> ScenarioConfig {
+fn config_at(
+    peers: usize,
+    defense: Defense,
+    scheduler: SchedulerKind,
+    lookahead: Lookahead,
+) -> ScenarioConfig {
     ScenarioConfig {
         peers,
         spammers: 3,
@@ -25,6 +33,7 @@ fn config_at(peers: usize, defense: Defense, scheduler: SchedulerKind) -> Scenar
         net: NetworkConfig {
             degree: 8,
             scheduler,
+            lookahead,
             ..NetworkConfig::default()
         },
         seed: 31,
@@ -32,12 +41,19 @@ fn config_at(peers: usize, defense: Defense, scheduler: SchedulerKind) -> Scenar
     }
 }
 
-fn config(defense: Defense, scheduler: SchedulerKind) -> ScenarioConfig {
-    config_at(200, defense, scheduler)
+fn config(defense: Defense, scheduler: SchedulerKind, lookahead: Lookahead) -> ScenarioConfig {
+    config_at(200, defense, scheduler, lookahead)
 }
 
-fn report(defense: Defense, scheduler: SchedulerKind, threads: usize) -> ScenarioReport {
-    with_threads(threads, || run_scenario(&config(defense, scheduler)))
+fn report(
+    defense: Defense,
+    scheduler: SchedulerKind,
+    lookahead: Lookahead,
+    threads: usize,
+) -> ScenarioReport {
+    with_threads(threads, || {
+        run_scenario(&config(defense, scheduler, lookahead))
+    })
 }
 
 const RLN: Defense = Defense::RlnRelay {
@@ -47,10 +63,11 @@ const RLN: Defense = Defense::RlnRelay {
 
 /// The acceptance criterion: seeded E6 reports are identical across the
 /// serial scheduler and the sharded scheduler at every tested pool size
-/// and shard count.
+/// and shard count — with the adaptive lookahead enabled (the default)
+/// and with the legacy fixed quantum.
 #[test]
 fn rln_reports_identical_across_schedulers_shards_and_pool_sizes() {
-    let reference = report(RLN, SchedulerKind::Serial, 1);
+    let reference = report(RLN, SchedulerKind::Serial, Lookahead::Adaptive, 1);
     // Sanity: the reference run actually exercises the defense.
     assert!(reference.spam_sent > 0 && reference.honest_sent > 0);
     assert_eq!(reference.spammers_detected, 3, "all spammer keys recovered");
@@ -63,17 +80,54 @@ fn rln_reports_identical_across_schedulers_shards_and_pool_sizes() {
         // The serial scheduler must not care about the pool at all.
         assert_eq!(
             reference,
-            report(RLN, SchedulerKind::Serial, threads),
+            report(RLN, SchedulerKind::Serial, Lookahead::Adaptive, threads),
             "serial @ {threads} threads"
         );
         for shards in [2usize, 8, 25] {
-            assert_eq!(
-                reference,
-                report(RLN, SchedulerKind::Sharded { shards }, threads),
-                "sharded {shards} shards @ {threads} threads"
-            );
+            for lookahead in [Lookahead::Adaptive, Lookahead::Fixed] {
+                assert_eq!(
+                    reference,
+                    report(RLN, SchedulerKind::Sharded { shards }, lookahead, threads),
+                    "sharded {shards} shards @ {threads} threads, {lookahead:?}"
+                );
+            }
         }
     }
+}
+
+/// The adaptive lookahead must not barrier more often than the fixed
+/// quantum it replaces (it is a strictly weaker round bound), while
+/// producing the same report.
+#[test]
+fn adaptive_lookahead_cuts_barriers_without_changing_results() {
+    let run = |lookahead| {
+        with_threads(2, || {
+            run_scenario_instrumented(&config(
+                RLN,
+                SchedulerKind::Sharded { shards: 8 },
+                lookahead,
+            ))
+        })
+    };
+    let (adaptive_report, adaptive) = run(Lookahead::Adaptive);
+    let (fixed_report, fixed) = run(Lookahead::Fixed);
+    assert_eq!(
+        adaptive_report, fixed_report,
+        "results must not depend on lookahead"
+    );
+    assert_eq!(adaptive.shards, 8);
+    assert!(
+        adaptive.barriers <= fixed.barriers,
+        "adaptive {} > fixed {} barriers",
+        adaptive.barriers,
+        fixed.barriers
+    );
+    assert!(
+        adaptive.barriers < fixed.barriers,
+        "adaptive horizon never extended a round (barriers {} == {})",
+        adaptive.barriers,
+        fixed.barriers
+    );
 }
 
 /// The Auto heuristic is also equivalent — the knob the examples and
@@ -85,7 +139,11 @@ fn auto_scheduler_matches_serial() {
         SchedulerKind::Auto.resolve(600) > 1,
         "test must exercise the Auto → sharded path"
     );
-    let run = |scheduler| with_threads(2, || run_scenario(&config_at(600, RLN, scheduler)));
+    let run = |scheduler| {
+        with_threads(2, || {
+            run_scenario(&config_at(600, RLN, scheduler, Lookahead::Adaptive))
+        })
+    };
     assert_eq!(run(SchedulerKind::Serial), run(SchedulerKind::Auto));
 }
 
@@ -99,9 +157,15 @@ fn other_defenses_shard_identically() {
         spammer_hashrate: 50_000.0,
     };
     for defense in [Defense::None, Defense::ScoringOnly, pow] {
-        let serial = report(defense, SchedulerKind::Serial, 1);
-        let sharded = report(defense, SchedulerKind::Sharded { shards: 8 }, 4);
-        assert_eq!(serial, sharded, "defense {:?}", serial.defense);
+        let serial = report(defense, SchedulerKind::Serial, Lookahead::Adaptive, 1);
+        for lookahead in [Lookahead::Adaptive, Lookahead::Fixed] {
+            let sharded = report(defense, SchedulerKind::Sharded { shards: 8 }, lookahead, 4);
+            assert_eq!(
+                serial, sharded,
+                "defense {:?} {lookahead:?}",
+                serial.defense
+            );
+        }
     }
 }
 
@@ -109,7 +173,17 @@ fn other_defenses_shard_identically() {
 /// property, but the one users hit first when a seed "doesn't work").
 #[test]
 fn sharded_runs_are_self_reproducible() {
-    let a = report(RLN, SchedulerKind::Sharded { shards: 8 }, 4);
-    let b = report(RLN, SchedulerKind::Sharded { shards: 8 }, 4);
+    let a = report(
+        RLN,
+        SchedulerKind::Sharded { shards: 8 },
+        Lookahead::Adaptive,
+        4,
+    );
+    let b = report(
+        RLN,
+        SchedulerKind::Sharded { shards: 8 },
+        Lookahead::Adaptive,
+        4,
+    );
     assert_eq!(a, b);
 }
