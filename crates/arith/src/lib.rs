@@ -12,7 +12,7 @@
 //! (for sampling): Montgomery multiplication, the big-integer helper used to
 //! derive constants, and the radix-2 FFT are all implemented here from
 //! scratch, as required by the reproduction contract of the paper
-//! (§II-B relies on Groth16 [11], which in turn needs all of this).
+//! (§II-B relies on Groth16 \[11\], which in turn needs all of this).
 //!
 //! ## Example
 //!

@@ -1,4 +1,4 @@
-//! The peer-scoring-only defense (libp2p GossipSub v1.1, reference [2]) —
+//! The peer-scoring-only defense (libp2p GossipSub v1.1, reference \[2\]) —
 //! the baseline the paper criticizes as "prone to censorship and … subject
 //! to inexpensive attacks where the spammer can send bulk messages by
 //! deploying millions of bots" (§I).

@@ -1,14 +1,18 @@
-//! Ablation A2: nullifier-map cost — insert/check throughput and the
-//! effect of the pruning window (paper §III-F: the map only needs the last
-//! `Thr` epochs).
+//! Ablation A2: nullifier-map cost — insert/check throughput, the effect
+//! of the pruning window (paper §III-F: the map only needs the last
+//! `Thr` epochs), and the long-horizon comparison of the unbounded
+//! reference map against the epoch-windowed `NullifierStore` across a
+//! 100-epoch steady-state workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use waku_arith::fields::Fr;
-use waku_arith::traits::Field;
+use waku_arith::traits::{Field, PrimeField};
 use waku_curve::{G1Affine, G2Affine};
-use waku_rln::{derive, external_nullifier, message_hash, NullifierMap, RlnMessageBundle};
+use waku_rln::{
+    derive, external_nullifier, message_hash, NullifierMap, NullifierStore, RlnMessageBundle,
+};
 use waku_snark::groth16::Proof;
 
 fn synthetic_bundle(sk: Fr, payload: &[u8], epoch: u64) -> RlnMessageBundle {
@@ -68,9 +72,84 @@ fn bench_prune_windows(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 100-epoch steady-state workload: `peers` publishers signal once
+/// per epoch (plus one double-signal per epoch so spam recovery runs),
+/// precomputed so the measured loop is pure map traffic, no Poseidon.
+fn steady_workload(epochs: u64, peers: usize) -> Vec<(u64, [u8; 32], (Fr, Fr))> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sks: Vec<Fr> = (0..peers).map(|_| Fr::random(&mut rng)).collect();
+    let mut ops = Vec::with_capacity(epochs as usize * (peers + 1));
+    for epoch in 0..epochs {
+        for (i, sk) in sks.iter().enumerate() {
+            let x = message_hash(format!("e{epoch}p{i}").as_bytes());
+            let (_, phi, y) = derive(*sk, external_nullifier(epoch), x);
+            ops.push((epoch, phi.to_le_bytes(), (x, y)));
+        }
+        // One rate violation per epoch: the first peer signals again.
+        let x = message_hash(format!("e{epoch}spam").as_bytes());
+        let (_, phi, y) = derive(sks[0], external_nullifier(epoch), x);
+        ops.push((epoch, phi.to_le_bytes(), (x, y)));
+    }
+    ops
+}
+
+/// Unbounded map vs windowed store across 100 epochs (the A2 long-
+/// horizon ablation): same check stream, the store additionally slides
+/// its window every epoch. The store should win despite the extra
+/// advance calls — its arenas stay cache-resident at O(window) while
+/// the map's epoch tables accumulate — and its final footprint is the
+/// real payoff, printed to the baseline as a separate record.
+fn bench_steady_state_100_epochs(c: &mut Criterion) {
+    const EPOCHS: u64 = 100;
+    const PEERS: usize = 20;
+    let ops = steady_workload(EPOCHS, PEERS);
+    let mut group = c.benchmark_group("nullifier_lifecycle/100-epochs");
+    group.bench_function("unbounded-map", |b| {
+        b.iter(|| {
+            let mut map = NullifierMap::new();
+            for (epoch, nullifier, share) in &ops {
+                map.check_shares(*epoch, *nullifier, *share);
+            }
+            map.len()
+        })
+    });
+    group.bench_function("windowed-store", |b| {
+        b.iter(|| {
+            let mut store = NullifierStore::new(1);
+            for (epoch, nullifier, share) in &ops {
+                store.advance_to(*epoch);
+                store.check_shares(*epoch, *nullifier, *share);
+            }
+            store.len()
+        })
+    });
+    group.finish();
+
+    // Footprint at the end of the horizon — the memory claim itself,
+    // recorded into the bench baseline so regressions (a window that
+    // stops pruning) show up in CI's perf-trend table.
+    let mut map = NullifierMap::new();
+    let mut store = NullifierStore::new(1);
+    for (epoch, nullifier, share) in &ops {
+        store.advance_to(*epoch);
+        map.check_shares(*epoch, *nullifier, *share);
+        store.check_shares(*epoch, *nullifier, *share);
+    }
+    criterion::baseline::record_value(
+        "nullifier_lifecycle/resident-bytes-100-epochs/unbounded-map",
+        map.storage_bytes() as u128,
+        1,
+    );
+    criterion::baseline::record_value(
+        "nullifier_lifecycle/resident-bytes-100-epochs/windowed-store",
+        store.storage_bytes() as u128,
+        1,
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_insert, bench_prune_windows
+    targets = bench_insert, bench_prune_windows, bench_steady_state_100_epochs
 }
 criterion_main!(benches);

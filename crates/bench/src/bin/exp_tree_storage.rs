@@ -1,7 +1,7 @@
 //! E4 + ablation A3: identity-tree storage per peer.
 //!
 //! Paper (§IV): full depth-20 tree = 67 MB per peer; the optimized
-//! proposal of reference [18] cuts the view to ~0.128 KB (O(log N)).
+//! proposal of reference \[18\] cuts the view to ~0.128 KB (O(log N)).
 
 use waku_arith::fields::Fr;
 use waku_arith::traits::PrimeField;

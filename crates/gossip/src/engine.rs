@@ -1,5 +1,6 @@
-//! Event-processing core shared by every [`crate::scheduler::Scheduler`]:
-//! one [`PeerSlot`] per peer bundles the GossipSub protocol state with a
+//! Event-processing core shared by every `Scheduler` (see
+//! [`crate::scheduler`]):
+//! one `PeerSlot` per peer bundles the GossipSub protocol state with a
 //! **private RNG stream** and a **private event-sequence counter**.
 //!
 //! Determinism contract (what makes serial and sharded execution
@@ -10,7 +11,7 @@
 //! * every random draw a handler makes comes from the target peer's own
 //!   RNG, seeded from `(network seed, peer id)` — no draw order is shared
 //!   across peers;
-//! * every event carries a globally unique, totally ordered [`EventKey`]
+//! * every event carries a globally unique, totally ordered `EventKey`
 //!   `(fire time, origin peer, per-origin sequence)`. Schedulers may
 //!   interleave *different* peers' events however they like, but must
 //!   deliver each peer's events in ascending key order — which both the
@@ -379,7 +380,7 @@ impl PeerSlot {
         let verdict = match validator.as_mut() {
             Some(v) => {
                 self.stats.validations += 1;
-                v(from, &message, local)
+                v.validate(from, &message, local)
             }
             None => Validation::Accept,
         };
@@ -431,6 +432,15 @@ impl PeerSlot {
         config: &NetworkConfig,
         out: &mut Vec<QueuedEvent>,
     ) {
+        // 0. let the validator observe the local clock: epoch-windowed
+        // defense state (the RLN nullifier window) advances on rollover
+        // even when no message arrives. Runs inside this peer's own
+        // dispatch, so determinism across schedulers is preserved.
+        let local = self.local_time(now);
+        if let Some(v) = self.validator.as_mut() {
+            v.on_heartbeat(local);
+        }
+
         let heartbeat_ms = config.gossip.heartbeat_ms;
         let scoring = config.scoring;
         let (d, d_lo, d_hi, d_lazy) = (

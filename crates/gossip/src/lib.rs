@@ -18,7 +18,7 @@
 //! * [`cache`] — compact generational message caches: the open-addressed
 //!   duplicate-suppression set and the per-topic mcache rings behind the
 //!   10⁴-peer hot path.
-//! * [`scoring`] — the peer-scoring defense (gossipsub v1.1, reference [2])
+//! * [`scoring`] — the peer-scoring defense (gossipsub v1.1, reference \[2\])
 //!   that the paper both compares against and composes with.
 //! * [`message`] — message/RPC types and the `Validator` verdicts that the
 //!   RLN validation pipeline plugs into (§III-F).
@@ -35,6 +35,8 @@ pub mod scheduler;
 pub mod scoring;
 
 pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
-pub use network::{DeliveryRecord, GossipConfig, Network, NetworkConfig, PeerStats, Validator};
+pub use network::{
+    DeliveryRecord, GossipConfig, MessageAcceptor, Network, NetworkConfig, PeerStats, Validator,
+};
 pub use scheduler::{Lookahead, SchedulerKind};
 pub use scoring::{PeerScore, ScoreParams};

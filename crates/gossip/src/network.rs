@@ -1,5 +1,5 @@
 //! The discrete-event network simulator running a GossipSub mesh on every
-//! peer (paper references [2]; WAKU-RELAY is "a thin layer over libp2p
+//! peer (paper references \[2\]; WAKU-RELAY is "a thin layer over libp2p
 //! GossipSub", §I).
 //!
 //! Fidelity targets for the evaluation:
@@ -108,14 +108,38 @@ impl Default for NetworkConfig {
     }
 }
 
-/// A message validator: `(from, message, local_time_ms) → verdict`.
+/// Per-peer admission logic with a view of the peer's clock.
 ///
-/// `local_time_ms` already includes the peer's clock drift, so epoch
-/// checks observe asynchrony exactly as §III-F describes. Validators are
-/// `Send` because the sharded scheduler migrates peers across pool
-/// workers between quantum rounds; shared defense state (e.g. a detection
-/// log) must be `Send + Sync` and order-insensitive (set unions, counters).
-pub type Validator = Box<dyn FnMut(PeerId, &Message, SimTime) -> Validation + Send>;
+/// Implementors are `Send` because the sharded scheduler migrates peers
+/// across pool workers between quantum rounds; shared defense state
+/// (e.g. a detection log) must be `Send + Sync` and order-insensitive
+/// (set unions, counters). Every closure of the legacy
+/// `FnMut(PeerId, &Message, SimTime) -> Validation` shape implements
+/// this trait via the blanket impl — install one with
+/// [`Network::set_validator_fn`].
+pub trait MessageAcceptor: Send {
+    /// Judges an incoming message. `local_ms` already includes the
+    /// peer's clock drift, so epoch checks observe asynchrony exactly
+    /// as §III-F describes.
+    fn validate(&mut self, from: PeerId, message: &Message, local_ms: SimTime) -> Validation;
+
+    /// Observes the peer's (drifted) clock once per heartbeat, with no
+    /// message attached. This is how epoch-windowed validator state
+    /// learns about epoch rollovers during idle stretches: an RLN
+    /// validator slides its nullifier window here, so resident state is
+    /// released on schedule even when the topic carries no traffic.
+    /// The default does nothing (stateless validators).
+    fn on_heartbeat(&mut self, _local_ms: SimTime) {}
+}
+
+impl<F: FnMut(PeerId, &Message, SimTime) -> Validation + Send> MessageAcceptor for F {
+    fn validate(&mut self, from: PeerId, message: &Message, local_ms: SimTime) -> Validation {
+        self(from, message, local_ms)
+    }
+}
+
+/// A boxed, installable [`MessageAcceptor`] (see [`Network::set_validator`]).
+pub type Validator = Box<dyn MessageAcceptor>;
 
 /// Per-peer delivery/bandwidth statistics.
 #[derive(Clone, Debug, Default)]
@@ -283,9 +307,24 @@ impl Network {
         }
     }
 
-    /// Installs a message validator for a peer.
+    /// Installs a message validator for a peer. Stateful defenses (the
+    /// RLN pipeline) implement [`MessageAcceptor`] directly so they also
+    /// observe heartbeats; plain closures go through
+    /// [`Network::set_validator_fn`].
     pub fn set_validator(&mut self, peer: PeerId, validator: Validator) {
         self.slots[peer].validator = Some(validator);
+    }
+
+    /// Installs a closure validator for a peer. Sugar over
+    /// [`Network::set_validator`] that lets the compiler infer the
+    /// closure's higher-ranked signature (a bare
+    /// `Box::new(|from, msg, now| …)` often fails inference once the
+    /// boxed type is a trait object).
+    pub fn set_validator_fn<F>(&mut self, peer: PeerId, validator: F)
+    where
+        F: FnMut(PeerId, &Message, SimTime) -> Validation + Send + 'static,
+    {
+        self.set_validator(peer, Box::new(validator));
     }
 
     /// Schedules a publish at an absolute network time.
@@ -410,7 +449,7 @@ mod tests {
         let mut net = small_net(3);
         // every peer rejects everything
         for p in 0..30 {
-            net.set_validator(p, Box::new(|_, _, _| Validation::Reject));
+            net.set_validator_fn(p, |_, _, _| Validation::Reject);
         }
         net.run_until(3_000);
         net.publish_at(3_000, 0, TOPIC, b"bad".to_vec(), TrafficClass::Invalid);
@@ -427,7 +466,7 @@ mod tests {
     fn repeated_invalid_senders_get_graylisted() {
         let mut net = small_net(4);
         for p in 1..30 {
-            net.set_validator(p, Box::new(|_, _, _| Validation::Reject));
+            net.set_validator_fn(p, |_, _, _| Validation::Reject);
         }
         net.run_until(3_000);
         // peer 0 floods garbage
@@ -515,7 +554,7 @@ mod tests {
     fn ignore_verdict_stops_propagation_without_penalty() {
         let mut net = small_net(8);
         for p in 1..30 {
-            net.set_validator(p, Box::new(|_, _, _| Validation::Ignore));
+            net.set_validator_fn(p, |_, _, _| Validation::Ignore);
         }
         net.run_until(3_000);
         net.publish_at(3_000, 0, TOPIC, b"dup".to_vec(), TrafficClass::Spam);
@@ -540,17 +579,14 @@ mod tests {
                 // A stateful validator: every 5th message is rejected, so
                 // validator-internal state must also replay identically.
                 let mut count = 0u64;
-                net.set_validator(
-                    p,
-                    Box::new(move |_, _, _| {
-                        count += 1;
-                        if count.is_multiple_of(5) {
-                            Validation::Reject
-                        } else {
-                            Validation::Accept
-                        }
-                    }),
-                );
+                net.set_validator_fn(p, move |_, _, _| {
+                    count += 1;
+                    if count.is_multiple_of(5) {
+                        Validation::Reject
+                    } else {
+                        Validation::Accept
+                    }
+                });
             }
             net.run_until(3_000);
             for i in 0..10u64 {

@@ -1,4 +1,4 @@
-//! GossipSub v1.1 peer scoring (Vyzovitis et al., reference [2] of the
+//! GossipSub v1.1 peer scoring (Vyzovitis et al., reference \[2\] of the
 //! paper) — the mechanism the paper compares against and also recommends
 //! as the defense-in-depth against invalid-proof floods (§IV).
 //!

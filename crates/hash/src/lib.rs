@@ -3,7 +3,7 @@
 //! Byte-oriented hash functions for the WAKU-RLN-RELAY reproduction,
 //! implemented from scratch and validated against published test vectors:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256. Maps message payloads into the RLN
+//! * [`sha256()`] — FIPS 180-4 SHA-256. Maps message payloads into the RLN
 //!   share x-coordinate (`x = H(m)`, paper §II-B).
 //! * [`keccak`] — Ethereum-style Keccak-256. Backs addresses, transaction
 //!   hashes, and commit-reveal commitments on the simulated chain, plus the

@@ -3,7 +3,7 @@
 //! This is what the paper's §III-C prescribes for ordinary peers — each peer
 //! "needs to build the tree locally and listen to the contract's events" —
 //! and what §IV measures: a depth-20 tree occupies ≈67 MB (2²¹−1 nodes of
-//! 32 bytes). The storage-optimized alternative from reference [18] lives in
+//! 32 bytes). The storage-optimized alternative from reference \[18\] lives in
 //! [`crate::frontier`].
 
 use waku_arith::fields::Fr;

@@ -1,4 +1,4 @@
-//! Storage-optimized trees per the paper's reference [18]
+//! Storage-optimized trees per the paper's reference \[18\]
 //! ("storage efficient merkle tree update", vacp2p research): peers keep an
 //! O(log N) view instead of the 67 MB full tree (§IV-A, *Lowering the
 //! storage overhead per peer*).

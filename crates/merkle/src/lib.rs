@@ -12,7 +12,7 @@
 //! * [`frontier::FrontierTree`] — append-only O(log N) frontier,
 //! * [`frontier::PartialViewTree`] — a peer's own-path O(log N) view that
 //!   stays current under arbitrary insertions *and* deletions, following
-//!   the storage-efficient update proposal of reference [18] / the hybrid
+//!   the storage-efficient update proposal of reference \[18\] / the hybrid
 //!   architecture of §IV-A.
 //!
 //! All trees hash nodes with Poseidon (`waku-poseidon`), matching the RLN

@@ -9,6 +9,27 @@
 //! epoch is `Thr = ⌈(NetworkDelay + ClockAsynchrony) / T⌉`.
 
 /// Epoch arithmetic for a fixed epoch length `T` (seconds).
+///
+/// # Example
+///
+/// ```
+/// use waku_rln_relay::EpochManager;
+///
+/// // The paper's worked example (§III-D): T = 30 s.
+/// let em = EpochManager::new(30);
+/// assert_eq!(em.epoch_at(1_644_810_116), 54_827_003);
+///
+/// // Thr = ⌈(NetworkDelay + ClockAsynchrony) / T⌉ sizes both the
+/// // §III-F gap check and the nullifier retention window: with ~5 s
+/// // propagation and ~2 s clock skew, one epoch of slack suffices.
+/// let thr = em.max_epoch_gap(5.0, 2.0);
+/// assert_eq!(thr, 1);
+///
+/// // A message stamped one epoch behind the router's clock is within
+/// // the gap; three epochs behind is dropped.
+/// assert!(EpochManager::gap(54_827_003, 54_827_002) <= thr);
+/// assert!(EpochManager::gap(54_827_003, 54_827_000) > thr);
+/// ```
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct EpochManager {
     epoch_length_secs: u64,

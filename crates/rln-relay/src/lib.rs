@@ -39,6 +39,8 @@
 //! let bundle = alice.publish(b"hello", 1_644_810_116, &mut rng).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod epoch;
 pub mod group;
 pub mod metrics;

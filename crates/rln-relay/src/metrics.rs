@@ -17,6 +17,13 @@ pub struct ValidationMetrics {
     pub duplicates: u64,
     /// Rate violations detected (slashing evidence produced).
     pub spam_detected: u64,
+    /// Shares currently resident in the windowed nullifier store — a
+    /// gauge, bounded by O(window × signals-per-epoch) by construction.
+    pub nullifier_entries: u64,
+    /// Expired epochs whose nullifier state has been recycled so far —
+    /// a lifetime counter that grows with uptime while
+    /// [`ValidationMetrics::nullifier_entries`] stays flat.
+    pub epochs_pruned: u64,
 }
 
 /// Node-level counters.

@@ -252,6 +252,22 @@ impl WakuRlnRelayNode {
     pub fn validate_only(&mut self, bundle: &RlnMessageBundle, now_secs: u64) -> Outcome {
         self.validator.validate(bundle, &self.group, now_secs)
     }
+
+    /// Advances the validator's epoch window to the local clock without
+    /// processing a message — call periodically (e.g. from a heartbeat)
+    /// so nullifier state for expired epochs is released even when the
+    /// node receives no traffic.
+    pub fn tick(&mut self, now_secs: u64) {
+        self.validator.tick(now_secs);
+    }
+
+    /// Shares currently resident in the validator's windowed nullifier
+    /// store. Bounded by O(`2·Thr + 1` epochs × group size) regardless
+    /// of uptime — the long-horizon memory guarantee of the epoch
+    /// lifecycle subsystem.
+    pub fn resident_nullifiers(&self) -> usize {
+        self.validator.nullifiers().len()
+    }
 }
 
 #[cfg(test)]

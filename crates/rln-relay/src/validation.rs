@@ -7,7 +7,7 @@
 //! 4. **rate check** — the nullifier map classifies the message as fresh /
 //!    duplicate / spam, recovering the spammer's key in the last case.
 
-use waku_rln::{NullifierMap, RateCheck, RlnMessageBundle, RlnVerifier, SpamEvidence};
+use waku_rln::{NullifierStore, RateCheck, RlnMessageBundle, RlnVerifier, SpamEvidence};
 
 use crate::epoch::EpochManager;
 use crate::group::GroupManager;
@@ -31,11 +31,16 @@ pub enum Outcome {
 }
 
 /// Stateful validator a routing peer runs for one topic.
+///
+/// Nullifier state lives in an epoch-windowed [`NullifierStore`]: only
+/// the `2·Thr + 1` epochs that can still pass the gap check are
+/// retained, so the validator's resident memory is O(window), not
+/// O(uptime) — see the "Epochs and memory bounds" section of the README.
 pub struct MessageValidator {
     verifier: RlnVerifier,
     epochs: EpochManager,
     max_gap: u64,
-    nullifier_map: NullifierMap,
+    nullifiers: NullifierStore,
     metrics: ValidationMetrics,
 }
 
@@ -57,7 +62,7 @@ impl MessageValidator {
             verifier,
             epochs,
             max_gap,
-            nullifier_map: NullifierMap::new(),
+            nullifiers: NullifierStore::new(max_gap),
             metrics: ValidationMetrics::default(),
         }
     }
@@ -82,8 +87,21 @@ impl MessageValidator {
     ) -> Outcome {
         self.metrics.total += 1;
 
+        // 0. epoch rollover: slide the nullifier window to the local
+        // clock, recycling any epoch that fell behind it (O(1) per
+        // expired epoch — no scans over resident entries). The router's
+        // epoch is *monotone* — the max of every clock sample seen — so
+        // a wall clock stepped backwards (NTP) cannot make the gap check
+        // disagree with the already-advanced store window: both always
+        // judge against the same, highest-observed epoch.
+        let current_epoch = self
+            .epochs
+            .epoch_at(now_secs)
+            .max(self.nullifiers.current_epoch());
+        self.nullifiers.advance_to(current_epoch);
+        self.metrics.epochs_pruned = self.nullifiers.epochs_pruned();
+
         // 1. epoch gap
-        let current_epoch = self.epochs.epoch_at(now_secs);
         let gap = EpochManager::gap(current_epoch, bundle.epoch);
         if gap > self.max_gap {
             self.metrics.epoch_dropped += 1;
@@ -102,8 +120,8 @@ impl MessageValidator {
             return Outcome::InvalidProof;
         }
 
-        // 4. rate limit via the nullifier map
-        let outcome = match self.nullifier_map.check_and_insert(bundle) {
+        // 4. rate limit via the windowed nullifier store
+        let outcome = match self.nullifiers.check_bundle(bundle) {
             RateCheck::Fresh => {
                 self.metrics.relayed += 1;
                 Outcome::Relay
@@ -116,15 +134,36 @@ impl MessageValidator {
                 self.metrics.spam_detected += 1;
                 Outcome::Spam(evidence)
             }
+            RateCheck::OutOfWindow => {
+                // Unreachable: check 1 rejects every epoch the store
+                // does not retain (both enforce the same `Thr` window).
+                debug_assert!(false, "gap check admitted an unretained epoch");
+                self.metrics.epoch_dropped += 1;
+                Outcome::EpochOutOfRange(gap)
+            }
         };
-        // Forget epochs that can no longer pass check 1.
-        self.nullifier_map.prune(current_epoch, self.max_gap);
+        self.metrics.nullifier_entries = self.nullifiers.len() as u64;
         outcome
     }
 
-    /// Current nullifier-map footprint (ablation A2).
+    /// Observes the local clock without a message: slides the nullifier
+    /// window across epoch rollovers so resident state is released even
+    /// while the topic is idle. Routing layers call this once per
+    /// heartbeat (see `waku_gossip::MessageAcceptor::on_heartbeat`).
+    pub fn tick(&mut self, now_secs: u64) {
+        self.nullifiers.advance_to(self.epochs.epoch_at(now_secs));
+        self.metrics.epochs_pruned = self.nullifiers.epochs_pruned();
+        self.metrics.nullifier_entries = self.nullifiers.len() as u64;
+    }
+
+    /// The windowed nullifier store (resident-footprint introspection).
+    pub fn nullifiers(&self) -> &NullifierStore {
+        &self.nullifiers
+    }
+
+    /// Current nullifier-store footprint in bytes (ablation A2).
     pub fn nullifier_map_bytes(&self) -> usize {
-        self.nullifier_map.storage_bytes()
+        self.nullifiers.storage_bytes()
     }
 }
 
@@ -307,6 +346,71 @@ mod tests {
                 "epoch {k}"
             );
         }
+    }
+
+    #[test]
+    fn nullifier_state_is_windowed_across_epochs() {
+        let mut f = fixture(11);
+        // One message per epoch for 8 epochs: the store never holds more
+        // than the 2·Thr + 1 = 3-epoch window's worth of shares.
+        for k in 0..8u64 {
+            let now = 1000 + k * T;
+            let bundle = prove(&f, format!("epoch{k}").as_bytes(), now / T, 40 + k);
+            assert_eq!(f.validator.validate(&bundle, &f.group, now), Outcome::Relay);
+            assert!(
+                f.validator.metrics().nullifier_entries <= 3,
+                "resident entries crept past the window: {:?}",
+                f.validator.metrics()
+            );
+        }
+        assert!(
+            f.validator.metrics().epochs_pruned >= 6,
+            "old epochs must have been recycled: {:?}",
+            f.validator.metrics()
+        );
+        // Re-sending the first epoch's message now trips the gap check —
+        // its nullifier state is gone, but so is its admissibility.
+        let stale = prove(&f, b"epoch0", 1000 / T, 40);
+        assert_eq!(
+            f.validator.validate(&stale, &f.group, 1000 + 7 * T),
+            Outcome::EpochOutOfRange(7)
+        );
+    }
+
+    #[test]
+    fn backwards_clock_step_keeps_gap_and_window_consistent() {
+        let mut f = fixture(13);
+        // Observe epoch 100 (now = 1000, T = 10): window pins to [99, 101].
+        let b100 = prove(&f, b"at 100", 100, 50);
+        assert_eq!(f.validator.validate(&b100, &f.group, 1000), Outcome::Relay);
+        // NTP steps the wall clock back three epochs (now = 970). The
+        // router's epoch is monotone, so a bundle for epoch 99 is still
+        // judged against epoch 100 — in gap AND in window: it relays
+        // rather than tripping the (debug-asserted) OutOfWindow arm.
+        let b99 = prove(&f, b"at 99", 99, 51);
+        assert_eq!(f.validator.validate(&b99, &f.group, 970), Outcome::Relay);
+        // A bundle matching the stale clock's own epoch (97) is out of
+        // gap relative to the monotone epoch and drops cleanly.
+        let b97 = prove(&f, b"at 97", 97, 52);
+        assert_eq!(
+            f.validator.validate(&b97, &f.group, 970),
+            Outcome::EpochOutOfRange(3)
+        );
+    }
+
+    #[test]
+    fn tick_releases_state_without_traffic() {
+        let mut f = fixture(12);
+        let now = 1000u64;
+        let bundle = prove(&f, b"only message", now / T, 13);
+        assert_eq!(f.validator.validate(&bundle, &f.group, now), Outcome::Relay);
+        assert_eq!(f.validator.metrics().nullifier_entries, 1);
+        // The topic goes quiet; epoch rollovers alone must release the
+        // resident share once its epoch leaves the window.
+        f.validator.tick(now + 5 * T);
+        assert_eq!(f.validator.metrics().nullifier_entries, 0);
+        assert!(f.validator.metrics().epochs_pruned >= 1);
+        assert_eq!(f.validator.nullifier_map_bytes() % 8, 0);
     }
 
     #[test]

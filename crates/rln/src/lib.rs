@@ -34,6 +34,8 @@
 //! assert!(verifier.verify_bundle(&bundle));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod circuit;
 pub mod identity;
 pub mod nullifier;
@@ -43,7 +45,7 @@ pub mod slashing;
 pub use circuit::{RlnPublicInputs, RlnWitness};
 pub use identity::Identity;
 pub use nullifier::{
-    derive, epoch_coefficient, external_nullifier, internal_nullifier, message_hash,
+    derive, epoch_coefficient, external_nullifier, internal_nullifier, message_hash, NullifierStore,
 };
 pub use prover::{RlnMessageBundle, RlnProver, RlnVerifier};
 pub use slashing::{NullifierMap, RateCheck, SpamEvidence};

@@ -1,15 +1,29 @@
-//! Nullifier and share derivations (paper §II-B):
+//! Nullifier derivations and the epoch-windowed nullifier lifecycle
+//! (paper §II-B, §III-F).
+//!
+//! Derivations:
 //!
 //! * external nullifier `∅` — the epoch, embedded in the field,
 //! * epoch coefficient `a1 = H(sk, ∅)` — the slope of the per-epoch line,
 //! * internal nullifier `φ = H(H(sk, ∅)) = H(a1)` — collides exactly when
 //!   the same identity signals twice in the same epoch,
 //! * share `(x, y) = (H(m), sk + a1·x)`.
+//!
+//! Lifecycle: a routing peer only needs nullifier state for epochs that
+//! can still pass the §III-F epoch-gap check (`|current − epoch| ≤ Thr`),
+//! so [`NullifierStore`] keeps exactly that window — a ring of per-epoch
+//! open-addressed arenas, recycled in O(1) as the clock advances past
+//! them — and the resident footprint is O(window), independent of how
+//! long the node has been running.
 
 use waku_arith::fields::Fr;
 use waku_arith::traits::PrimeField;
 use waku_hash::sha256;
 use waku_poseidon::{poseidon1, poseidon2};
+use waku_shamir::recover_from_two;
+
+use crate::prover::RlnMessageBundle;
+use crate::slashing::{RateCheck, SpamEvidence};
 
 /// Maps an epoch counter into the field as the external nullifier `∅`.
 pub fn external_nullifier(epoch: u64) -> Fr {
@@ -38,6 +52,312 @@ pub fn derive(sk: Fr, external: Fr, x: Fr) -> (Fr, Fr, Fr) {
     let phi = internal_nullifier(a1);
     let y = sk + a1 * x;
     (a1, phi, y)
+}
+
+/// Generation value marking a never-written arena slot.
+const EMPTY_GEN: u32 = 0;
+/// Initial per-arena slot-table capacity (power of two).
+const MIN_SLOTS: usize = 16;
+/// Upper bound on the epoch window a store will allocate a ring for.
+const MAX_WINDOW_EPOCHS: u64 = 1 << 20;
+
+/// 64-bit fingerprint of a nullifier: its leading 8 bytes. Internal
+/// nullifiers are Poseidon outputs, so the prefix is already uniformly
+/// distributed; Fibonacci hashing (see [`EpochArena::slot_of`]) spreads
+/// it over the slot table.
+#[inline]
+fn fingerprint(nullifier: &[u8; 32]) -> u64 {
+    u64::from_le_bytes(nullifier[..8].try_into().expect("8-byte prefix"))
+}
+
+/// One epoch's worth of nullifier state: an open-addressed index over a
+/// dense entry arena. Recycling for a new epoch is O(1) — the generation
+/// stamp is bumped (instantly invalidating every slot) and the entry
+/// arena is truncated in place, so its buffers are reused and
+/// steady-state operation never allocates.
+#[derive(Clone, Debug)]
+struct EpochArena {
+    /// The epoch this arena currently holds (`u64::MAX` = vacant).
+    epoch: u64,
+    /// Liveness stamp: a slot is live iff its stored generation matches.
+    gen: u32,
+    /// Slot table: `(generation, entry index)`.
+    slots: Vec<(u32, u32)>,
+    /// Dense entry storage: `(nullifier, first-seen share)`.
+    entries: Vec<([u8; 32], (Fr, Fr))>,
+    /// `64 − log2(slots.len())` — the Fibonacci-hash shift.
+    shift: u32,
+}
+
+impl EpochArena {
+    fn new() -> Self {
+        EpochArena {
+            epoch: u64::MAX,
+            gen: 1,
+            slots: vec![(EMPTY_GEN, 0); MIN_SLOTS],
+            entries: Vec::new(),
+            shift: 64 - MIN_SLOTS.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, fp: u64) -> usize {
+        (fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// Re-labels the arena for `epoch`, expiring every resident entry in
+    /// O(1): no slot scan, no per-entry work, no allocation.
+    fn recycle(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.entries.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == EMPTY_GEN {
+            // u32 generation wrap (≈4 billion recycles): clear the slot
+            // stamps once rather than let generation 0 alias "empty".
+            self.slots.iter_mut().for_each(|s| s.0 = EMPTY_GEN);
+            self.gen = 1;
+        }
+    }
+
+    /// Returns the share already recorded for `nullifier`, or records
+    /// `share` and returns `None`.
+    fn lookup_or_insert(&mut self, nullifier: [u8; 32], share: (Fr, Fr)) -> Option<(Fr, Fr)> {
+        if (self.entries.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.slot_of(fingerprint(&nullifier));
+        loop {
+            let (slot_gen, idx) = self.slots[i & mask];
+            if slot_gen != self.gen {
+                // Empty or stale-generation slot: the probe chain ends
+                // here for the current epoch — claim it.
+                self.slots[i & mask] = (self.gen, u32::try_from(self.entries.len()).expect("fits"));
+                self.entries.push((nullifier, share));
+                return None;
+            }
+            let (stored, first_share) = &self.entries[idx as usize];
+            if *stored == nullifier {
+                return Some(*first_share);
+            }
+            i += 1;
+        }
+    }
+
+    /// Rehashes into a doubled slot table. Entries are untouched — only
+    /// the index is rebuilt.
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(MIN_SLOTS);
+        self.slots = vec![(EMPTY_GEN, 0); cap];
+        self.shift = 64 - cap.trailing_zeros();
+        let mask = cap - 1;
+        for (idx, (nullifier, _)) in self.entries.iter().enumerate() {
+            let fp = fingerprint(nullifier);
+            let mut i = (fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+            while self.slots[i & mask].0 == self.gen {
+                i += 1;
+            }
+            self.slots[i & mask] = (self.gen, idx as u32);
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.slots.len() * 8 + self.entries.capacity() * 96
+    }
+}
+
+/// Epoch-windowed nullifier store (paper §III-F): the bounded-memory
+/// replacement for an ever-growing per-epoch nullifier map.
+///
+/// The store retains shares only for epochs inside the acceptance window
+/// `[current − Thr, current + Thr]` — exactly the epochs that can still
+/// pass the upstream epoch-gap check, per the observation that
+/// double-signal detection needs no state beyond the accepted gap. The
+/// window is a ring of per-epoch arenas indexed by `epoch mod ring_len`;
+/// advancing the clock past an epoch recycles its arena in O(1) (a
+/// generation bump plus an in-place truncation), so the resident
+/// footprint is O(window × signals-per-epoch) regardless of uptime.
+///
+/// # Example
+///
+/// ```
+/// use waku_arith::fields::Fr;
+/// use waku_arith::traits::PrimeField;
+/// use waku_rln::{NullifierStore, RateCheck};
+///
+/// let mut store = NullifierStore::new(1); // Thr = 1
+/// store.advance_to(100);
+///
+/// let phi = [7u8; 32]; // internal nullifier (Poseidon output in practice)
+/// let share_a = (Fr::from_u64(1), Fr::from_u64(10));
+/// let share_b = (Fr::from_u64(2), Fr::from_u64(20));
+///
+/// // First signal in epoch 100 is fresh; the same share again is a
+/// // duplicate; a *different* share under the same nullifier is spam
+/// // (the two shares interpolate to the signaler's key).
+/// assert_eq!(store.check_shares(100, phi, share_a), RateCheck::Fresh);
+/// assert_eq!(store.check_shares(100, phi, share_a), RateCheck::Duplicate);
+/// assert!(matches!(store.check_shares(100, phi, share_b), RateCheck::Spam(_)));
+///
+/// // Once the clock moves past the window, epoch 100 is recycled and
+/// // its state is gone — messages that old are rejected upstream anyway.
+/// store.advance_to(102);
+/// assert_eq!(store.check_shares(100, phi, share_a), RateCheck::OutOfWindow);
+/// assert_eq!(store.len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NullifierStore {
+    /// The accepted epoch gap `Thr`.
+    max_gap: u64,
+    /// Highest current epoch observed via [`NullifierStore::advance_to`].
+    hi: u64,
+    /// Per-epoch arenas, indexed by `epoch % ring.len()`.
+    ring: Vec<EpochArena>,
+    /// Lifetime count of expired epochs whose state was recycled.
+    epochs_pruned: u64,
+}
+
+impl NullifierStore {
+    /// Creates a store that retains epochs within `max_gap` (`Thr`) of
+    /// the current epoch, i.e. a window of `2·Thr + 1` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window would exceed 2²⁰ epochs — a gap that large
+    /// means the epoch-gap check is effectively disabled and an
+    /// unbounded map ([`crate::NullifierMap`]) is the honest choice.
+    pub fn new(max_gap: u64) -> Self {
+        let window = max_gap.saturating_mul(2).saturating_add(1);
+        assert!(
+            window <= MAX_WINDOW_EPOCHS,
+            "window of {window} epochs is unreasonably large (max_gap = {max_gap})"
+        );
+        NullifierStore {
+            max_gap,
+            hi: 0,
+            ring: (0..window).map(|_| EpochArena::new()).collect(),
+            epochs_pruned: 0,
+        }
+    }
+
+    /// The configured maximum epoch gap `Thr`.
+    pub fn max_gap(&self) -> u64 {
+        self.max_gap
+    }
+
+    /// Number of epochs the ring can hold (`2·Thr + 1`).
+    pub fn window_epochs(&self) -> u64 {
+        self.ring.len() as u64
+    }
+
+    /// The highest current epoch the store has been advanced to.
+    pub fn current_epoch(&self) -> u64 {
+        self.hi
+    }
+
+    /// Oldest epoch still retained (`current − Thr`, saturating).
+    pub fn oldest_retained_epoch(&self) -> u64 {
+        self.hi.saturating_sub(self.max_gap)
+    }
+
+    /// Advances the store's clock to `current_epoch`, recycling every
+    /// arena that fell out of the window. Cost is O(epochs expired),
+    /// capped at O(window) for arbitrarily large jumps; each recycle is
+    /// O(1). Moving backwards (a stale clock sample) is a no-op — the
+    /// window only ever slides forward.
+    pub fn advance_to(&mut self, current_epoch: u64) {
+        if current_epoch <= self.hi {
+            return;
+        }
+        let old_lo = self.oldest_retained_epoch();
+        self.hi = current_epoch;
+        let new_lo = self.oldest_retained_epoch();
+        let ring_len = self.ring.len() as u64;
+        if new_lo.saturating_sub(old_lo) >= ring_len {
+            // Jumped past the whole ring: every occupied arena expires.
+            for arena in &mut self.ring {
+                if !arena.entries.is_empty() && arena.epoch < new_lo {
+                    arena.recycle(u64::MAX);
+                    self.epochs_pruned += 1;
+                }
+            }
+        } else {
+            for e in old_lo..new_lo {
+                let arena = &mut self.ring[(e % ring_len) as usize];
+                if !arena.entries.is_empty() && arena.epoch < new_lo {
+                    arena.recycle(u64::MAX);
+                    self.epochs_pruned += 1;
+                }
+            }
+        }
+    }
+
+    /// Checks a share against the window and records it if fresh — the
+    /// §III-F rate check on raw parts. Epochs outside
+    /// `[current − Thr, current + Thr]` return
+    /// [`RateCheck::OutOfWindow`] without storing anything; the upstream
+    /// epoch-gap check drops those messages before they reach the store,
+    /// so seeing the variant here means the caller skipped that check.
+    pub fn check_shares(&mut self, epoch: u64, nullifier: [u8; 32], share: (Fr, Fr)) -> RateCheck {
+        if epoch < self.oldest_retained_epoch() || epoch > self.hi.saturating_add(self.max_gap) {
+            return RateCheck::OutOfWindow;
+        }
+        let ring_len = self.ring.len() as u64;
+        let arena = &mut self.ring[(epoch % ring_len) as usize];
+        if arena.epoch != epoch {
+            // The slot holds an expired epoch (or is vacant): two in-window
+            // epochs can never share a slot, so recycling is always safe.
+            arena.recycle(epoch);
+        }
+        match arena.lookup_or_insert(nullifier, share) {
+            None => RateCheck::Fresh,
+            Some(prev) if prev == share => RateCheck::Duplicate,
+            Some(prev) => match recover_from_two(prev, share) {
+                Ok(recovered) => RateCheck::Spam(SpamEvidence {
+                    epoch,
+                    share_a: prev,
+                    share_b: share,
+                    recovered_secret: recovered,
+                }),
+                // Same x, different y: impossible behind a valid proof
+                // (x = H(m) binds the payload); treat the malformed
+                // replay as a duplicate rather than fabricate evidence.
+                Err(_) => RateCheck::Duplicate,
+            },
+        }
+    }
+
+    /// [`NullifierStore::check_shares`] on a (proof-valid) bundle.
+    pub fn check_bundle(&mut self, bundle: &RlnMessageBundle) -> RateCheck {
+        self.check_shares(bundle.epoch, bundle.nullifier.to_le_bytes(), bundle.share())
+    }
+
+    /// Resident shares across all retained epochs.
+    pub fn len(&self) -> usize {
+        self.ring.iter().map(|a| a.entries.len()).sum()
+    }
+
+    /// True when no share is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Epochs currently holding at least one share.
+    pub fn tracked_epochs(&self) -> usize {
+        self.ring.iter().filter(|a| !a.entries.is_empty()).count()
+    }
+
+    /// Lifetime count of expired epochs whose arenas were recycled with
+    /// state still in them (the `epochs_pruned` metric).
+    pub fn epochs_pruned(&self) -> u64 {
+        self.epochs_pruned
+    }
+
+    /// Approximate resident bytes: 96 B per share (nullifier + x + y)
+    /// plus the ring's slot tables.
+    pub fn storage_bytes(&self) -> usize {
+        self.ring.iter().map(|a| a.storage_bytes()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +406,183 @@ mod tests {
         assert_eq!(message_hash(b"m"), message_hash(b"m"));
         assert_ne!(message_hash(b"m"), message_hash(b"n"));
         assert!(!message_hash(b"").is_zero());
+    }
+
+    fn share_for(sk: Fr, epoch: u64, payload: &[u8]) -> ([u8; 32], (Fr, Fr)) {
+        let x = message_hash(payload);
+        let (_, phi, y) = derive(sk, external_nullifier(epoch), x);
+        (phi.to_le_bytes(), (x, y))
+    }
+
+    #[test]
+    fn store_fresh_duplicate_spam() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sk = Fr::random(&mut rng);
+        let mut store = NullifierStore::new(1);
+        store.advance_to(100);
+        let (phi, s1) = share_for(sk, 100, b"first");
+        let (_, s2) = share_for(sk, 100, b"second");
+        assert_eq!(store.check_shares(100, phi, s1), crate::RateCheck::Fresh);
+        assert_eq!(
+            store.check_shares(100, phi, s1),
+            crate::RateCheck::Duplicate
+        );
+        match store.check_shares(100, phi, s2) {
+            crate::RateCheck::Spam(ev) => {
+                assert_eq!(ev.recovered_secret, sk);
+                assert_eq!(ev.epoch, 100);
+            }
+            other => panic!("expected spam, got {other:?}"),
+        }
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.tracked_epochs(), 1);
+    }
+
+    #[test]
+    fn store_window_accepts_past_and_future_within_gap() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sk = Fr::random(&mut rng);
+        let mut store = NullifierStore::new(2);
+        store.advance_to(50);
+        for epoch in [48, 49, 50, 51, 52] {
+            let (phi, s) = share_for(sk, epoch, b"m");
+            assert_eq!(
+                store.check_shares(epoch, phi, s),
+                crate::RateCheck::Fresh,
+                "epoch {epoch}"
+            );
+        }
+        let (phi, s) = share_for(sk, 47, b"m");
+        assert_eq!(
+            store.check_shares(47, phi, s),
+            crate::RateCheck::OutOfWindow
+        );
+        let (phi, s) = share_for(sk, 53, b"m");
+        assert_eq!(
+            store.check_shares(53, phi, s),
+            crate::RateCheck::OutOfWindow
+        );
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn store_advance_recycles_expired_epochs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sk = Fr::random(&mut rng);
+        let mut store = NullifierStore::new(1);
+        store.advance_to(10);
+        let (phi, s) = share_for(sk, 9, b"old");
+        store.check_shares(9, phi, s);
+        let (phi10, s10) = share_for(sk, 10, b"now");
+        store.check_shares(10, phi10, s10);
+        assert_eq!(store.len(), 2);
+
+        // Epoch 9 falls out at current = 11 (window [10, 12]).
+        store.advance_to(11);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.epochs_pruned(), 1);
+        assert_eq!(store.oldest_retained_epoch(), 10);
+        // A resignal in the expired epoch is out of window, not fresh.
+        let (phi, s) = share_for(sk, 9, b"old2");
+        assert_eq!(store.check_shares(9, phi, s), crate::RateCheck::OutOfWindow);
+    }
+
+    #[test]
+    fn store_memory_is_flat_across_many_epochs() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let sks: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let mut store = NullifierStore::new(1);
+        let mut high_water = 0;
+        for epoch in 0..500u64 {
+            store.advance_to(epoch);
+            for (i, sk) in sks.iter().enumerate() {
+                let (phi, s) = share_for(*sk, epoch, format!("e{epoch}p{i}").as_bytes());
+                assert_eq!(store.check_shares(epoch, phi, s), crate::RateCheck::Fresh);
+            }
+            high_water = high_water.max(store.len());
+        }
+        // Window is 3 epochs × 8 publishers: resident count never exceeds
+        // the window bound, and 500 simulated epochs leave ~498 pruned.
+        assert!(
+            high_water <= 3 * sks.len(),
+            "resident high-water {high_water} exceeds window bound"
+        );
+        assert!(store.epochs_pruned() >= 490, "{}", store.epochs_pruned());
+        assert_eq!(store.tracked_epochs(), 2, "epochs 498 (in gap) and 499");
+    }
+
+    #[test]
+    fn store_large_clock_jump_clears_everything() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let sk = Fr::random(&mut rng);
+        let mut store = NullifierStore::new(3);
+        store.advance_to(100);
+        for epoch in 97..=103 {
+            let (phi, s) = share_for(sk, epoch, b"m");
+            store.check_shares(epoch, phi, s);
+        }
+        assert_eq!(store.len(), 7);
+        store.advance_to(10_000); // jump far past the whole ring
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.epochs_pruned(), 7);
+        // The store keeps working at the new position.
+        let (phi, s) = share_for(sk, 10_000, b"new era");
+        assert_eq!(store.check_shares(10_000, phi, s), crate::RateCheck::Fresh);
+    }
+
+    #[test]
+    fn store_clock_never_moves_backwards() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let sk = Fr::random(&mut rng);
+        let mut store = NullifierStore::new(1);
+        store.advance_to(100);
+        let (phi, s) = share_for(sk, 100, b"m");
+        store.check_shares(100, phi, s);
+        store.advance_to(50); // stale clock sample: no-op
+        assert_eq!(store.current_epoch(), 100);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn store_bundle_api_matches_unbounded_map() {
+        use crate::identity::Identity;
+        use crate::slashing::NullifierMap;
+        let mut rng = StdRng::seed_from_u64(17);
+        let ids: Vec<Identity> = (0..4).map(|_| Identity::random(&mut rng)).collect();
+        let mut store = NullifierStore::new(2);
+        let mut map = NullifierMap::new();
+        for epoch in 0..30u64 {
+            store.advance_to(epoch);
+            for (i, id) in ids.iter().enumerate() {
+                // Every identity signals twice per epoch: fresh then spam.
+                for round in 0..2 {
+                    let payload = format!("e{epoch}i{i}r{round}");
+                    let (phi, s) = share_for(id.secret(), epoch, payload.as_bytes());
+                    assert_eq!(
+                        store.check_shares(epoch, phi, s),
+                        map.check_shares(epoch, phi, s),
+                        "epoch {epoch} id {i} round {round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_storage_accounting() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let sk = Fr::random(&mut rng);
+        let mut store = NullifierStore::new(1);
+        let empty_bytes = store.storage_bytes();
+        let (phi, s) = share_for(sk, 0, b"m");
+        store.check_shares(0, phi, s);
+        assert!(store.storage_bytes() > empty_bytes);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonably large")]
+    fn store_rejects_absurd_windows() {
+        NullifierStore::new(u64::MAX / 2);
     }
 }

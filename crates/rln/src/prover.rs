@@ -148,7 +148,34 @@ impl RlnProver {
     /// Runs the (simulated) trusted setup for trees of the given depth and
     /// returns the prover plus the verifier.
     ///
-    /// In production this would be an MPC ceremony (paper §II-B, [12–15]).
+    /// In production this would be an MPC ceremony (paper §II-B,
+    /// \[12–15\]). Every peer must hold keys from the *same* ceremony:
+    /// generate once, share the pair.
+    ///
+    /// Setup cost grows with `depth` (the circuit has one Merkle level
+    /// per bit); deep production trees (`depth = 20+`) take seconds,
+    /// which is why nodes receive the keys instead of re-deriving them.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use waku_merkle::DenseTree;
+    /// use waku_rln::{Identity, RlnProver};
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// // Depth 4 keeps the doc-test fast; real deployments use 20+.
+    /// let (prover, verifier) = RlnProver::keygen(4, &mut rng);
+    ///
+    /// // The pair proves and verifies one message per identity per epoch.
+    /// let id = Identity::random(&mut rng);
+    /// let mut tree = DenseTree::new(4);
+    /// tree.set(0, id.commitment());
+    /// let bundle = prover
+    ///     .prove_message(&id, &tree.proof(0), b"hi", 42, &mut rng)
+    ///     .unwrap();
+    /// assert!(verifier.verify_bundle(&bundle));
+    /// ```
     pub fn keygen<R: Rng + ?Sized>(depth: usize, rng: &mut R) -> (RlnProver, RlnVerifier) {
         let cs = build_for_setup(depth);
         let pk = setup(&cs, rng);

@@ -22,6 +22,11 @@ pub enum RateCheck {
     Duplicate,
     /// Double-signaling detected: the recovered identity secret key.
     Spam(SpamEvidence),
+    /// The epoch lies outside the retained window
+    /// ([`crate::NullifierStore`] only): nothing was stored. Messages
+    /// that old (or that far in the future) are dropped by the upstream
+    /// epoch-gap check, so routing code treats this as an ignore.
+    OutOfWindow,
 }
 
 /// Evidence of a rate violation: the two shares and the recovered key.
@@ -47,9 +52,12 @@ impl SpamEvidence {
 
 /// The per-epoch nullifier map (paper §III-F): nullifier → first-seen share.
 ///
-/// Entries older than the epoch-gap window are pruned with
-/// [`NullifierMap::prune`], since messages that old are dropped before
-/// reaching the rate check.
+/// This is the *unbounded* reference structure: it remembers every epoch
+/// it has ever seen unless [`NullifierMap::prune`] is called, and pruning
+/// scans every retained epoch. Production paths use the epoch-windowed
+/// [`crate::NullifierStore`] instead, whose expiry is O(1) arena
+/// recycling; the map remains as the behavioral oracle the store is
+/// property-tested and benchmarked against.
 #[derive(Clone, Debug, Default)]
 pub struct NullifierMap {
     epochs: HashMap<u64, HashMap<[u8; 32], (Fr, Fr)>>,
@@ -79,24 +87,32 @@ impl NullifierMap {
     /// Checks a bundle (assumed proof-valid) and records its share.
     pub fn check_and_insert(&mut self, bundle: &RlnMessageBundle) -> RateCheck {
         use waku_arith::traits::PrimeField;
-        let share = bundle.share();
-        let key = bundle.nullifier.to_le_bytes();
-        let epoch_map = self.epochs.entry(bundle.epoch).or_default();
-        match epoch_map.get(&key) {
+        self.check_shares(bundle.epoch, bundle.nullifier.to_le_bytes(), bundle.share())
+    }
+
+    /// [`NullifierMap::check_and_insert`] on raw parts — for callers
+    /// (simulation validators, oracle tests) that carry the nullifier and
+    /// share outside an [`RlnMessageBundle`].
+    pub fn check_shares(&mut self, epoch: u64, nullifier: [u8; 32], share: (Fr, Fr)) -> RateCheck {
+        let epoch_map = self.epochs.entry(epoch).or_default();
+        match epoch_map.get(&nullifier) {
             None => {
-                epoch_map.insert(key, share);
+                epoch_map.insert(nullifier, share);
                 RateCheck::Fresh
             }
             Some(&prev) if prev == share => RateCheck::Duplicate,
-            Some(&prev) => {
-                let recovered = recover_from_two(prev, share).expect("distinct shares interpolate");
-                RateCheck::Spam(SpamEvidence {
-                    epoch: bundle.epoch,
+            Some(&prev) => match recover_from_two(prev, share) {
+                Ok(recovered) => RateCheck::Spam(SpamEvidence {
+                    epoch,
                     share_a: prev,
                     share_b: share,
                     recovered_secret: recovered,
-                })
-            }
+                }),
+                // Same x, different y cannot both sit behind valid proofs
+                // (x = H(m) binds the payload); mirror NullifierStore and
+                // classify the malformed replay as a duplicate.
+                Err(_) => RateCheck::Duplicate,
+            },
         }
     }
 

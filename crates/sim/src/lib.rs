@@ -6,14 +6,18 @@
 //!
 //! * [`scenario`] — defense-comparison runs (experiments E6, E10),
 //! * [`epoch_gap`] — `Thr` sensitivity sweeps (experiment E7, ablation A4),
+//! * [`steady_state`] — long-horizon multi-epoch runs with publisher
+//!   churn (experiment E7b: the nullifier-lifecycle memory bound),
 //! * [`report`] — metrics aggregation and markdown tables.
 
 pub mod epoch_gap;
 pub mod report;
 pub mod scenario;
+pub mod steady_state;
 
 pub use epoch_gap::{sweep_thr, EpochGapPoint};
 pub use report::{percentile, ScenarioReport};
 pub use scenario::{
     peers_from_env, run_scenario, run_scenario_instrumented, Defense, EngineStats, ScenarioConfig,
 };
+pub use steady_state::{run_steady_state, SteadyStateConfig, SteadyStateReport};

@@ -24,9 +24,12 @@ use waku_arith::fields::Fr;
 use waku_arith::traits::PrimeField;
 use waku_baselines::pow::expected_iterations;
 use waku_baselines::SybilCostModel;
-use waku_gossip::{Network, NetworkConfig, TrafficClass, Validation};
-use waku_rln::{derive, external_nullifier, message_hash, Identity};
-use waku_shamir::recover_from_two;
+use waku_gossip::{
+    Message, MessageAcceptor, Network, NetworkConfig, PeerId, SimTime, TrafficClass, Validation,
+};
+use waku_rln::{
+    derive, external_nullifier, message_hash, Identity, NullifierMap, NullifierStore, RateCheck,
+};
 
 use crate::report::{percentile, ScenarioReport};
 
@@ -95,6 +98,18 @@ pub struct ScenarioConfig {
     /// scales with `publishers × peers` instead of `peers²`; every peer
     /// still routes, validates, and keeps defense state.
     pub honest_publishers: Option<usize>,
+    /// Rotate *which* honest peers publish every this many ms (requires
+    /// `honest_publishers = Some(n)`): in period `k` the active set is
+    /// the `n` honest peers starting at offset `k·n` (mod honest count).
+    /// Publisher churn is what makes long-horizon steady-state runs (E7)
+    /// exercise the nullifier window with ever-new identities instead of
+    /// a fixed cast. `None` keeps the publisher set fixed for the run.
+    pub publisher_churn_ms: Option<u64>,
+    /// RLN only: keep nullifier state in the *unbounded* reference map
+    /// instead of the epoch-windowed store. This is the memory-hungry
+    /// oracle the E7 steady-state tests A/B against — detections inside
+    /// the `Thr` window must be bit-identical either way.
+    pub unbounded_nullifiers: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -111,6 +126,8 @@ impl Default for ScenarioConfig {
             seed: 1,
             deposit_wei: 1_000_000_000_000_000_000,
             honest_publishers: None,
+            publisher_churn_ms: None,
+            unbounded_nullifiers: false,
         }
     }
 }
@@ -199,81 +216,168 @@ impl DetectionLog {
     }
 }
 
-/// Per-validator nullifier map: `(epoch, nullifier)` → first share.
-/// Open-addressed on a 64-bit fingerprint of the (uniform, Poseidon-
-/// derived) nullifier with full-key verification — the map sits on the
-/// accept path of every relayed message, where the `BTreeMap` it replaced
-/// paid 40-byte key walks and a node allocation per insert.
-///
-/// Same probing scheme as `waku_gossip::cache::SeenSet`, kept separate
-/// deliberately: that structure is a *set* with generational window
-/// expiry (lazy slot reclamation, rebuild-time filtering), this is an
-/// append-only *map* into a dense entry arena — unifying them would
-/// entangle two different sets of invariants for ~30 shared lines.
-struct NullifierMap {
-    /// Entry index + 1 (0 = empty slot).
-    slots: Vec<u32>,
-    shift: u32,
-    entries: Vec<(u64, [u8; 32], (Fr, Fr))>,
+/// Per-peer nullifier-store gauges, sharded one slot per peer like
+/// [`DetectionLog`] (each slot only ever touched by its owning peer, so
+/// the sharded scheduler records without contention) and merged with
+/// order-insensitive folds (sum / max) when the run ends.
+struct StoreStatsLog {
+    per_peer: Vec<Mutex<StoreStats>>,
 }
 
-impl NullifierMap {
-    fn new() -> Self {
-        NullifierMap {
-            slots: vec![0; 64],
-            shift: 64 - 6,
-            entries: Vec::new(),
+#[derive(Clone, Copy, Debug, Default)]
+struct StoreStats {
+    /// Shares resident in this peer's store right now.
+    resident: u64,
+    /// Most shares this peer's store ever held at once.
+    high_water: u64,
+    /// Expired epochs this peer's store has recycled.
+    pruned: u64,
+}
+
+impl StoreStatsLog {
+    fn new(peers: usize) -> Arc<Self> {
+        Arc::new(StoreStatsLog {
+            per_peer: (0..peers)
+                .map(|_| Mutex::new(StoreStats::default()))
+                .collect(),
+        })
+    }
+
+    fn record(&self, peer: usize, resident: u64, pruned: u64) {
+        let mut slot = self.per_peer[peer].lock().unwrap();
+        slot.resident = resident;
+        slot.high_water = slot.high_water.max(resident);
+        slot.pruned = pruned;
+    }
+
+    /// `(Σ resident, max high-water, Σ pruned)` across peers — all three
+    /// folds are order-insensitive, so the merge is deterministic under
+    /// any scheduler.
+    fn merged(&self) -> (u64, u64, u64) {
+        let mut resident = 0;
+        let mut high_water = 0;
+        let mut pruned = 0;
+        for slot in &self.per_peer {
+            let s = *slot.lock().unwrap();
+            resident += s.resident;
+            high_water = high_water.max(s.high_water);
+            pruned += s.pruned;
         }
+        (resident, high_water, pruned)
     }
+}
 
-    #[inline]
-    fn fingerprint(epoch: u64, nullifier: &[u8; 32]) -> u64 {
-        let lead = u64::from_le_bytes(nullifier[..8].try_into().expect("8-byte prefix"));
-        lead ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-    }
+/// Nullifier retention strategy for the simulated RLN validator: the
+/// production epoch-windowed store, or the unbounded reference map (the
+/// behavioral oracle for E7's A/B assertion — and a live demonstration
+/// of the memory leak the window fixes).
+enum Retention {
+    Windowed(NullifierStore),
+    Unbounded(NullifierMap),
+}
 
-    /// Returns the share already recorded for this key, or records the
-    /// given one and returns `None`.
-    fn lookup_or_insert(
+impl Retention {
+    fn check(
         &mut self,
+        current_epoch: u64,
         epoch: u64,
-        nullifier: [u8; 32],
+        key: [u8; 32],
         share: (Fr, Fr),
-    ) -> Option<(Fr, Fr)> {
-        if (self.entries.len() + 1) * 4 > self.slots.len() * 3 {
-            self.grow();
-        }
-        let fp = Self::fingerprint(epoch, &nullifier);
-        let mask = self.slots.len() - 1;
-        let mut i = (fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
-        loop {
-            let slot = self.slots[i & mask];
-            if slot == 0 {
-                self.slots[i & mask] = u32::try_from(self.entries.len() + 1).expect("fits");
-                self.entries.push((epoch, nullifier, share));
-                return None;
+    ) -> RateCheck {
+        match self {
+            Retention::Windowed(store) => {
+                store.advance_to(current_epoch);
+                store.check_shares(epoch, key, share)
             }
-            let (e, n, s) = &self.entries[slot as usize - 1];
-            if *e == epoch && *n == nullifier {
-                return Some(*s);
-            }
-            i += 1;
+            Retention::Unbounded(map) => map.check_shares(epoch, key, share),
         }
     }
 
-    fn grow(&mut self) {
-        let cap = (self.slots.len() * 2).max(64);
-        self.slots = vec![0; cap];
-        self.shift = 64 - cap.trailing_zeros();
-        let mask = cap - 1;
-        for (idx, (e, n, _)) in self.entries.iter().enumerate() {
-            let fp = Self::fingerprint(*e, n);
-            let mut i = (fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
-            while self.slots[i & mask] != 0 {
-                i += 1;
-            }
-            self.slots[i & mask] = idx as u32 + 1;
+    fn resident(&self) -> u64 {
+        match self {
+            Retention::Windowed(store) => store.len() as u64,
+            Retention::Unbounded(map) => map.len() as u64,
         }
+    }
+
+    fn pruned(&self) -> u64 {
+        match self {
+            Retention::Windowed(store) => store.epochs_pruned(),
+            Retention::Unbounded(_) => 0,
+        }
+    }
+}
+
+/// The simulated §III-F validation pipeline one routing peer runs:
+/// epoch-gap check on the local drifted clock, tagged proof check (real
+/// Groth16 is measured in E1/E2 — see the module docs), and the
+/// nullifier rate check with Shamir key recovery on double-signals.
+struct RlnValidator {
+    epoch_secs: u64,
+    thr: u64,
+    peer: usize,
+    nullifiers: Retention,
+    detections: Arc<DetectionLog>,
+    stats: Arc<StoreStatsLog>,
+}
+
+impl RlnValidator {
+    fn current_epoch(&self, local_ms: SimTime) -> u64 {
+        (local_ms / 1000) / self.epoch_secs
+    }
+
+    fn publish_stats(&self) {
+        self.stats.record(
+            self.peer,
+            self.nullifiers.resident(),
+            self.nullifiers.pruned(),
+        );
+    }
+}
+
+impl MessageAcceptor for RlnValidator {
+    fn validate(&mut self, _from: PeerId, message: &Message, local_ms: SimTime) -> Validation {
+        let Some(decoded) = decode_rln_payload(&message.data) else {
+            return Validation::Reject;
+        };
+        // 1. epoch gap (local drifted clock)
+        let current_epoch = self.current_epoch(local_ms);
+        if current_epoch.abs_diff(decoded.epoch) > self.thr {
+            return Validation::Ignore;
+        }
+        // 2./3. proof check (tagged; real Groth16 measured in E1/E2)
+        if !decoded.valid {
+            return Validation::Reject;
+        }
+        // 4. nullifier rate check (windowed store advances to the local
+        // clock first, so epoch expiry tracks this peer's drifted time)
+        let share = (decoded.x, decoded.y);
+        let check = self
+            .nullifiers
+            .check(current_epoch, decoded.epoch, decoded.nullifier, share);
+        self.publish_stats();
+        match check {
+            RateCheck::Fresh => Validation::Accept,
+            RateCheck::Duplicate => Validation::Ignore,
+            RateCheck::Spam(evidence) => {
+                self.detections
+                    .record(self.peer, evidence.recovered_secret.to_le_bytes());
+                Validation::Reject
+            }
+            // Unreachable behind the gap check (same Thr both sides);
+            // treat like any other out-of-range message.
+            RateCheck::OutOfWindow => Validation::Ignore,
+        }
+    }
+
+    fn on_heartbeat(&mut self, local_ms: SimTime) {
+        // Epoch rollover observed from the scenario clock: expired
+        // epochs are recycled even when the topic carries no traffic.
+        let current_epoch = self.current_epoch(local_ms);
+        if let Retention::Windowed(store) = &mut self.nullifiers {
+            store.advance_to(current_epoch);
+        }
+        self.publish_stats();
     }
 }
 
@@ -281,42 +385,31 @@ fn rln_validator(
     epoch_secs: u64,
     thr: u64,
     peer: usize,
+    unbounded: bool,
     detections: Arc<DetectionLog>,
+    stats: Arc<StoreStatsLog>,
 ) -> waku_gossip::Validator {
-    let mut nmap = NullifierMap::new();
-    Box::new(move |_from, message, local_ms| {
-        let Some(decoded) = decode_rln_payload(&message.data) else {
-            return Validation::Reject;
-        };
-        // 1. epoch gap (local drifted clock)
-        let current_epoch = (local_ms / 1000) / epoch_secs;
-        if current_epoch.abs_diff(decoded.epoch) > thr {
-            return Validation::Ignore;
-        }
-        // 2./3. proof check (tagged; real Groth16 measured in E1/E2)
-        if !decoded.valid {
-            return Validation::Reject;
-        }
-        // 4. nullifier map
-        let share = (decoded.x, decoded.y);
-        match nmap.lookup_or_insert(decoded.epoch, decoded.nullifier, share) {
-            None => Validation::Accept,
-            Some(prev) if prev == share => Validation::Ignore,
-            Some(prev) => {
-                if let Ok(sk) = recover_from_two(prev, share) {
-                    detections.record(peer, sk.to_le_bytes());
-                }
-                Validation::Reject
-            }
-        }
+    Box::new(RlnValidator {
+        epoch_secs,
+        thr,
+        peer,
+        nullifiers: if unbounded {
+            Retention::Unbounded(NullifierMap::new())
+        } else {
+            Retention::Windowed(NullifierStore::new(thr))
+        },
+        detections,
+        stats,
     })
 }
 
 /// Execution-engine cost counters for one scenario run. Deliberately
-/// separate from [`ScenarioReport`]: these depend on the scheduler
-/// strategy (serial runs have 0 barriers), while reports are bit-identical
-/// across strategies — folding them together would break the equivalence
-/// tests' whole-report `==`.
+/// separate from [`ScenarioReport`]: the scheduler counters depend on
+/// the execution strategy (serial runs have 0 barriers), while reports
+/// are bit-identical across strategies — folding them together would
+/// break the equivalence tests' whole-report `==`. The nullifier gauges
+/// *are* strategy-independent, but they are resource instrumentation,
+/// not protocol results, so they live here with the other cost metrics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Peer shards the engine resolved to (1 = serial scheduler).
@@ -324,6 +417,16 @@ pub struct EngineStats {
     /// Fork-join barrier rounds executed (the cost the adaptive lookahead
     /// minimizes; 0 = serial scheduler).
     pub barriers: u64,
+    /// Shares resident across every validator's nullifier store when the
+    /// run ended (RLN defense only; 0 otherwise).
+    pub nullifier_entries: u64,
+    /// Largest share count any single validator's store held at once
+    /// during the run — the gauge the E7 steady-state tests pin to
+    /// O(window): it must stay flat no matter how many epochs elapse.
+    pub nullifier_high_water: u64,
+    /// Expired epochs recycled across all validators (lifetime counter;
+    /// grows with simulated time while the high-water gauge stays flat).
+    pub epochs_pruned: u64,
 }
 
 /// Runs one scenario and aggregates the report.
@@ -353,6 +456,7 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
         .collect();
 
     let detections = DetectionLog::new(config.peers);
+    let store_stats = StoreStatsLog::new(config.peers);
 
     // Install validators.
     match config.defense {
@@ -361,18 +465,15 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
         }
         Defense::Pow { min_pow, .. } => {
             for p in 0..config.peers {
-                net.set_validator(
-                    p,
-                    Box::new(move |_, message, _| {
-                        // payload[0] carries the achieved-work flag: did the
-                        // sender grind enough hashes for min_pow?
-                        if message.data.first() == Some(&1) {
-                            Validation::Accept
-                        } else {
-                            Validation::Reject
-                        }
-                    }),
-                );
+                // payload[0] carries the achieved-work flag: did the
+                // sender grind enough hashes for min_pow?
+                net.set_validator_fn(p, move |_, message, _| {
+                    if message.data.first() == Some(&1) {
+                        Validation::Accept
+                    } else {
+                        Validation::Reject
+                    }
+                });
             }
             let _ = min_pow;
         }
@@ -380,7 +481,14 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
             for p in 0..config.peers {
                 net.set_validator(
                     p,
-                    rln_validator(epoch_secs, thr, p, Arc::clone(&detections)),
+                    rln_validator(
+                        epoch_secs,
+                        thr,
+                        p,
+                        config.unbounded_nullifiers,
+                        Arc::clone(&detections),
+                        Arc::clone(&store_stats),
+                    ),
                 );
             }
         }
@@ -393,11 +501,31 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
     let end = WARMUP_MS + config.duration_ms;
 
     // Honest publishers are the first `honest_publishers` peers after the
-    // spammers (`None` = every honest peer publishes).
-    let honest_cutoff = config
-        .honest_publishers
-        .map(|k| config.spammers + k)
-        .unwrap_or(config.peers);
+    // spammers (`None` = every honest peer publishes). Under publisher
+    // churn the *set* of that size rotates through all honest peers, so
+    // no peer is excluded up front.
+    let honest_cutoff = match (config.honest_publishers, config.publisher_churn_ms) {
+        (Some(k), None) => config.spammers + k,
+        _ => config.peers,
+    };
+    let honest_count = config.peers - config.spammers;
+    let churn = config.publisher_churn_ms.map(|period| {
+        let n = config
+            .honest_publishers
+            .expect("publisher_churn_ms requires honest_publishers = Some(n)")
+            .min(honest_count);
+        (period.max(1), n)
+    });
+    // Is honest peer `h` in the active set during churn period `k`?
+    let active_in = |h: usize, k: u64| -> bool {
+        match churn {
+            None => true,
+            Some((_, n)) => {
+                let start = (k as usize * n) % honest_count;
+                (h + honest_count - start) % honest_count < n
+            }
+        }
+    };
 
     for (peer, identity) in identities.iter().enumerate() {
         let is_spammer = peer < config.spammers;
@@ -415,6 +543,23 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
         // (the node layer's RateLimitedLocally guard); spammers don't.
         let mut last_epoch: Option<u64> = None;
         while t < end {
+            // Publisher churn: an honest peer outside the current active
+            // set stays silent until its next active period (spammers
+            // are sustained — they ignore churn by design).
+            if !is_spammer {
+                if let Some((period, _)) = churn {
+                    let h = peer - config.spammers;
+                    let k = (t - WARMUP_MS) / period;
+                    if !active_in(h, k) {
+                        let mut next = k + 1;
+                        while WARMUP_MS + next * period < end && !active_in(h, next) {
+                            next += 1;
+                        }
+                        t = WARMUP_MS + next * period + rng.gen_range(0..interval.max(1));
+                        continue;
+                    }
+                }
+            }
             let mut filler = vec![0u8; config.payload_bytes];
             rng.fill(&mut filler[..]);
             filler[..8].copy_from_slice(&(peer as u64).to_le_bytes());
@@ -479,9 +624,13 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
     let totals = net.total_stats();
     let receivers = (config.peers - 1) as f64;
     let mut honest_latencies = net.delivery_latencies();
+    let (nullifier_entries, nullifier_high_water, epochs_pruned) = store_stats.merged();
     let engine = EngineStats {
         shards: net.shards(),
         barriers: net.barriers(),
+        nullifier_entries,
+        nullifier_high_water,
+        epochs_pruned,
     };
     let report = ScenarioReport {
         defense: config.defense.label().to_string(),

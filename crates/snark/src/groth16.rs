@@ -1,5 +1,5 @@
 //! Groth16 (J. Groth, "On the Size of Pairing-Based Non-interactive
-//! Arguments", EUROCRYPT 2016 — reference [11] of the paper): setup,
+//! Arguments", EUROCRYPT 2016 — reference \[11\] of the paper): setup,
 //! prover, and verifier over BN254.
 //!
 //! The paper's §II-B prescribes Groth16 for the RLN membership/share/

@@ -84,24 +84,21 @@ fn honest_bundle_propagates_through_gossip_with_real_proofs() {
     for (p, group) in groups.iter().enumerate() {
         let verifier = verifier.clone();
         let group = group.clone();
-        net.set_validator(
-            p,
-            Box::new(move |_, message, local_ms| {
-                let Some(bundle) = RlnMessageBundle::from_bytes(&message.data) else {
-                    return Validation::Reject;
-                };
-                // epoch gap
-                let epoch = (local_ms / 1000) / EPOCH_SECS;
-                if epoch.abs_diff(bundle.epoch) > 1 {
-                    return Validation::Ignore;
-                }
-                // root + REAL Groth16 verification on the wire bytes
-                if bundle.root != group.root() || !verifier.verify_bundle(&bundle) {
-                    return Validation::Reject;
-                }
-                Validation::Accept
-            }),
-        );
+        net.set_validator_fn(p, move |_, message, local_ms| {
+            let Some(bundle) = RlnMessageBundle::from_bytes(&message.data) else {
+                return Validation::Reject;
+            };
+            // epoch gap
+            let epoch = (local_ms / 1000) / EPOCH_SECS;
+            if epoch.abs_diff(bundle.epoch) > 1 {
+                return Validation::Ignore;
+            }
+            // root + REAL Groth16 verification on the wire bytes
+            if bundle.root != group.root() || !verifier.verify_bundle(&bundle) {
+                return Validation::Reject;
+            }
+            Validation::Accept
+        });
     }
 
     // Node 0 publishes at wall time aligned with sim time 5000 ms.
@@ -138,18 +135,15 @@ fn tampered_bundle_is_rejected_at_first_hop() {
     for (p, group) in groups.iter().enumerate() {
         let verifier = verifier.clone();
         let group = group.clone();
-        net.set_validator(
-            p,
-            Box::new(move |_, message, _| {
-                let Some(bundle) = RlnMessageBundle::from_bytes(&message.data) else {
-                    return Validation::Reject;
-                };
-                if bundle.root != group.root() || !verifier.verify_bundle(&bundle) {
-                    return Validation::Reject;
-                }
-                Validation::Accept
-            }),
-        );
+        net.set_validator_fn(p, move |_, message, _| {
+            let Some(bundle) = RlnMessageBundle::from_bytes(&message.data) else {
+                return Validation::Reject;
+            };
+            if bundle.root != group.root() || !verifier.verify_bundle(&bundle) {
+                return Validation::Reject;
+            }
+            Validation::Accept
+        });
     }
 
     let mut publisher = nodes.into_iter().next().unwrap();
