@@ -2,18 +2,21 @@
 //! peer counts, timing the event-sharded simulation engine.
 //!
 //! ```text
-//! exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS] [--json PATH]
+//! exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS] [--json PATH] [--prom PATH]
 //! ```
 //!
 //! Defaults to `--peers 100,1000` (the CI smoke run); pass
 //! `--peers 100,1000,10000` for the full sweep (opt-in — a 10 k-peer run
 //! dispatches tens of millions of events). `--json PATH` additionally
 //! writes the per-point records (events, barriers, ns/event, containment
-//! ratios) as a JSON report — CI uploads it as an artifact so regressions
-//! are diagnosable from the run page. `WAKU_SIM_PEERS` adds one more
-//! peer count, `WAKU_SIM_SHARDS` forces the shard count, and
-//! `WAKU_POOL_THREADS` pins the pool (1 reproduces the serial engine
-//! exactly — same report, slower wall-clock).
+//! ratios, and the full metrics snapshot of each run) as a JSON report —
+//! CI uploads it as an artifact so regressions are diagnosable from the
+//! run page. `--prom PATH` writes each point's metrics in Prometheus
+//! text exposition, one section per point under a `# sweep point` comment
+//! header. `WAKU_SIM_PEERS` adds one more peer count, `WAKU_SIM_SHARDS`
+//! forces the shard count, and `WAKU_POOL_THREADS` pins the pool (1
+//! reproduces the serial engine exactly — same report, slower
+//! wall-clock).
 //!
 //! Containment quality must not depend on scale: the run fails (exit 2)
 //! if any point's spam-delivery ratio exceeds `MAX_SPAM_DELIVERY`, so the
@@ -24,7 +27,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use waku_gossip::NetworkConfig;
-use waku_sim::{peers_from_env, run_scenario_instrumented, Defense, ScenarioConfig};
+use waku_metrics::Snapshot;
+use waku_sim::{peers_from_env, run_scenario_with_metrics, Defense, ScenarioConfig};
 
 /// §IV-C: ~2 spam msgs/s against a 1 s epoch caps delivery near 1/2 plus
 /// seeded jitter; anything above this means containment broke at scale.
@@ -64,6 +68,7 @@ struct SweepPoint {
     honest_delivery: f64,
     spam_delivery: f64,
     spammers_detected: usize,
+    metrics: Snapshot,
 }
 
 impl SweepPoint {
@@ -71,7 +76,8 @@ impl SweepPoint {
         format!(
             "    {{\"peers\": {}, \"shards\": {}, \"events\": {}, \"barriers\": {}, \
              \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"ns_per_event\": {}, \
-             \"honest_delivery\": {:.4}, \"spam_delivery\": {:.4}, \"spammers_detected\": {}}}",
+             \"honest_delivery\": {:.4}, \"spam_delivery\": {:.4}, \"spammers_detected\": {}, \
+             \"metrics\": {}}}",
             self.peers,
             self.shards,
             self.events,
@@ -81,7 +87,8 @@ impl SweepPoint {
             self.ns_per_event,
             self.honest_delivery,
             self.spam_delivery,
-            self.spammers_detected
+            self.spammers_detected,
+            self.metrics.to_json()
         )
     }
 }
@@ -91,6 +98,7 @@ fn main() -> ExitCode {
     let mut peer_counts: Vec<usize> = vec![100, 1_000];
     let mut duration_ms = 15_000u64;
     let mut json_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -127,10 +135,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--prom" => match it.next() {
+                Some(path) => prom_path = Some(path.clone()),
+                None => {
+                    eprintln!("--prom needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS] [--json PATH]"
+                    "usage: exp_scale_sweep [--peers N[,N,...]] [--duration-ms MS] \
+                     [--json PATH] [--prom PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -158,7 +174,7 @@ fn main() -> ExitCode {
     for &peers in &peer_counts {
         let config = sweep_config(peers, duration_ms);
         let start = Instant::now();
-        let (report, engine) = run_scenario_instrumented(&config);
+        let (report, engine, metrics) = run_scenario_with_metrics(&config);
         let wall = start.elapsed();
         let events = report.events_processed.max(1);
         let point = SweepPoint {
@@ -172,6 +188,7 @@ fn main() -> ExitCode {
             honest_delivery: report.honest_delivery_ratio,
             spam_delivery: report.spam_delivery_ratio,
             spammers_detected: report.spammers_detected,
+            metrics,
         };
         println!(
             "| {} | {} | {} | {} | {:.2} | {:.0} | {} | {:.3} | {:.3} | {} |",
@@ -223,6 +240,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("sweep report written to {path}");
+    }
+
+    if let Some(path) = prom_path {
+        let mut text = String::new();
+        for point in &points {
+            text.push_str(&format!("# sweep point: {} peers\n", point.peers));
+            text.push_str(&point.metrics.render_prometheus());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("prometheus exposition written to {path}");
     }
 
     if failed {

@@ -7,8 +7,13 @@
 //! high-water marks side by side: the windowed store must stay flat
 //! while the oracle grows linearly — with bit-identical detections.
 //!
-//! Usage: `exp_steady_state [epochs ...]` (default: 50 100 200).
+//! Usage: `exp_steady_state [epochs ...] [--json PATH] [--prom PATH]`
+//! (default horizons: 50 100 200). `--json` writes per-horizon records
+//! including each windowed run's full metrics snapshot; `--prom` writes
+//! the snapshots in Prometheus text exposition, one section per horizon.
 //! Exits 2 if the memory bound is violated or the oracle disagrees.
+
+use std::process::ExitCode;
 
 use waku_sim::{run_steady_state, SteadyStateConfig, SteadyStateReport};
 
@@ -25,18 +30,41 @@ fn run_horizon(epochs: u64) -> (SteadyStateReport, SteadyStateReport) {
     (windowed, oracle)
 }
 
-fn main() {
-    let horizons: Vec<u64> = {
-        let args: Vec<u64> = std::env::args()
-            .skip(1)
-            .filter_map(|a| a.parse().ok())
-            .collect();
-        if args.is_empty() {
-            vec![50, 100, 200]
-        } else {
-            args
+fn main() -> ExitCode {
+    let mut horizons: Vec<u64> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--prom" => match it.next() {
+                Some(path) => prom_path = Some(path.clone()),
+                None => {
+                    eprintln!("--prom needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => match other.parse::<u64>() {
+                Ok(epochs) if epochs > 0 => horizons.push(epochs),
+                _ => {
+                    eprintln!("unknown argument {other:?}");
+                    eprintln!("usage: exp_steady_state [epochs ...] [--json PATH] [--prom PATH]");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
-    };
+    }
+    if horizons.is_empty() {
+        horizons = vec![50, 100, 200];
+    }
 
     println!("# E7b steady-state — windowed NullifierStore vs unbounded map\n");
     println!(
@@ -45,6 +73,7 @@ fn main() {
     println!("|---|---|---|---|---|---|---|");
 
     let mut failed = false;
+    let mut runs: Vec<(u64, SteadyStateReport, SteadyStateReport, bool)> = Vec::new();
     for &epochs in &horizons {
         let (windowed, oracle) = run_horizon(epochs);
         let bounded = windowed.memory_bounded();
@@ -60,6 +89,7 @@ fn main() {
             windowed.scenario.spammers_detected,
             if identical { "yes" } else { "NO" },
         );
+        runs.push((epochs, windowed, oracle, identical));
     }
 
     println!(
@@ -70,8 +100,51 @@ fn main() {
          bit-identical to the unbounded oracle's."
     );
 
+    if let Some(path) = json_path {
+        let body: Vec<String> = runs
+            .iter()
+            .map(|(epochs, windowed, oracle, identical)| {
+                format!(
+                    "    {{\"epochs\": {}, \"windowed_high_water\": {}, \
+                     \"resident_bound\": {}, \"unbounded_resident\": {}, \
+                     \"epochs_pruned\": {}, \"spammers_detected\": {}, \
+                     \"reports_equal\": {}, \"metrics\": {}}}",
+                    epochs,
+                    windowed.engine.nullifier_high_water,
+                    windowed.resident_bound,
+                    oracle.engine.nullifier_entries,
+                    windowed.engine.epochs_pruned,
+                    windowed.scenario.spammers_detected,
+                    identical,
+                    windowed.metrics.to_json()
+                )
+            })
+            .collect();
+        let json = format!("{{\n  \"horizons\": [\n{}\n  ]\n}}\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("steady-state report written to {path}");
+    }
+
+    if let Some(path) = prom_path {
+        let mut text = String::new();
+        for (epochs, windowed, _, _) in &runs {
+            text.push_str(&format!("# steady-state horizon: {epochs} epochs\n"));
+            text.push_str(&windowed.metrics.render_prometheus());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("prometheus exposition written to {path}");
+    }
+
     if failed {
         eprintln!("\nFAIL: memory bound violated or oracle mismatch");
-        std::process::exit(2);
+        return ExitCode::from(2);
     }
+    ExitCode::SUCCESS
 }

@@ -25,7 +25,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use waku_metrics::LocalRecorder;
+
 use crate::cache::{SeenSet, TopicCaches};
+use crate::instrument::engine_catalogue;
 use crate::message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 use crate::network::{NetworkConfig, PeerStats, Validator};
 use crate::scoring::ScoreTable;
@@ -130,6 +133,10 @@ pub(crate) struct PeerSlot {
     pub deliveries: Vec<(MessageId, DeliveryRecord)>,
     pub(crate) rng: StdRng,
     pub(crate) event_seq: u64,
+    /// This peer's metrics recorder (engine catalogue: event counts and
+    /// dwell times). Records only deterministic sim-domain values, so
+    /// merged snapshots stay bit-identical across schedulers.
+    pub(crate) recorder: LocalRecorder,
     /// Reusable buffer for forward-target lists — the accept path runs
     /// allocation-free in steady state.
     targets_scratch: Vec<PeerId>,
@@ -155,6 +162,7 @@ impl PeerSlot {
             deliveries: Vec::new(),
             rng: StdRng::seed_from_u64(peer_stream_seed(seed, peer)),
             event_seq: 0,
+            recorder: LocalRecorder::new(Arc::clone(&engine_catalogue().0)),
             targets_scratch: Vec::new(),
         }
     }
@@ -193,6 +201,7 @@ impl PeerSlot {
         event: SimEvent,
         out: &mut Vec<QueuedEvent>,
     ) {
+        self.recorder.observe(engine_catalogue().1.dwell, delay);
         let key = self.next_key(me, now + delay);
         out.push(QueuedEvent { key, target, event });
     }
@@ -217,6 +226,7 @@ impl PeerSlot {
     ) {
         self.stats.bytes_sent += rpc.size() as u64;
         let latency = self.link_latency(config);
+        self.recorder.observe(engine_catalogue().1.dwell, latency);
         out.push(QueuedEvent {
             key: self.next_key(me, now + latency),
             target: to,
@@ -234,12 +244,21 @@ impl PeerSlot {
         config: &NetworkConfig,
         out: &mut Vec<QueuedEvent>,
     ) {
+        let ids = &engine_catalogue().1;
+        self.recorder.inc(ids.events);
         match event {
             SimEvent::Publish { topic, data, class } => {
+                self.recorder.inc(ids.publishes);
                 self.handle_local_publish(me, now, topic, data, class, config, out)
             }
-            SimEvent::Heartbeat => self.handle_heartbeat(me, now, config, out),
-            SimEvent::Rpc { from, rpc } => self.handle_rpc(me, now, from, rpc, config, out),
+            SimEvent::Heartbeat => {
+                self.recorder.inc(ids.heartbeats);
+                self.handle_heartbeat(me, now, config, out)
+            }
+            SimEvent::Rpc { from, rpc } => {
+                self.recorder.inc(ids.rpcs);
+                self.handle_rpc(me, now, from, rpc, config, out)
+            }
         }
     }
 

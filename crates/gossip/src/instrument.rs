@@ -1,0 +1,120 @@
+//! The gossip engine's metric catalogue (see `waku-metrics`).
+//!
+//! Two layouts, two recording scopes:
+//!
+//! * the **per-peer** catalogue ([`engine_catalogue`]) is recorded by each
+//!   [`crate::engine::PeerSlot`]'s own `LocalRecorder` during dispatch —
+//!   deterministic values only (event counts, sim-time dwell), so merged
+//!   snapshots are bit-identical across schedulers;
+//! * the **network-level** catalogue ([`network_catalogue`]) is filled at
+//!   snapshot time from `PeerStats` and the scheduler. The scheduler
+//!   gauges carry the `engine_` prefix because they depend on the
+//!   execution strategy (serial runs have 0 barriers) — equivalence tests
+//!   filter that prefix before comparing snapshots.
+//!
+//! Recording costs on the hot path: two counter increments per event and
+//! one `leading_zeros` bucket index per scheduled event — noise against
+//! the ~µs dispatch budget the E6 bench gates.
+
+use std::sync::{Arc, OnceLock};
+
+use waku_metrics::{CounterId, GaugeFold, GaugeId, HistogramId, Layout, LayoutBuilder};
+
+/// Typed ids into the per-peer engine catalogue.
+pub(crate) struct EngineIds {
+    /// Every dispatched event.
+    pub events: CounterId,
+    /// Local-publish events.
+    pub publishes: CounterId,
+    /// Heartbeat events.
+    pub heartbeats: CounterId,
+    /// RPC delivery events.
+    pub rpcs: CounterId,
+    /// Scheduled delay of each peer-originated event (sim-time ms): the
+    /// time an event sits in the queue between being minted and firing.
+    pub dwell: HistogramId,
+}
+
+/// The per-peer catalogue, built once per process.
+pub(crate) fn engine_catalogue() -> &'static (Arc<Layout>, EngineIds) {
+    static CELL: OnceLock<(Arc<Layout>, EngineIds)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut b = LayoutBuilder::new();
+        let ids = EngineIds {
+            events: b.counter("gossip_events_total", "Events dispatched by the engine."),
+            publishes: b.counter("gossip_publishes_total", "Local publish events dispatched."),
+            heartbeats: b.counter("gossip_heartbeats_total", "Heartbeat events dispatched."),
+            rpcs: b.counter("gossip_rpcs_total", "RPC delivery events dispatched."),
+            dwell: b.histogram(
+                "gossip_event_dwell_ms",
+                "Sim-time delay between an event being scheduled and firing (ms).",
+            ),
+        };
+        (b.build(), ids)
+    })
+}
+
+/// Typed ids into the network-level catalogue (snapshot-time fill).
+pub(crate) struct NetworkIds {
+    /// Peer shards the scheduler resolved to (`engine_` prefix: depends
+    /// on the execution strategy).
+    pub shards: GaugeId,
+    /// Fork-join barrier rounds (`engine_` prefix: strategy-dependent).
+    pub barriers: CounterId,
+    /// Bytes sent across all peers.
+    pub bytes_sent: CounterId,
+    /// Bytes received across all peers.
+    pub bytes_received: CounterId,
+    /// Validator invocations.
+    pub validations: CounterId,
+    /// First deliveries of honest messages.
+    pub honest_delivered: CounterId,
+    /// First deliveries of spam messages.
+    pub spam_delivered: CounterId,
+    /// First deliveries of invalid-proof messages.
+    pub invalid_delivered: CounterId,
+    /// Messages rejected at validation.
+    pub rejected: CounterId,
+    /// Messages ignored (duplicates, epoch gaps).
+    pub ignored: CounterId,
+}
+
+/// The network-level catalogue, built once per process.
+pub(crate) fn network_catalogue() -> &'static (Arc<Layout>, NetworkIds) {
+    static CELL: OnceLock<(Arc<Layout>, NetworkIds)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut b = LayoutBuilder::new();
+        let ids = NetworkIds {
+            shards: b.gauge(
+                "engine_shards",
+                "Peer shards the scheduler resolved to (1 = serial).",
+                GaugeFold::Sum,
+            ),
+            barriers: b.counter(
+                "engine_barriers_total",
+                "Fork-join barrier rounds executed (0 = serial).",
+            ),
+            bytes_sent: b.counter("gossip_bytes_sent_total", "Bytes sent, all RPCs."),
+            bytes_received: b.counter("gossip_bytes_received_total", "Bytes received, all RPCs."),
+            validations: b.counter("gossip_validations_total", "Validator invocations."),
+            honest_delivered: b.counter(
+                "gossip_honest_delivered_total",
+                "First deliveries of honest messages.",
+            ),
+            spam_delivered: b.counter(
+                "gossip_spam_delivered_total",
+                "First deliveries of spam (rate-violating) messages.",
+            ),
+            invalid_delivered: b.counter(
+                "gossip_invalid_delivered_total",
+                "First deliveries of invalid-proof messages.",
+            ),
+            rejected: b.counter("gossip_rejected_total", "Messages rejected at validation."),
+            ignored: b.counter(
+                "gossip_ignored_total",
+                "Messages ignored (duplicates etc.).",
+            ),
+        };
+        (b.build(), ids)
+    })
+}

@@ -29,6 +29,7 @@
 
 pub mod cache;
 pub mod engine;
+mod instrument;
 pub mod message;
 pub mod network;
 pub mod scheduler;

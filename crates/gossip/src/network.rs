@@ -25,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{PeerSlot, QueuedEvent, SimEvent};
+use crate::instrument::{engine_catalogue, network_catalogue};
 use crate::message::{Message, MessageId, PeerId, SimTime, Topic, TrafficClass, Validation};
 use crate::scheduler::{Lookahead, Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler};
 use crate::scoring::ScoreParams;
@@ -397,6 +398,39 @@ impl Network {
     pub fn score(&self, of: PeerId, subject: PeerId) -> f64 {
         self.slots[of].score_of(subject, &self.config.scoring)
     }
+
+    /// One merged metrics snapshot for the whole network: the per-peer
+    /// engine recorders (event counts, dwell histogram — deterministic,
+    /// bit-identical across schedulers) folded together, plus the
+    /// network-level counters derived from [`PeerStats`] and the
+    /// scheduler's `engine_`-prefixed cost gauges (which *do* depend on
+    /// the execution strategy — filter that prefix before comparing
+    /// snapshots across schedulers).
+    pub fn metrics_snapshot(&self) -> waku_metrics::Snapshot {
+        let engine_layout = &engine_catalogue().0;
+        let mut peers = waku_metrics::LocalRecorder::new(std::sync::Arc::clone(engine_layout));
+        for slot in &self.slots {
+            peers.merge_from(&slot.recorder);
+        }
+
+        let (net_layout, ids) = network_catalogue();
+        let mut net = waku_metrics::LocalRecorder::new(std::sync::Arc::clone(net_layout));
+        let totals = self.total_stats();
+        net.set(ids.shards, self.shards() as u64);
+        net.add(ids.barriers, self.barriers());
+        net.add(ids.bytes_sent, totals.bytes_sent);
+        net.add(ids.bytes_received, totals.bytes_received);
+        net.add(ids.validations, totals.validations);
+        net.add(ids.honest_delivered, totals.honest_delivered);
+        net.add(ids.spam_delivered, totals.spam_delivered);
+        net.add(ids.invalid_delivered, totals.invalid_delivered);
+        net.add(ids.rejected, totals.rejected);
+        net.add(ids.ignored, totals.ignored);
+
+        let mut snapshot = peers.snapshot();
+        snapshot.merge(&net.snapshot());
+        snapshot
+    }
 }
 
 #[cfg(test)]
@@ -567,6 +601,40 @@ mod tests {
         for n in neighbors {
             assert!(net.score(n, 0) >= 0.0);
         }
+    }
+
+    /// The metrics snapshot is a faithful view: event counts equal the
+    /// scheduler's own tally, the PeerStats-derived counters match
+    /// `total_stats()`, and the deterministic (non-`engine_`) metrics are
+    /// identical across schedulers.
+    #[test]
+    fn metrics_snapshot_is_consistent_and_scheduler_independent() {
+        let run = |scheduler: SchedulerKind| {
+            let mut net = small_net_with(11, scheduler);
+            net.run_until(3_000);
+            net.publish_at(3_000, 0, TOPIC, b"m".to_vec(), TrafficClass::Honest);
+            net.run_until(20_000);
+            let snap = net.metrics_snapshot();
+            assert_eq!(snap.scalar("gossip_events_total"), net.events_processed());
+            assert_eq!(
+                snap.scalar("gossip_bytes_sent_total"),
+                net.total_stats().bytes_sent
+            );
+            assert_eq!(
+                snap.scalar("gossip_honest_delivered_total"),
+                net.total_stats().honest_delivered
+            );
+            assert!(snap.histogram("gossip_event_dwell_ms").unwrap().count > 0);
+            assert_eq!(snap.scalar("engine_shards") as usize, net.shards());
+            (snap, net.shards())
+        };
+        let (mut serial, serial_shards) = run(SchedulerKind::Serial);
+        let (mut sharded, sharded_shards) = run(SchedulerKind::Sharded { shards: 5 });
+        assert_eq!((serial_shards, sharded_shards), (1, 5));
+        // Drop the strategy-dependent gauges; the rest must match exactly.
+        serial.retain(|d| !d.name.starts_with("engine_"));
+        sharded.retain(|d| !d.name.starts_with("engine_"));
+        assert_eq!(serial, sharded);
     }
 
     /// The tentpole invariant, at transport level: serial and sharded

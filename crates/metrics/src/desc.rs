@@ -1,0 +1,136 @@
+//! Metric descriptors and the fixed log-scale histogram bucket grid.
+
+/// What a metric *is* — drives the `# TYPE` line of the Prometheus
+/// exposition and the default merge fold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count; shards merge by summing.
+    Counter,
+    /// Point-in-time level; shards merge per the descriptor's
+    /// [`GaugeFold`].
+    Gauge,
+    /// Log-bucketed value distribution; shards merge by element-wise
+    /// bucket addition (exact count and sum preservation).
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus type keyword (`counter` / `gauge` / `histogram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// How per-shard gauge readings fold into one network-wide value.
+///
+/// Both folds are commutative and associative, so a merge over any shard
+/// grouping, in any order, produces the same value — the invariant the
+/// scheduler-equivalence tests pin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaugeFold {
+    /// Total across shards (e.g. resident entries network-wide).
+    Sum,
+    /// Largest single-shard reading (e.g. a per-peer high-water mark).
+    Max,
+}
+
+/// A metric descriptor: name, help text, kind, and gauge fold.
+///
+/// Descriptors are declared once through a [`crate::LayoutBuilder`] and
+/// never change afterwards; snapshots carry them along so exposition
+/// needs no side table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Desc {
+    /// Metric name (Prometheus conventions: `snake_case`, unit suffix,
+    /// `_total` for counters).
+    pub name: &'static str,
+    /// One-line help text for the `# HELP` line.
+    pub help: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Merge fold for gauges (ignored for counters and histograms,
+    /// which always sum).
+    pub fold: GaugeFold,
+}
+
+/// Number of histogram buckets: upper bounds `2^0 .. 2^38` plus the
+/// `+Inf` overflow bucket.
+///
+/// `2^38` ≈ 4.6 minutes in nanoseconds and ≈ 8.7 years in milliseconds,
+/// so one grid serves every latency unit the suite records.
+pub const BUCKET_COUNT: usize = 40;
+
+/// The bucket a value lands in: the smallest `i` with `value ≤ 2^i`,
+/// clamped to the `+Inf` bucket ([`BUCKET_COUNT`]` - 1`).
+///
+/// Monotone in `value`, and exact: every `u64` maps to exactly one
+/// bucket, so counts are preserved under any split of the input stream.
+///
+/// ```
+/// use waku_metrics::{bucket_bound, bucket_index};
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 0);
+/// assert_eq!(bucket_index(2), 1);
+/// assert_eq!(bucket_index(3), 2);
+/// assert_eq!(bucket_index(1 << 38), 38);
+/// assert_eq!(bucket_bound(bucket_index(1000)), Some(1024));
+/// assert_eq!(bucket_bound(bucket_index(u64::MAX)), None); // +Inf
+/// ```
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        // Smallest i with 2^i ≥ value, i.e. ceil(log2(value)).
+        let i = (64 - (value - 1).leading_zeros()) as usize;
+        i.min(BUCKET_COUNT - 1)
+    }
+}
+
+/// Upper bound (`le`) of bucket `index`: `Some(2^index)`, or `None` for
+/// the final `+Inf` bucket.
+///
+/// # Panics
+///
+/// Panics if `index >= `[`BUCKET_COUNT`].
+#[inline]
+pub fn bucket_bound(index: usize) -> Option<u64> {
+    assert!(index < BUCKET_COUNT, "bucket index out of range");
+    if index == BUCKET_COUNT - 1 {
+        None
+    } else {
+        Some(1u64 << index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two_then_inf() {
+        assert_eq!(bucket_bound(0), Some(1));
+        assert_eq!(bucket_bound(10), Some(1024));
+        assert_eq!(bucket_bound(BUCKET_COUNT - 2), Some(1u64 << 38));
+        assert_eq!(bucket_bound(BUCKET_COUNT - 1), None);
+    }
+
+    #[test]
+    fn values_land_within_their_bucket_bound() {
+        for v in [0u64, 1, 2, 3, 4, 5, 1023, 1024, 1025, 1 << 38, u64::MAX] {
+            let i = bucket_index(v);
+            if let Some(le) = bucket_bound(i) {
+                assert!(v <= le, "{v} escaped bucket {i} (le {le})");
+            }
+            if i > 0 {
+                if let Some(prev) = bucket_bound(i - 1) {
+                    assert!(v > prev, "{v} belongs in an earlier bucket than {i}");
+                }
+            }
+        }
+    }
+}

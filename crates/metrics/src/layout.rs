@@ -1,0 +1,194 @@
+//! Pre-registered metric catalogues: the [`LayoutBuilder`] declares every
+//! metric up front, the frozen [`Layout`] maps typed ids to storage slots.
+//!
+//! Declaring metrics once and sharing the layout keeps the recording hot
+//! path to a bare array index — no name hashing, no registration locks —
+//! and guarantees a recorder can never observe a metric the exposition
+//! doesn't know about.
+
+use std::sync::Arc;
+
+use crate::desc::{Desc, GaugeFold, MetricKind};
+
+/// Typed handle to a counter slot in a [`Layout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(pub(crate) u32);
+
+/// Typed handle to a gauge slot in a [`Layout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) u32);
+
+/// Typed handle to a histogram slot in a [`Layout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) u32);
+
+/// A frozen metric catalogue: descriptors in registration order plus the
+/// slot mapping recorders index by.
+///
+/// Built once per subsystem (gossip engine, RLN pipeline, scenario
+/// harness) and shared via `Arc` by every recorder over it.
+#[derive(Debug)]
+pub struct Layout {
+    descs: Vec<Desc>,
+    /// Storage slot of each descriptor, indexing into the scalar array
+    /// (counters, gauges) or the histogram array per `descs[i].kind`.
+    slots: Vec<u32>,
+    scalar_slots: usize,
+    histogram_slots: usize,
+}
+
+impl Layout {
+    /// Descriptors in registration order.
+    pub fn descs(&self) -> &[Desc] {
+        &self.descs
+    }
+
+    /// Number of scalar (counter + gauge) storage slots.
+    pub(crate) fn scalar_slots(&self) -> usize {
+        self.scalar_slots
+    }
+
+    /// Number of histogram storage slots.
+    pub(crate) fn histogram_slots(&self) -> usize {
+        self.histogram_slots
+    }
+
+    /// `(descriptor, storage slot)` pairs in registration order.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (&Desc, u32)> {
+        self.descs.iter().zip(self.slots.iter().copied())
+    }
+}
+
+/// Declares metrics and freezes them into a [`Layout`].
+///
+/// ```
+/// use waku_metrics::{GaugeFold, LayoutBuilder};
+/// let mut b = LayoutBuilder::new();
+/// let hits = b.counter("cache_hits_total", "Cache hits.");
+/// let level = b.gauge("water_level", "Tank level.", GaugeFold::Max);
+/// let layout = b.build();
+/// assert_eq!(layout.descs().len(), 2);
+/// let _ = (hits, level);
+/// ```
+#[derive(Debug, Default)]
+pub struct LayoutBuilder {
+    descs: Vec<Desc>,
+    slots: Vec<u32>,
+    scalar_slots: u32,
+    histogram_slots: u32,
+}
+
+impl LayoutBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        LayoutBuilder::default()
+    }
+
+    fn push(&mut self, desc: Desc, slot: u32) {
+        assert!(
+            self.descs.iter().all(|d| d.name != desc.name),
+            "duplicate metric name {:?}",
+            desc.name
+        );
+        self.descs.push(desc);
+        self.slots.push(slot);
+    }
+
+    /// Registers a counter (monotone, shards merge by summing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered (metric catalogues are
+    /// static — a duplicate is a programming error, caught at startup).
+    pub fn counter(&mut self, name: &'static str, help: &'static str) -> CounterId {
+        let slot = self.scalar_slots;
+        self.scalar_slots += 1;
+        self.push(
+            Desc {
+                name,
+                help,
+                kind: MetricKind::Counter,
+                fold: GaugeFold::Sum,
+            },
+            slot,
+        );
+        CounterId(slot)
+    }
+
+    /// Registers a gauge with the given shard-merge fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn gauge(&mut self, name: &'static str, help: &'static str, fold: GaugeFold) -> GaugeId {
+        let slot = self.scalar_slots;
+        self.scalar_slots += 1;
+        self.push(
+            Desc {
+                name,
+                help,
+                kind: MetricKind::Gauge,
+                fold,
+            },
+            slot,
+        );
+        GaugeId(slot)
+    }
+
+    /// Registers a histogram over the fixed power-of-two bucket grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn histogram(&mut self, name: &'static str, help: &'static str) -> HistogramId {
+        let slot = self.histogram_slots;
+        self.histogram_slots += 1;
+        self.push(
+            Desc {
+                name,
+                help,
+                kind: MetricKind::Histogram,
+                fold: GaugeFold::Sum,
+            },
+            slot,
+        );
+        HistogramId(slot)
+    }
+
+    /// Freezes the catalogue.
+    pub fn build(self) -> Arc<Layout> {
+        Arc::new(Layout {
+            descs: self.descs,
+            slots: self.slots,
+            scalar_slots: self.scalar_slots as usize,
+            histogram_slots: self.histogram_slots as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_dense_per_storage_class() {
+        let mut b = LayoutBuilder::new();
+        let c0 = b.counter("a_total", "");
+        let h0 = b.histogram("b_ms", "");
+        let g0 = b.gauge("c", "", GaugeFold::Sum);
+        let h1 = b.histogram("d_ms", "");
+        assert_eq!((c0.0, g0.0), (0, 1));
+        assert_eq!((h0.0, h1.0), (0, 1));
+        let layout = b.build();
+        assert_eq!(layout.scalar_slots(), 2);
+        assert_eq!(layout.histogram_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let mut b = LayoutBuilder::new();
+        b.counter("x_total", "");
+        b.counter("x_total", "");
+    }
+}

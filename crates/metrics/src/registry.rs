@@ -1,0 +1,260 @@
+//! The concurrent recording backend: atomic cells behind cloneable typed
+//! handles. Registration happens once, in [`crate::LayoutBuilder`]; after
+//! construction every operation is a relaxed atomic on a pre-allocated
+//! cell — no locks anywhere on the recording path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::desc::{bucket_index, BUCKET_COUNT};
+use crate::layout::{CounterId, GaugeId, HistogramId, Layout};
+use crate::snapshot::{HistogramValue, Snapshot};
+
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn load(&self) -> HistogramValue {
+        HistogramValue {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    layout: Arc<Layout>,
+    scalars: Vec<AtomicU64>,
+    histograms: Vec<HistogramCells>,
+}
+
+/// A lock-free metric registry over a pre-registered [`Layout`].
+///
+/// Cloning is cheap (`Arc`); clones record into the same cells. Typed
+/// handles ([`Counter`], [`Gauge`], [`Histogram`]) are obtained by id and
+/// are themselves cloneable, `Send`, and `Sync`, so subsystems can keep
+/// their hot-path handles while the owner keeps the registry for
+/// snapshots and exposition.
+///
+/// ```
+/// use waku_metrics::{LayoutBuilder, Registry};
+/// let mut b = LayoutBuilder::new();
+/// let id = b.counter("ticks_total", "Ticks.");
+/// let registry = Registry::new(b.build());
+/// let ticks = registry.counter(id);
+/// ticks.inc();
+/// ticks.add(2);
+/// assert_eq!(registry.snapshot().scalar("ticks_total"), 3);
+/// ```
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} metrics)", self.inner.layout.descs().len())
+    }
+}
+
+impl Registry {
+    /// Allocates cells for every metric in the layout.
+    pub fn new(layout: Arc<Layout>) -> Self {
+        let scalars = (0..layout.scalar_slots())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let histograms = (0..layout.histogram_slots())
+            .map(|_| HistogramCells::new())
+            .collect();
+        Registry {
+            inner: Arc::new(Inner {
+                layout,
+                scalars,
+                histograms,
+            }),
+        }
+    }
+
+    /// The catalogue this registry records.
+    pub fn layout(&self) -> &Arc<Layout> {
+        &self.inner.layout
+    }
+
+    /// Handle to a counter. The id must come from this registry's layout.
+    pub fn counter(&self, id: CounterId) -> Counter {
+        debug_assert!((id.0 as usize) < self.inner.scalars.len());
+        Counter {
+            inner: Arc::clone(&self.inner),
+            slot: id.0,
+        }
+    }
+
+    /// Handle to a gauge. The id must come from this registry's layout.
+    pub fn gauge(&self, id: GaugeId) -> Gauge {
+        debug_assert!((id.0 as usize) < self.inner.scalars.len());
+        Gauge {
+            inner: Arc::clone(&self.inner),
+            slot: id.0,
+        }
+    }
+
+    /// Handle to a histogram. The id must come from this registry's
+    /// layout.
+    pub fn histogram(&self, id: HistogramId) -> Histogram {
+        debug_assert!((id.0 as usize) < self.inner.histograms.len());
+        Histogram {
+            inner: Arc::clone(&self.inner),
+            slot: id.0,
+        }
+    }
+
+    /// A point-in-time view of every metric (relaxed loads — values
+    /// recorded before the call are included; concurrent recording is
+    /// torn only across metrics, never within a scalar).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::build(
+            &self.inner.layout,
+            |slot| self.inner.scalars[slot].load(Ordering::Relaxed),
+            |slot| self.inner.histograms[slot].load(),
+        )
+    }
+
+    /// Shorthand for `snapshot().render_prometheus()`.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// Cloneable handle to one counter cell.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<Inner>,
+    slot: u32,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.scalars[self.slot as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.scalars[self.slot as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Cloneable handle to one gauge cell.
+#[derive(Clone)]
+pub struct Gauge {
+    inner: Arc<Inner>,
+    slot: u32,
+}
+
+impl Gauge {
+    /// Stores an absolute reading.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.inner.scalars[self.slot as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the current reading.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.scalars[self.slot as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the reading to `v` if it is larger (high-water tracking).
+    #[inline]
+    pub fn fold_max(&self, v: u64) {
+        self.inner.scalars[self.slot as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> u64 {
+        self.inner.scalars[self.slot as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Cloneable handle to one histogram's cells.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+    slot: u32,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let h = &self.inner.histograms[self.slot as usize];
+        h.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.histograms[self.slot as usize]
+            .count
+            .load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::GaugeFold;
+    use crate::layout::LayoutBuilder;
+
+    #[test]
+    fn handles_share_cells_across_clones_and_threads() {
+        let mut b = LayoutBuilder::new();
+        let c = b.counter("n_total", "");
+        let g = b.gauge("hw", "", GaugeFold::Max);
+        let h = b.histogram("v_ms", "");
+        let registry = Registry::new(b.build());
+        let counter = registry.counter(c);
+        let gauge = registry.gauge(g);
+        let hist = registry.histogram(h);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let (counter, gauge, hist) = (counter.clone(), gauge.clone(), hist.clone());
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        counter.inc();
+                        gauge.fold_max(t * 1000 + i);
+                        hist.observe(i);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.scalar("n_total"), 400);
+        assert_eq!(snap.scalar("hw"), 3099);
+        assert_eq!(snap.histogram("v_ms").unwrap().count, 400);
+    }
+}

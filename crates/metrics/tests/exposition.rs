@@ -1,0 +1,126 @@
+//! Snapshot test for the Prometheus text exposition: the rendered output
+//! must be structurally well-formed — one `# HELP` and one `# TYPE` line
+//! per metric immediately before its samples, no duplicate descriptors,
+//! monotone `le` bounds with cumulative bucket counts, and the histogram
+//! invariant `_count == bucket{le="+Inf"}`.
+
+use waku_metrics::{GaugeFold, LayoutBuilder, Registry};
+
+fn rendered() -> String {
+    let mut b = LayoutBuilder::new();
+    let requests = b.counter("requests_total", "Requests served.");
+    let errors = b.counter("errors_total", "Requests failed.");
+    let resident = b.gauge("resident_items", "Items resident.", GaugeFold::Sum);
+    let high_water = b.gauge("high_water", "Peak items.", GaugeFold::Max);
+    let latency = b.histogram("latency_ms", "Request latency (ms).");
+    let registry = Registry::new(b.build());
+    registry.counter(requests).add(42);
+    registry.counter(errors).inc();
+    registry.gauge(resident).set(7);
+    registry.gauge(high_water).fold_max(19);
+    for v in [0, 1, 2, 3, 500, 70_000, u64::MAX] {
+        registry.histogram(latency).observe(v);
+    }
+    registry.render_prometheus()
+}
+
+#[test]
+fn exposition_is_well_formed() {
+    let text = rendered();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty());
+
+    let mut seen_help: Vec<String> = Vec::new();
+    let mut seen_type: Vec<String> = Vec::new();
+    let mut current: Option<(String, String)> = None; // (name, type)
+
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+            assert!(!help.is_empty(), "empty help for {name}");
+            assert!(
+                !seen_help.contains(&name.to_string()),
+                "duplicate # HELP for {name}"
+            );
+            seen_help.push(name.to_string());
+            // TYPE must follow HELP immediately.
+            let type_line = lines.get(i + 1).expect("TYPE follows HELP");
+            let trest = type_line
+                .strip_prefix("# TYPE ")
+                .expect("TYPE directly after HELP");
+            let (tname, kind) = trest.split_once(' ').expect("TYPE has name and kind");
+            assert_eq!(tname, name, "TYPE names a different metric than HELP");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown type {kind}"
+            );
+            assert!(
+                !seen_type.contains(&name.to_string()),
+                "duplicate # TYPE for {name}"
+            );
+            seen_type.push(name.to_string());
+            current = Some((name.to_string(), kind.to_string()));
+        } else if line.starts_with("# TYPE ") {
+            // Handled above; just assert it was adjacent to a HELP.
+            assert!(
+                i > 0 && lines[i - 1].starts_with("# HELP "),
+                "TYPE without preceding HELP: {line}"
+            );
+        } else if !line.is_empty() {
+            // A sample line: must belong to the metric last declared.
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().expect("sample value is numeric");
+            let (current_name, kind) = current.as_ref().expect("samples follow a declaration");
+            let base = name_part.split('{').next().unwrap();
+            let owned = match kind.as_str() {
+                "histogram" => {
+                    base == format!("{current_name}_bucket")
+                        || base == format!("{current_name}_sum")
+                        || base == format!("{current_name}_count")
+                }
+                _ => base == current_name,
+            };
+            assert!(owned, "sample {line:?} does not belong to {current_name}");
+        }
+    }
+    assert_eq!(seen_help, seen_type, "every metric has both HELP and TYPE");
+    assert_eq!(seen_help.len(), 5, "all five metrics rendered");
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_bounded() {
+    let text = rendered();
+    let mut bounds: Vec<f64> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut total: Option<u64> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("latency_ms_bucket{le=\"") {
+            let (bound, value) = rest.split_once("\"} ").expect("le label then value");
+            bounds.push(if bound == "+Inf" {
+                f64::INFINITY
+            } else {
+                bound.parse().expect("numeric bound")
+            });
+            counts.push(value.parse().expect("numeric count"));
+        } else if let Some(rest) = line.strip_prefix("latency_ms_count ") {
+            total = Some(rest.parse().expect("numeric count"));
+        }
+    }
+    assert!(bounds.len() >= 2, "histogram rendered buckets");
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "le bounds must be strictly increasing: {bounds:?}"
+    );
+    assert_eq!(
+        *bounds.last().unwrap(),
+        f64::INFINITY,
+        "last bucket is +Inf"
+    );
+    assert!(
+        counts.windows(2).all(|w| w[0] <= w[1]),
+        "bucket counts must be cumulative: {counts:?}"
+    );
+    let total = total.expect("_count rendered");
+    assert_eq!(*counts.last().unwrap(), total, "+Inf bucket equals _count");
+    assert_eq!(total, 7, "all observations accounted for");
+}

@@ -1,0 +1,197 @@
+//! Property-based coverage for the metrics core, in the oracle-suite
+//! style of the nullifier-store proptests: the histogram bucket math
+//! must be monotone and lossless for count/sum, and the fork-join
+//! snapshot merge must agree with a naive single-threaded model under
+//! arbitrary op interleavings — in *any* shard merge order.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use waku_metrics::{
+    bucket_bound, bucket_index, GaugeFold, Layout, LayoutBuilder, LocalRecorder, Snapshot,
+    BUCKET_COUNT,
+};
+
+const SHARDS: usize = 4;
+
+/// The test catalogue: two counters, one Sum gauge, one Max gauge, one
+/// histogram — every storage class and fold the registry supports.
+fn layout() -> (
+    Arc<Layout>,
+    [waku_metrics::CounterId; 2],
+    waku_metrics::GaugeId,
+    waku_metrics::GaugeId,
+    waku_metrics::HistogramId,
+) {
+    let mut b = LayoutBuilder::new();
+    let c0 = b.counter("test_alpha_total", "Counter A.");
+    let c1 = b.counter("test_beta_total", "Counter B.");
+    let gs = b.gauge("test_resident", "Sum-folded gauge.", GaugeFold::Sum);
+    let gm = b.gauge("test_high_water", "Max-folded gauge.", GaugeFold::Max);
+    let h = b.histogram("test_latency", "Histogram.");
+    (b.build(), [c0, c1], gs, gm, h)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Add to counter `c` on `shard`.
+    Add { shard: usize, c: usize, v: u64 },
+    /// Set the Sum-folded gauge on `shard` (last write wins per shard).
+    Set { shard: usize, v: u64 },
+    /// Fold the Max gauge on `shard` upward.
+    FoldMax { shard: usize, v: u64 },
+    /// Observe `v` into the histogram on `shard`.
+    Observe { shard: usize, v: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored stub has no `prop_oneof!` and tuples cap at 4
+    // elements — hence kind-dispatch over one packed tuple. Values mix
+    // small magnitudes (bucket 0 edge cases) with huge ones (the +Inf
+    // bucket and wrapping sums).
+    (0u8..4, 0usize..SHARDS, 0usize..2, 0u64..u64::MAX).prop_map(|(kind, shard, c, raw)| {
+        let v = match raw % 3 {
+            0 => raw % 5,       // tiny: buckets 0..3
+            1 => raw % 100_000, // mid-range
+            _ => raw,           // huge: top buckets / +Inf
+        };
+        match kind {
+            0 => Op::Add { shard, c, v },
+            1 => Op::Set { shard, v },
+            2 => Op::FoldMax { shard, v },
+            _ => Op::Observe { shard, v },
+        }
+    })
+}
+
+/// The reference model: plain per-shard arrays folded exactly as the
+/// descriptor semantics promise — wrapping sum for counters and
+/// histogram totals, last-write-then-sum for the Sum gauge, max-of-max
+/// for the Max gauge, per-bucket counts from `bucket_index`.
+#[derive(Default)]
+struct OracleShard {
+    counters: [u64; 2],
+    gauge_sum: u64,
+    gauge_max: u64,
+    observations: Vec<u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Bucket assignment is monotone in the value, every value falls
+    // under its bucket's upper bound and above the previous bound, and
+    // the index never escapes the fixed bucket array.
+    #[test]
+    fn bucket_assignment_is_monotone_and_containing(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        for v in [lo, hi] {
+            let idx = bucket_index(v);
+            prop_assert!(idx < BUCKET_COUNT);
+            if let Some(bound) = bucket_bound(idx) {
+                prop_assert!(v <= bound, "{v} escapes its bucket bound {bound}");
+            }
+            if idx > 0 {
+                let prev = bucket_bound(idx - 1).expect("only the last bucket is +Inf");
+                prop_assert!(v > prev, "{v} belongs in an earlier bucket than {idx}");
+            }
+        }
+    }
+
+    // Observing any value sequence preserves count and (wrapping) sum
+    // exactly, and the buckets partition the observations.
+    #[test]
+    fn histogram_preserves_count_and_sum(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let (layout, _, _, _, h) = layout();
+        let mut rec = LocalRecorder::new(layout);
+        for &v in &values {
+            rec.observe(h, v);
+        }
+        let snap = rec.snapshot();
+        let hist = snap.histogram("test_latency").expect("registered");
+        prop_assert_eq!(hist.count, values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(hist.sum, expected_sum);
+        prop_assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+        // Each observation landed in exactly the bucket the math names.
+        let mut expected_buckets = vec![0u64; BUCKET_COUNT];
+        for &v in &values {
+            expected_buckets[bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(&hist.buckets, &expected_buckets);
+    }
+
+    // Arbitrary interleavings across shards, merged in an arbitrary
+    // order, equal the naive single-threaded oracle — via the recorder
+    // fold (`merge_from`) and via the snapshot merge alike.
+    #[test]
+    fn shard_merge_equals_oracle_in_any_order(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+        keys in proptest::collection::vec(any::<u64>(), SHARDS..SHARDS + 1),
+    ) {
+        let (layout, cs, gs, gm, h) = layout();
+        let mut shards: Vec<LocalRecorder> =
+            (0..SHARDS).map(|_| LocalRecorder::new(Arc::clone(&layout))).collect();
+        let mut oracle: Vec<OracleShard> = (0..SHARDS).map(|_| OracleShard::default()).collect();
+        for op in &ops {
+            match *op {
+                Op::Add { shard, c, v } => {
+                    shards[shard].add(cs[c], v);
+                    let slot = &mut oracle[shard].counters[c];
+                    *slot = slot.wrapping_add(v);
+                }
+                Op::Set { shard, v } => {
+                    shards[shard].set(gs, v);
+                    oracle[shard].gauge_sum = v;
+                }
+                Op::FoldMax { shard, v } => {
+                    shards[shard].fold_max(gm, v);
+                    oracle[shard].gauge_max = oracle[shard].gauge_max.max(v);
+                }
+                Op::Observe { shard, v } => {
+                    shards[shard].observe(h, v);
+                    oracle[shard].observations.push(v);
+                }
+            }
+        }
+
+        // Merge order from the random keys: a permutation of the shards.
+        let mut order: Vec<usize> = (0..SHARDS).collect();
+        order.sort_by_key(|&i| (keys[i], i));
+
+        // Path A: recorder-level fold in permuted order.
+        let mut folded = LocalRecorder::new(Arc::clone(&layout));
+        for &i in &order {
+            folded.merge_from(&shards[i]);
+        }
+        let merged_recorders = folded.snapshot();
+
+        // Path B: snapshot-level merge in permuted order.
+        let mut merged_snapshots = Snapshot::default();
+        for &i in &order {
+            merged_snapshots.merge(&shards[i].snapshot());
+        }
+        prop_assert_eq!(&merged_recorders, &merged_snapshots);
+
+        // Both equal the oracle's shard-order-independent folds.
+        for (c, name) in [(0, "test_alpha_total"), (1, "test_beta_total")] {
+            let expected = oracle.iter().fold(0u64, |acc, s| acc.wrapping_add(s.counters[c]));
+            prop_assert_eq!(merged_recorders.scalar(name), expected);
+        }
+        let expected_sum_gauge = oracle.iter().fold(0u64, |acc, s| acc.wrapping_add(s.gauge_sum));
+        prop_assert_eq!(merged_recorders.scalar("test_resident"), expected_sum_gauge);
+        let expected_max_gauge = oracle.iter().map(|s| s.gauge_max).max().unwrap_or(0);
+        prop_assert_eq!(merged_recorders.scalar("test_high_water"), expected_max_gauge);
+
+        let all: Vec<u64> = oracle.iter().flat_map(|s| s.observations.iter().copied()).collect();
+        let hist = merged_recorders.histogram("test_latency").expect("registered");
+        prop_assert_eq!(hist.count, all.len() as u64);
+        prop_assert_eq!(hist.sum, all.iter().fold(0u64, |acc, &v| acc.wrapping_add(v)));
+        let mut expected_buckets = vec![0u64; BUCKET_COUNT];
+        for &v in &all {
+            expected_buckets[bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(&hist.buckets, &expected_buckets);
+    }
+}

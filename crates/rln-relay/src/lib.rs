@@ -13,7 +13,9 @@
 //! * [`validation`] — the four-step routing pipeline (§III-F, Figure 3),
 //! * [`slasher`] — commit-reveal slashing against the membership contract,
 //! * [`node`] — [`node::WakuRlnRelayNode`], tying it all together,
-//! * [`metrics`] — counters used by the evaluation.
+//! * [`metrics`] — the node's metric catalogue: snapshot views
+//!   ([`ValidationMetrics`], [`NodeMetrics`]) over one `waku-metrics`
+//!   registry shared by the validator and the node lifecycle.
 //!
 //! ## Example
 //!

@@ -1,4 +1,163 @@
-//! Counters for validation and node activity.
+//! Counters for validation and node activity — views over the shared
+//! `waku-metrics` registry.
+//!
+//! The plain-old-data structs ([`ValidationMetrics`], [`NodeMetrics`])
+//! keep their public field API, but they are no longer the storage:
+//! recording goes through registry handles bound once at construction
+//! (see the crate-private `catalogue()`), and the structs are *snapshots* built on demand
+//! via `From<&Registry>`. One registry per node feeds both views plus the
+//! Prometheus exposition, so the node's observability is a single pipe.
+
+use std::sync::{Arc, OnceLock};
+
+use waku_metrics::{
+    Counter, CounterId, Gauge, GaugeFold, GaugeId, Histogram, HistogramId, Layout, LayoutBuilder,
+    Registry,
+};
+
+/// Typed ids into the RLN-relay metric catalogue.
+pub(crate) struct MetricIds {
+    pub total: CounterId,
+    pub relayed: CounterId,
+    pub epoch_dropped: CounterId,
+    pub root_dropped: CounterId,
+    pub proof_rejected: CounterId,
+    pub duplicates: CounterId,
+    pub spam_detected: CounterId,
+    pub nullifier_entries: GaugeId,
+    pub epochs_pruned: GaugeId,
+    pub validation_latency: HistogramId,
+    pub proof_verify: HistogramId,
+    pub published: CounterId,
+    pub rate_limited_locally: CounterId,
+    pub slash_commits: CounterId,
+    pub slash_reveals: CounterId,
+    pub rewards_wei: CounterId,
+}
+
+/// The RLN-relay catalogue (validation pipeline + node lifecycle), built
+/// once per process and shared by every registry created through
+/// [`registry`].
+pub(crate) fn catalogue() -> &'static (Arc<Layout>, MetricIds) {
+    static CELL: OnceLock<(Arc<Layout>, MetricIds)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut b = LayoutBuilder::new();
+        let ids = MetricIds {
+            total: b.counter("rln_validation_total", "Bundles examined."),
+            relayed: b.counter("rln_validation_relayed_total", "Relayed (fresh, valid)."),
+            epoch_dropped: b.counter(
+                "rln_validation_epoch_dropped_total",
+                "Dropped by the epoch-gap check.",
+            ),
+            root_dropped: b.counter(
+                "rln_validation_root_dropped_total",
+                "Dropped for an unknown tree root.",
+            ),
+            proof_rejected: b.counter(
+                "rln_validation_proof_rejected_total",
+                "Dropped for an invalid proof.",
+            ),
+            duplicates: b.counter(
+                "rln_validation_duplicates_total",
+                "Exact duplicates discarded.",
+            ),
+            spam_detected: b.counter(
+                "rln_validation_spam_detected_total",
+                "Rate violations detected (slashing evidence produced).",
+            ),
+            nullifier_entries: b.gauge(
+                "rln_nullifier_entries",
+                "Shares resident in the windowed nullifier store.",
+                GaugeFold::Sum,
+            ),
+            epochs_pruned: b.gauge(
+                "rln_epochs_pruned",
+                "Expired epochs whose nullifier state has been recycled.",
+                GaugeFold::Sum,
+            ),
+            validation_latency: b.histogram(
+                "rln_validation_latency_ns",
+                "Wall-clock latency of the full validation pipeline (ns).",
+            ),
+            proof_verify: b.histogram(
+                "rln_proof_verify_ns",
+                "Wall-clock time of the Groth16 proof verification (ns).",
+            ),
+            published: b.counter("node_published_total", "Messages this node published."),
+            rate_limited_locally: b.counter(
+                "node_rate_limited_locally_total",
+                "Publishes refused locally because the epoch was already used.",
+            ),
+            slash_commits: b.counter("node_slash_commits_total", "Slashing commits submitted."),
+            slash_reveals: b.counter("node_slash_reveals_total", "Slashing reveals submitted."),
+            rewards_wei: b.counter("node_rewards_wei_total", "Rewards collected (wei)."),
+        };
+        (b.build(), ids)
+    })
+}
+
+/// A fresh registry over the RLN-relay catalogue. One per node (the
+/// validator and the node lifecycle record into the same registry), or
+/// one per standalone [`crate::validation::MessageValidator`].
+pub fn registry() -> Registry {
+    Registry::new(Arc::clone(&catalogue().0))
+}
+
+/// Hot-path handles for the validation pipeline, bound once.
+pub(crate) struct ValidationHandles {
+    pub total: Counter,
+    pub relayed: Counter,
+    pub epoch_dropped: Counter,
+    pub root_dropped: Counter,
+    pub proof_rejected: Counter,
+    pub duplicates: Counter,
+    pub spam_detected: Counter,
+    pub nullifier_entries: Gauge,
+    pub epochs_pruned: Gauge,
+    pub validation_latency: Histogram,
+    pub proof_verify: Histogram,
+}
+
+impl ValidationHandles {
+    pub(crate) fn bind(registry: &Registry) -> Self {
+        let ids = &catalogue().1;
+        ValidationHandles {
+            total: registry.counter(ids.total),
+            relayed: registry.counter(ids.relayed),
+            epoch_dropped: registry.counter(ids.epoch_dropped),
+            root_dropped: registry.counter(ids.root_dropped),
+            proof_rejected: registry.counter(ids.proof_rejected),
+            duplicates: registry.counter(ids.duplicates),
+            spam_detected: registry.counter(ids.spam_detected),
+            nullifier_entries: registry.gauge(ids.nullifier_entries),
+            epochs_pruned: registry.gauge(ids.epochs_pruned),
+            validation_latency: registry.histogram(ids.validation_latency),
+            proof_verify: registry.histogram(ids.proof_verify),
+        }
+    }
+}
+
+/// Hot-path handles for the node lifecycle, bound once.
+pub(crate) struct NodeHandles {
+    pub published: Counter,
+    pub rate_limited_locally: Counter,
+    pub slash_commits: Counter,
+    pub slash_reveals: Counter,
+    pub rewards_wei: Counter,
+}
+
+impl NodeHandles {
+    pub(crate) fn bind(registry: &Registry) -> Self {
+        let ids = &catalogue().1;
+        NodeHandles {
+            published: registry.counter(ids.published),
+            rate_limited_locally: registry.counter(ids.rate_limited_locally),
+            slash_commits: registry.counter(ids.slash_commits),
+            slash_reveals: registry.counter(ids.slash_reveals),
+            rewards_wei: registry.counter(ids.rewards_wei),
+        }
+    }
+}
 
 /// Validation pipeline counters (one per §III-F decision branch).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,6 +185,24 @@ pub struct ValidationMetrics {
     pub epochs_pruned: u64,
 }
 
+impl From<&Registry> for ValidationMetrics {
+    /// Snapshot view: reads the validation metrics out of the registry.
+    fn from(registry: &Registry) -> Self {
+        let snap = registry.snapshot();
+        ValidationMetrics {
+            total: snap.scalar("rln_validation_total"),
+            relayed: snap.scalar("rln_validation_relayed_total"),
+            epoch_dropped: snap.scalar("rln_validation_epoch_dropped_total"),
+            root_dropped: snap.scalar("rln_validation_root_dropped_total"),
+            proof_rejected: snap.scalar("rln_validation_proof_rejected_total"),
+            duplicates: snap.scalar("rln_validation_duplicates_total"),
+            spam_detected: snap.scalar("rln_validation_spam_detected_total"),
+            nullifier_entries: snap.scalar("rln_nullifier_entries"),
+            epochs_pruned: snap.scalar("rln_epochs_pruned"),
+        }
+    }
+}
+
 /// Node-level counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NodeMetrics {
@@ -39,4 +216,46 @@ pub struct NodeMetrics {
     pub slash_reveals: u64,
     /// Rewards collected (wei).
     pub rewards_wei: u128,
+}
+
+impl From<&Registry> for NodeMetrics {
+    /// Snapshot view: reads the node metrics out of the registry.
+    fn from(registry: &Registry) -> Self {
+        let snap = registry.snapshot();
+        NodeMetrics {
+            published: snap.scalar("node_published_total"),
+            rate_limited_locally: snap.scalar("node_rate_limited_locally_total"),
+            slash_commits: snap.scalar("node_slash_commits_total"),
+            slash_reveals: snap.scalar("node_slash_reveals_total"),
+            rewards_wei: snap.scalar("node_rewards_wei_total") as u128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_read_back_what_handles_record() {
+        let registry = registry();
+        let v = ValidationHandles::bind(&registry);
+        let n = NodeHandles::bind(&registry);
+        v.total.add(5);
+        v.relayed.add(3);
+        v.nullifier_entries.set(7);
+        v.validation_latency.observe(1_000);
+        n.published.inc();
+        n.rewards_wei.add(1_000_000_000_000_000_000);
+        let vm = ValidationMetrics::from(&registry);
+        assert_eq!((vm.total, vm.relayed, vm.nullifier_entries), (5, 3, 7));
+        let nm = NodeMetrics::from(&registry);
+        assert_eq!(nm.published, 1);
+        assert_eq!(nm.rewards_wei, 1_000_000_000_000_000_000);
+        // Both views sit over one exposition pipe.
+        let text = registry.render_prometheus();
+        assert!(text.contains("rln_validation_total 5"));
+        assert!(text.contains("node_published_total 1"));
+        assert!(text.contains("rln_validation_latency_ns_count 1"));
+    }
 }

@@ -5,11 +5,12 @@
 use rand::Rng;
 use waku_arith::fields::Fr;
 use waku_chain::{Address, Chain, TxKind};
+use waku_metrics::Registry;
 use waku_rln::{Identity, RlnMessageBundle, RlnProver, RlnVerifier};
 
 use crate::epoch::EpochManager;
 use crate::group::GroupManager;
-use crate::metrics::NodeMetrics;
+use crate::metrics::{NodeHandles, NodeMetrics};
 use crate::slasher::Slasher;
 use crate::validation::{MessageValidator, Outcome};
 
@@ -77,7 +78,8 @@ pub struct WakuRlnRelayNode {
     slasher: Slasher,
     prover: std::sync::Arc<RlnProver>,
     last_published_epoch: Option<u64>,
-    metrics: NodeMetrics,
+    registry: Registry,
+    m: NodeHandles,
 }
 
 impl std::fmt::Debug for WakuRlnRelayNode {
@@ -107,8 +109,18 @@ impl WakuRlnRelayNode {
         let mut group = GroupManager::new(config.tree_depth);
         group.set_own_commitment(identity.commitment());
         let epochs = EpochManager::new(config.epoch_length_secs);
-        let validator = MessageValidator::new(verifier, epochs, config.max_epoch_gap);
+        // One registry per node: the validator pipeline and the node
+        // lifecycle record into the same catalogue, so a single
+        // snapshot/exposition covers the whole peer.
+        let registry = crate::metrics::registry();
+        let validator = MessageValidator::with_registry(
+            verifier,
+            epochs,
+            config.max_epoch_gap,
+            registry.clone(),
+        );
         let slasher = Slasher::new(address, config.gas_price_gwei, config.commit_reveal);
+        let m = NodeHandles::bind(&registry);
         WakuRlnRelayNode {
             config,
             identity,
@@ -119,7 +131,8 @@ impl WakuRlnRelayNode {
             slasher,
             prover,
             last_published_epoch: None,
-            metrics: NodeMetrics::default(),
+            registry,
+            m,
         }
     }
 
@@ -143,14 +156,25 @@ impl WakuRlnRelayNode {
         &self.group
     }
 
-    /// Node metrics.
-    pub fn metrics(&self) -> &NodeMetrics {
-        &self.metrics
+    /// Node metrics (a snapshot view over the node's registry).
+    pub fn metrics(&self) -> NodeMetrics {
+        NodeMetrics::from(&self.registry)
     }
 
-    /// Validator metrics.
-    pub fn validation_metrics(&self) -> &crate::metrics::ValidationMetrics {
+    /// Validator metrics (same registry, validation-pipeline view).
+    pub fn validation_metrics(&self) -> crate::metrics::ValidationMetrics {
         self.validator.metrics()
+    }
+
+    /// The registry behind both metric views — hand it to an exposition
+    /// endpoint or merge its snapshot with other nodes'.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus text exposition of every metric this node records.
+    pub fn metrics_text(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// The epoch manager.
@@ -175,8 +199,8 @@ impl WakuRlnRelayNode {
     pub fn sync(&mut self, chain: &mut Chain) {
         self.group.sync(chain);
         let rewards = self.slasher.advance(chain);
-        self.metrics.rewards_wei += rewards;
-        self.metrics.slash_reveals += self.slasher.take_reveal_count();
+        self.m.rewards_wei.add(rewards as u64);
+        self.m.slash_reveals.add(self.slasher.take_reveal_count());
     }
 
     /// True once our registration is mined and synced.
@@ -203,7 +227,7 @@ impl WakuRlnRelayNode {
         let path = self.group.own_path().ok_or(NodeError::NotRegistered)?;
         let epoch = self.epochs.epoch_at(now_secs);
         if self.last_published_epoch == Some(epoch) {
-            self.metrics.rate_limited_locally += 1;
+            self.m.rate_limited_locally.inc();
             return Err(NodeError::RateLimitedLocally);
         }
         let bundle = self
@@ -211,7 +235,7 @@ impl WakuRlnRelayNode {
             .prove_message(&self.identity, &path, payload, epoch, rng)
             .map_err(NodeError::Proving)?;
         self.last_published_epoch = Some(epoch);
-        self.metrics.published += 1;
+        self.m.published.inc();
         Ok(bundle)
     }
 
@@ -241,7 +265,7 @@ impl WakuRlnRelayNode {
     ) -> Outcome {
         let outcome = self.validator.validate(bundle, &self.group, now_secs);
         if let Outcome::Spam(evidence) = &outcome {
-            self.metrics.slash_commits += 1;
+            self.m.slash_commits.inc();
             self.slasher.start(evidence.recovered_secret, chain);
         }
         outcome

@@ -7,11 +7,14 @@
 //! 4. **rate check** — the nullifier map classifies the message as fresh /
 //!    duplicate / spam, recovering the spammer's key in the last case.
 
+use std::time::Instant;
+
+use waku_metrics::Registry;
 use waku_rln::{NullifierStore, RateCheck, RlnMessageBundle, RlnVerifier, SpamEvidence};
 
 use crate::epoch::EpochManager;
 use crate::group::GroupManager;
-use crate::metrics::ValidationMetrics;
+use crate::metrics::{ValidationHandles, ValidationMetrics};
 
 /// Outcome of validating one incoming bundle.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,7 +44,8 @@ pub struct MessageValidator {
     epochs: EpochManager,
     max_gap: u64,
     nullifiers: NullifierStore,
-    metrics: ValidationMetrics,
+    registry: Registry,
+    m: ValidationHandles,
 }
 
 impl std::fmt::Debug for MessageValidator {
@@ -56,14 +60,28 @@ impl std::fmt::Debug for MessageValidator {
 }
 
 impl MessageValidator {
-    /// Builds a validator.
+    /// Builds a validator recording into a private registry.
     pub fn new(verifier: RlnVerifier, epochs: EpochManager, max_gap: u64) -> Self {
+        Self::with_registry(verifier, epochs, max_gap, crate::metrics::registry())
+    }
+
+    /// Builds a validator recording into the given registry — the node
+    /// shares one registry between its validator and its own lifecycle
+    /// counters so a single exposition covers both.
+    pub fn with_registry(
+        verifier: RlnVerifier,
+        epochs: EpochManager,
+        max_gap: u64,
+        registry: Registry,
+    ) -> Self {
+        let m = ValidationHandles::bind(&registry);
         MessageValidator {
             verifier,
             epochs,
             max_gap,
             nullifiers: NullifierStore::new(max_gap),
-            metrics: ValidationMetrics::default(),
+            registry,
+            m,
         }
     }
 
@@ -72,9 +90,14 @@ impl MessageValidator {
         self.max_gap
     }
 
-    /// Validation metrics so far.
-    pub fn metrics(&self) -> &ValidationMetrics {
-        &self.metrics
+    /// Validation metrics so far (a snapshot view over the registry).
+    pub fn metrics(&self) -> ValidationMetrics {
+        ValidationMetrics::from(&self.registry)
+    }
+
+    /// The registry this validator records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Runs the §III-F pipeline on a bundle received at local Unix time
@@ -85,7 +108,21 @@ impl MessageValidator {
         group: &GroupManager,
         now_secs: u64,
     ) -> Outcome {
-        self.metrics.total += 1;
+        let started = Instant::now();
+        let outcome = self.validate_inner(bundle, group, now_secs);
+        self.m
+            .validation_latency
+            .observe(started.elapsed().as_nanos() as u64);
+        outcome
+    }
+
+    fn validate_inner(
+        &mut self,
+        bundle: &RlnMessageBundle,
+        group: &GroupManager,
+        now_secs: u64,
+    ) -> Outcome {
+        self.m.total.inc();
 
         // 0. epoch rollover: slide the nullifier window to the local
         // clock, recycling any epoch that fell behind it (O(1) per
@@ -99,50 +136,55 @@ impl MessageValidator {
             .epoch_at(now_secs)
             .max(self.nullifiers.current_epoch());
         self.nullifiers.advance_to(current_epoch);
-        self.metrics.epochs_pruned = self.nullifiers.epochs_pruned();
+        self.m.epochs_pruned.set(self.nullifiers.epochs_pruned());
 
         // 1. epoch gap
         let gap = EpochManager::gap(current_epoch, bundle.epoch);
         if gap > self.max_gap {
-            self.metrics.epoch_dropped += 1;
+            self.m.epoch_dropped.inc();
             return Outcome::EpochOutOfRange(gap);
         }
 
         // 2. root recency
         if !group.is_known_root(bundle.root) {
-            self.metrics.root_dropped += 1;
+            self.m.root_dropped.inc();
             return Outcome::UnknownRoot;
         }
 
         // 3. zero-knowledge proof
-        if !self.verifier.verify_bundle(bundle) {
-            self.metrics.proof_rejected += 1;
+        let verify_started = Instant::now();
+        let proof_ok = self.verifier.verify_bundle(bundle);
+        self.m
+            .proof_verify
+            .observe(verify_started.elapsed().as_nanos() as u64);
+        if !proof_ok {
+            self.m.proof_rejected.inc();
             return Outcome::InvalidProof;
         }
 
         // 4. rate limit via the windowed nullifier store
         let outcome = match self.nullifiers.check_bundle(bundle) {
             RateCheck::Fresh => {
-                self.metrics.relayed += 1;
+                self.m.relayed.inc();
                 Outcome::Relay
             }
             RateCheck::Duplicate => {
-                self.metrics.duplicates += 1;
+                self.m.duplicates.inc();
                 Outcome::Duplicate
             }
             RateCheck::Spam(evidence) => {
-                self.metrics.spam_detected += 1;
+                self.m.spam_detected.inc();
                 Outcome::Spam(evidence)
             }
             RateCheck::OutOfWindow => {
                 // Unreachable: check 1 rejects every epoch the store
                 // does not retain (both enforce the same `Thr` window).
                 debug_assert!(false, "gap check admitted an unretained epoch");
-                self.metrics.epoch_dropped += 1;
+                self.m.epoch_dropped.inc();
                 Outcome::EpochOutOfRange(gap)
             }
         };
-        self.metrics.nullifier_entries = self.nullifiers.len() as u64;
+        self.m.nullifier_entries.set(self.nullifiers.len() as u64);
         outcome
     }
 
@@ -152,8 +194,8 @@ impl MessageValidator {
     /// heartbeat (see `waku_gossip::MessageAcceptor::on_heartbeat`).
     pub fn tick(&mut self, now_secs: u64) {
         self.nullifiers.advance_to(self.epochs.epoch_at(now_secs));
-        self.metrics.epochs_pruned = self.nullifiers.epochs_pruned();
-        self.metrics.nullifier_entries = self.nullifiers.len() as u64;
+        self.m.epochs_pruned.set(self.nullifiers.epochs_pruned());
+        self.m.nullifier_entries.set(self.nullifiers.len() as u64);
     }
 
     /// The windowed nullifier store (resident-footprint introspection).

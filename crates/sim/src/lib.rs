@@ -18,6 +18,7 @@ pub mod steady_state;
 pub use epoch_gap::{sweep_thr, EpochGapPoint};
 pub use report::{percentile, ScenarioReport};
 pub use scenario::{
-    peers_from_env, run_scenario, run_scenario_instrumented, Defense, EngineStats, ScenarioConfig,
+    peers_from_env, run_scenario, run_scenario_instrumented, run_scenario_with_metrics, Defense,
+    EngineStats, ScenarioConfig,
 };
 pub use steady_state::{run_steady_state, SteadyStateConfig, SteadyStateReport};

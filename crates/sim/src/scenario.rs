@@ -15,7 +15,7 @@
 //! DESIGN.md §2.
 
 use std::collections::BTreeSet;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +27,7 @@ use waku_baselines::SybilCostModel;
 use waku_gossip::{
     Message, MessageAcceptor, Network, NetworkConfig, PeerId, SimTime, TrafficClass, Validation,
 };
+use waku_metrics::{GaugeFold, GaugeId, Layout, LayoutBuilder, RecorderShards, Snapshot};
 use waku_rln::{
     derive, external_nullifier, message_hash, Identity, NullifierMap, NullifierStore, RateCheck,
 };
@@ -216,55 +217,44 @@ impl DetectionLog {
     }
 }
 
-/// Per-peer nullifier-store gauges, sharded one slot per peer like
-/// [`DetectionLog`] (each slot only ever touched by its owning peer, so
-/// the sharded scheduler records without contention) and merged with
-/// order-insensitive folds (sum / max) when the run ends.
-struct StoreStatsLog {
-    per_peer: Vec<Mutex<StoreStats>>,
+/// Nullifier-store gauges recorded into `waku-metrics` shard recorders —
+/// one shard per peer like [`DetectionLog`] (each shard only ever touched
+/// by its owning peer, so the sharded scheduler records without
+/// contention). The merge is the registry's order-insensitive snapshot
+/// fold (sum for the resident/pruned gauges, max for the high-water
+/// gauge), so reports stay bit-identical across schedulers.
+struct StoreIds {
+    resident: GaugeId,
+    high_water: GaugeId,
+    pruned: GaugeId,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct StoreStats {
-    /// Shares resident in this peer's store right now.
-    resident: u64,
-    /// Most shares this peer's store ever held at once.
-    high_water: u64,
-    /// Expired epochs this peer's store has recycled.
-    pruned: u64,
-}
-
-impl StoreStatsLog {
-    fn new(peers: usize) -> Arc<Self> {
-        Arc::new(StoreStatsLog {
-            per_peer: (0..peers)
-                .map(|_| Mutex::new(StoreStats::default()))
-                .collect(),
-        })
-    }
-
-    fn record(&self, peer: usize, resident: u64, pruned: u64) {
-        let mut slot = self.per_peer[peer].lock().unwrap();
-        slot.resident = resident;
-        slot.high_water = slot.high_water.max(resident);
-        slot.pruned = pruned;
-    }
-
-    /// `(Σ resident, max high-water, Σ pruned)` across peers — all three
-    /// folds are order-insensitive, so the merge is deterministic under
-    /// any scheduler.
-    fn merged(&self) -> (u64, u64, u64) {
-        let mut resident = 0;
-        let mut high_water = 0;
-        let mut pruned = 0;
-        for slot in &self.per_peer {
-            let s = *slot.lock().unwrap();
-            resident += s.resident;
-            high_water = high_water.max(s.high_water);
-            pruned += s.pruned;
-        }
-        (resident, high_water, pruned)
-    }
+/// The scenario-harness metric catalogue. The gauge names match the
+/// `waku-rln-relay` catalogue where the semantics coincide, so a sim
+/// snapshot and a node snapshot merge into one coherent exposition.
+fn store_catalogue() -> &'static (Arc<Layout>, StoreIds) {
+    static CELL: OnceLock<(Arc<Layout>, StoreIds)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut b = LayoutBuilder::new();
+        let ids = StoreIds {
+            resident: b.gauge(
+                "rln_nullifier_entries",
+                "Shares resident across every validator's nullifier store.",
+                GaugeFold::Sum,
+            ),
+            high_water: b.gauge(
+                "rln_nullifier_high_water",
+                "Largest share count any single validator's store held at once.",
+                GaugeFold::Max,
+            ),
+            pruned: b.gauge(
+                "rln_epochs_pruned",
+                "Expired epochs recycled across all validators.",
+                GaugeFold::Sum,
+            ),
+        };
+        (b.build(), ids)
+    })
 }
 
 /// Nullifier retention strategy for the simulated RLN validator: the
@@ -318,7 +308,7 @@ struct RlnValidator {
     peer: usize,
     nullifiers: Retention,
     detections: Arc<DetectionLog>,
-    stats: Arc<StoreStatsLog>,
+    stats: Arc<RecorderShards>,
 }
 
 impl RlnValidator {
@@ -327,11 +317,14 @@ impl RlnValidator {
     }
 
     fn publish_stats(&self) {
-        self.stats.record(
-            self.peer,
-            self.nullifiers.resident(),
-            self.nullifiers.pruned(),
-        );
+        let ids = &store_catalogue().1;
+        let resident = self.nullifiers.resident();
+        let pruned = self.nullifiers.pruned();
+        self.stats.record(self.peer, |r| {
+            r.set(ids.resident, resident);
+            r.fold_max(ids.high_water, resident);
+            r.set(ids.pruned, pruned);
+        });
     }
 }
 
@@ -387,7 +380,7 @@ fn rln_validator(
     peer: usize,
     unbounded: bool,
     detections: Arc<DetectionLog>,
-    stats: Arc<StoreStatsLog>,
+    stats: Arc<RecorderShards>,
 ) -> waku_gossip::Validator {
     Box::new(RlnValidator {
         epoch_secs,
@@ -437,6 +430,20 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
 /// [`run_scenario`] plus the engine-cost counters the scale sweeps report
 /// (barriers-per-run, shard count).
 pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, EngineStats) {
+    let (report, engine, _) = run_scenario_with_metrics(config);
+    (report, engine)
+}
+
+/// [`run_scenario_instrumented`] plus the full metrics [`Snapshot`]: the
+/// per-peer shard recorders (nullifier gauges), the gossip engine's
+/// per-peer recorders (event counters, dwell histogram), and the
+/// network-level delivery counters, merged order-insensitively. Metrics
+/// that depend on the execution strategy carry the `engine_` name prefix;
+/// everything else is bit-identical across schedulers (the equivalence
+/// tests assert exactly that).
+pub fn run_scenario_with_metrics(
+    config: &ScenarioConfig,
+) -> (ScenarioReport, EngineStats, Snapshot) {
     assert!(
         config.spammers < config.peers,
         "need at least one honest peer"
@@ -456,7 +463,7 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
         .collect();
 
     let detections = DetectionLog::new(config.peers);
-    let store_stats = StoreStatsLog::new(config.peers);
+    let store_stats = RecorderShards::new(&store_catalogue().0, config.peers);
 
     // Install validators.
     match config.defense {
@@ -624,13 +631,14 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
     let totals = net.total_stats();
     let receivers = (config.peers - 1) as f64;
     let mut honest_latencies = net.delivery_latencies();
-    let (nullifier_entries, nullifier_high_water, epochs_pruned) = store_stats.merged();
+    let mut metrics = store_stats.merged();
+    metrics.merge(&net.metrics_snapshot());
     let engine = EngineStats {
         shards: net.shards(),
         barriers: net.barriers(),
-        nullifier_entries,
-        nullifier_high_water,
-        epochs_pruned,
+        nullifier_entries: metrics.scalar("rln_nullifier_entries"),
+        nullifier_high_water: metrics.scalar("rln_nullifier_high_water"),
+        epochs_pruned: metrics.scalar("rln_epochs_pruned"),
     };
     let report = ScenarioReport {
         defense: config.defense.label().to_string(),
@@ -657,7 +665,7 @@ pub fn run_scenario_instrumented(config: &ScenarioConfig) -> (ScenarioReport, En
         honest_send_delay_p50_ms: percentile(&mut send_delays, 50.0),
         attack_cost_wei: attack_cost(config),
     };
-    (report, engine)
+    (report, engine, metrics)
 }
 
 /// Economic cost for the attacker to run this scenario's spam rate.

@@ -19,8 +19,9 @@
 //!    in both retention modes and comparing whole reports).
 
 use crate::report::ScenarioReport;
-use crate::scenario::{run_scenario_instrumented, Defense, EngineStats, ScenarioConfig};
+use crate::scenario::{run_scenario_with_metrics, Defense, EngineStats, ScenarioConfig};
 use waku_gossip::NetworkConfig;
+use waku_metrics::Snapshot;
 
 /// Parameters of one steady-state run.
 #[derive(Clone, Debug)]
@@ -70,6 +71,10 @@ pub struct SteadyStateReport {
     pub scenario: ScenarioReport,
     /// Engine instrumentation (shards, barriers, nullifier gauges).
     pub engine: EngineStats,
+    /// Full metrics snapshot of the run (nullifier gauges, gossip
+    /// counters, dwell histogram) — render with
+    /// [`Snapshot::render_prometheus`] or [`Snapshot::to_json`].
+    pub metrics: Snapshot,
     /// Epochs the run simulated.
     pub epochs_simulated: u64,
     /// Epochs a validator's store retains (`2·Thr + 1`).
@@ -136,7 +141,7 @@ pub fn scenario_config(config: &SteadyStateConfig) -> ScenarioConfig {
 
 /// Runs one steady-state scenario and derives the lifecycle bound.
 pub fn run_steady_state(config: &SteadyStateConfig) -> SteadyStateReport {
-    let (scenario, engine) = run_scenario_instrumented(&scenario_config(config));
+    let (scenario, engine, metrics) = run_scenario_with_metrics(&scenario_config(config));
     let window_epochs = 2 * config.thr + 1;
     // Per retained epoch a validator stores at most one share per honest
     // publisher active in it plus one per spammer. Churn can hand an
@@ -148,6 +153,7 @@ pub fn run_steady_state(config: &SteadyStateConfig) -> SteadyStateReport {
     SteadyStateReport {
         scenario,
         engine,
+        metrics,
         epochs_simulated: config.epochs,
         window_epochs,
         resident_bound,

@@ -16,6 +16,8 @@
 //!   relay/store/filter protocols (§I).
 //! * [`baselines`] — Proof-of-Work and peer-scoring comparison targets.
 //! * [`sim`] — scenario harness driving the evaluation (§IV).
+//! * [`metrics`] — the unified observability registry every layer above
+//!   records into (see ARCHITECTURE.md, "Metrics flow").
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use waku_curve as curve;
 pub use waku_gossip as gossip;
 pub use waku_hash as hash;
 pub use waku_merkle as merkle;
+pub use waku_metrics as metrics;
 pub use waku_pool as pool;
 pub use waku_poseidon as poseidon;
 pub use waku_relay as relay;

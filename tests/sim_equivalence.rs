@@ -11,9 +11,11 @@
 //! and latency percentiles — not "statistically close", identical.
 
 use waku_suite::gossip::{Lookahead, NetworkConfig, SchedulerKind};
+use waku_suite::metrics::Snapshot;
 use waku_suite::pool::with_threads;
 use waku_suite::sim::{
-    run_scenario, run_scenario_instrumented, Defense, ScenarioConfig, ScenarioReport,
+    run_scenario, run_scenario_instrumented, run_scenario_with_metrics, Defense, ScenarioConfig,
+    ScenarioReport,
 };
 
 fn config_at(
@@ -164,6 +166,56 @@ fn other_defenses_shard_identically() {
                 serial, sharded,
                 "defense {:?} {lookahead:?}",
                 serial.defense
+            );
+        }
+    }
+}
+
+/// The metrics snapshot shares the report's bit-identity: after dropping
+/// the scheduler-dependent counters (the `engine_` name prefix — shards
+/// and barriers genuinely differ between execution strategies), the
+/// merged snapshot of a seeded run is identical across the serial and
+/// sharded schedulers at every shard count and pool size. This is the
+/// order-insensitive-merge guarantee of the fork-join shard recorders,
+/// asserted end-to-end rather than on the recorder alone.
+#[test]
+fn metrics_snapshots_identical_across_schedulers() {
+    let strip_engine = |mut snap: Snapshot| {
+        snap.retain(|desc| !desc.name.starts_with("engine_"));
+        snap
+    };
+    let run = |scheduler, threads| {
+        with_threads(threads, || {
+            run_scenario_with_metrics(&config(RLN, scheduler, Lookahead::Adaptive))
+        })
+    };
+
+    let (reference_report, _, snap) = run(SchedulerKind::Serial, 1);
+    let reference = strip_engine(snap);
+    // The snapshot is live and agrees with the report on the shared
+    // counters (no double bookkeeping drifting apart).
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference.scalar("gossip_honest_delivered_total"),
+        reference_report.honest_delivered
+    );
+    assert_eq!(
+        reference.scalar("gossip_events_total"),
+        reference_report.events_processed
+    );
+    let dwell = reference
+        .histogram("gossip_event_dwell_ms")
+        .expect("dwell histogram registered");
+    assert!(dwell.count > 0, "dwell histogram observed events");
+
+    for threads in [2usize, 8] {
+        for shards in [2usize, 25] {
+            let (report, _, snap) = run(SchedulerKind::Sharded { shards }, threads);
+            assert_eq!(report, reference_report);
+            assert_eq!(
+                strip_engine(snap),
+                reference,
+                "sharded {shards} shards @ {threads} threads"
             );
         }
     }
