@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use waku_metrics::LocalRecorder;
 
 use crate::cache::{SeenSet, TopicCaches};
+use crate::faults::fault_word;
 use crate::instrument::engine_catalogue;
 use crate::message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 use crate::network::{NetworkConfig, PeerStats, Validator};
@@ -59,6 +60,16 @@ pub(crate) enum SimEvent {
         topic: Topic,
         data: Vec<u8>,
         class: TrafficClass,
+    },
+    /// The peer rejoins after a scheduled crash (fault plane): in-memory
+    /// gossip state is rebuilt cold, validator state is round-tripped
+    /// through its snapshot path, and the heartbeat chain is re-armed.
+    Restart,
+    /// The peer's clock drift steps by `delta_ms` (fault plane). Applies
+    /// even while the peer is down — a dead process's clock keeps
+    /// drifting.
+    ClockSkew {
+        delta_ms: i64,
     },
 }
 
@@ -96,11 +107,16 @@ pub struct DeliveryRecord {
     pub at: SimTime,
     /// Network time the message was published.
     pub published_at: SimTime,
+    /// Traffic class of the delivered message (lets fault scenarios
+    /// measure per-class delivery inside a time window, e.g. re-convergence
+    /// after a partition heals).
+    pub class: TrafficClass,
 }
 
 /// SplitMix64 finalizer — decorrelates the per-peer RNG streams derived
-/// from one network seed.
-fn mix64(mut z: u64) -> u64 {
+/// from one network seed (and, via [`crate::faults::fault_word`], the
+/// event-keyed fault streams).
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -128,6 +144,13 @@ pub(crate) struct PeerSlot {
     pub drift_ms: i64,
     pub stats: PeerStats,
     pub next_seq: u64,
+    /// Scheduled downtime windows `[crash, restart)` from the fault plan
+    /// (set at network construction; empty without faults). While down,
+    /// every event addressed to this peer except `ClockSkew` is dropped.
+    pub(crate) downtime: Vec<(SimTime, SimTime)>,
+    /// Seen-set retention in heartbeat rotations — kept so a cold restart
+    /// can rebuild the set with the window the network sized it with.
+    seen_window: u32,
     /// First deliveries observed by this peer (merged across peers in
     /// peer-id order for network-wide latency stats).
     pub deliveries: Vec<(MessageId, DeliveryRecord)>,
@@ -159,6 +182,8 @@ impl PeerSlot {
             drift_ms,
             stats: PeerStats::default(),
             next_seq: 0,
+            downtime: Vec::new(),
+            seen_window,
             deliveries: Vec::new(),
             rng: StdRng::seed_from_u64(peer_stream_seed(seed, peer)),
             event_seq: 0,
@@ -176,6 +201,15 @@ impl PeerSlot {
 
     pub(crate) fn local_time(&self, now: SimTime) -> SimTime {
         (now as i64 + self.drift_ms).max(0) as SimTime
+    }
+
+    /// Is this peer inside a scheduled crash window at time `at`? The
+    /// restart instant itself is *up* (`at < restart`), so the `Restart`
+    /// event dispatches rather than being swallowed by its own downtime.
+    pub(crate) fn is_down(&self, at: SimTime) -> bool {
+        self.downtime
+            .iter()
+            .any(|&(crash, restart)| at >= crash && at < restart)
     }
 
     /// Mints the next event key for an event this peer schedules. Called
@@ -226,9 +260,48 @@ impl PeerSlot {
     ) {
         self.stats.bytes_sent += rpc.size() as u64;
         let latency = self.link_latency(config);
-        self.recorder.observe(engine_catalogue().1.dwell, latency);
+        let plan = &config.faults;
+        if !plan.affects_links() {
+            self.recorder.observe(engine_catalogue().1.dwell, latency);
+            out.push(QueuedEvent {
+                key: self.next_key(me, now + latency),
+                target: to,
+                event: SimEvent::Rpc { from: me, rpc },
+            });
+            return;
+        }
+        // Event-keyed fault stream: the decision for this transmission is
+        // a pure function of (fault seed, link, the sequence of the key
+        // this send mints) — never of scheduler order.
+        let word = fault_word(plan.seed, me, to, self.event_seq);
+        if plan.severed(me, to, now) || plan.link.drops(word) {
+            // A dropped transmission still consumes its sequence slot, so
+            // the next send on this link draws a fresh fault word instead
+            // of replaying the drop forever.
+            self.event_seq += 1;
+            self.recorder.inc(engine_catalogue().1.dropped_fault);
+            return;
+        }
+        // Faults only ever ADD delay: `latency` already carries the
+        // scheduler's quantum floor, so the Chandy–Misra lookahead bound
+        // holds under any fault plan.
+        let delay = latency + plan.link.extra_delay(word);
+        if plan.link.duplicates(word) {
+            let dup_delay = delay + plan.link.duplicate_lag(word);
+            self.stats.bytes_sent += rpc.size() as u64;
+            self.recorder.observe(engine_catalogue().1.dwell, dup_delay);
+            out.push(QueuedEvent {
+                key: self.next_key(me, now + dup_delay),
+                target: to,
+                event: SimEvent::Rpc {
+                    from: me,
+                    rpc: rpc.clone(),
+                },
+            });
+        }
+        self.recorder.observe(engine_catalogue().1.dwell, delay);
         out.push(QueuedEvent {
-            key: self.next_key(me, now + latency),
+            key: self.next_key(me, now + delay),
             target: to,
             event: SimEvent::Rpc { from: me, rpc },
         });
@@ -246,6 +319,21 @@ impl PeerSlot {
     ) {
         let ids = &engine_catalogue().1;
         self.recorder.inc(ids.events);
+        // Crash windows (fault plane): a down peer loses every event
+        // addressed to it — RPCs vanish in flight, its own heartbeat chain
+        // dies, scheduled publishes are never sent. Clock-skew steps are
+        // exempt (the clock drifts regardless of the process), and the
+        // `Restart` instant itself is not "down" (see `is_down`). The
+        // events counter above still ticks: schedulers count every pop,
+        // and `gossip_events_total == events_processed()` must hold under
+        // faults too. The drop predicate is pure simulation time, so it is
+        // scheduler-invariant.
+        if !matches!(event, SimEvent::ClockSkew { .. }) && self.is_down(now) {
+            if matches!(event, SimEvent::Rpc { .. }) {
+                self.recorder.inc(ids.dropped_fault);
+            }
+            return;
+        }
         match event {
             SimEvent::Publish { topic, data, class } => {
                 self.recorder.inc(ids.publishes);
@@ -259,7 +347,37 @@ impl PeerSlot {
                 self.recorder.inc(ids.rpcs);
                 self.handle_rpc(me, now, from, rpc, config, out)
             }
+            SimEvent::Restart => {
+                self.recorder.inc(ids.restarts);
+                self.handle_restart(me, now, out)
+            }
+            SimEvent::ClockSkew { delta_ms } => self.drift_ms += delta_ms,
         }
+    }
+
+    /// Cold rejoin after a scheduled crash. Everything a real node keeps
+    /// in memory is rebuilt from scratch: the seen-set (so re-deliveries
+    /// are accepted again and the peer can catch up), the mcache, the
+    /// mesh views, and the peer scores. The validator survives through
+    /// its *snapshot path* — `MessageAcceptor::on_restart` round-trips
+    /// durable defense state (the RLN nullifier store persists like any
+    /// on-disk database) while in-memory caches are lost. Mesh and
+    /// message re-sync is emergent: the next heartbeats re-graft, and the
+    /// existing IHAVE → IWANT machinery back-fills messages still inside
+    /// neighbors' gossip windows.
+    fn handle_restart(&mut self, me: PeerId, now: SimTime, out: &mut Vec<QueuedEvent>) {
+        self.seen = SeenSet::new(self.seen_window);
+        self.cache = TopicCaches::new();
+        for members in self.mesh.values_mut() {
+            members.clear();
+        }
+        self.scores = ScoreTable::default();
+        let local = self.local_time(now);
+        if let Some(v) = self.validator.as_mut() {
+            v.on_restart(local);
+        }
+        // Re-arm the heartbeat chain that died during the downtime.
+        self.schedule(me, now, 1, me, SimEvent::Heartbeat, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -420,6 +538,7 @@ impl PeerSlot {
                         peer: me,
                         at: now,
                         published_at: message.published_at,
+                        class: message.class,
                     },
                 ));
                 let mut targets = std::mem::take(&mut self.targets_scratch);

@@ -33,6 +33,14 @@ pub(crate) struct EngineIds {
     /// Scheduled delay of each peer-originated event (sim-time ms): the
     /// time an event sits in the queue between being minted and firing.
     pub dwell: HistogramId,
+    /// Messages dropped by the fault plane: link drops, partition cuts,
+    /// and RPCs addressed to a crashed peer. Carries the `engine_` prefix
+    /// the ISSUE names it by, but unlike the scheduler gauges it IS
+    /// deterministic (event-keyed fault streams) — the fault-plane
+    /// equivalence tests assert its cross-scheduler equality explicitly.
+    pub dropped_fault: CounterId,
+    /// Restart events dispatched (peer rejoined after a scheduled crash).
+    pub restarts: CounterId,
 }
 
 /// The per-peer catalogue, built once per process.
@@ -48,6 +56,14 @@ pub(crate) fn engine_catalogue() -> &'static (Arc<Layout>, EngineIds) {
             dwell: b.histogram(
                 "gossip_event_dwell_ms",
                 "Sim-time delay between an event being scheduled and firing (ms).",
+            ),
+            dropped_fault: b.counter(
+                "engine_msgs_dropped_fault",
+                "Messages dropped by the fault plane (link drops, partition cuts, crashed receivers).",
+            ),
+            restarts: b.counter(
+                "peer_restarts",
+                "Peers restarted after a scheduled crash (fault plane).",
             ),
         };
         (b.build(), ids)
@@ -77,6 +93,8 @@ pub(crate) struct NetworkIds {
     pub rejected: CounterId,
     /// Messages ignored (duplicates, epoch gaps).
     pub ignored: CounterId,
+    /// Scheduled partitions that have healed by snapshot time.
+    pub partition_heals: CounterId,
 }
 
 /// The network-level catalogue, built once per process.
@@ -113,6 +131,10 @@ pub(crate) fn network_catalogue() -> &'static (Arc<Layout>, NetworkIds) {
             ignored: b.counter(
                 "gossip_ignored_total",
                 "Messages ignored (duplicates etc.).",
+            ),
+            partition_heals: b.counter(
+                "partition_heals",
+                "Scheduled network partitions healed so far (fault plane).",
             ),
         };
         (b.build(), ids)

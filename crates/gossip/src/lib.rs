@@ -18,6 +18,11 @@
 //! * [`cache`] — compact generational message caches: the open-addressed
 //!   duplicate-suppression set and the per-topic mcache rings behind the
 //!   10⁴-peer hot path.
+//! * [`faults`] — the deterministic fault-injection plane: seeded link
+//!   drop/duplicate/jitter/reorder, scheduled partitions with healing,
+//!   peer crash/restart timelines, and clock-skew steps, all drawn from
+//!   event-keyed streams so faulty runs stay bit-identical across
+//!   schedulers.
 //! * [`scoring`] — the peer-scoring defense (gossipsub v1.1, reference \[2\])
 //!   that the paper both compares against and composes with.
 //! * [`message`] — message/RPC types and the `Validator` verdicts that the
@@ -29,12 +34,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod faults;
 mod instrument;
 pub mod message;
 pub mod network;
 pub mod scheduler;
 pub mod scoring;
 
+pub use faults::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec, SkewSpec};
 pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 pub use network::{
     DeliveryRecord, GossipConfig, MessageAcceptor, Network, NetworkConfig, PeerStats, Validator,

@@ -25,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{PeerSlot, QueuedEvent, SimEvent};
+use crate::faults::FaultPlan;
 use crate::instrument::{engine_catalogue, network_catalogue};
 use crate::message::{Message, MessageId, PeerId, SimTime, Topic, TrafficClass, Validation};
 use crate::scheduler::{Lookahead, Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler};
@@ -66,7 +67,7 @@ impl Default for GossipConfig {
 }
 
 /// Network construction parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetworkConfig {
     /// Number of peers.
     pub peers: usize,
@@ -90,6 +91,10 @@ pub struct NetworkConfig {
     /// Round-bounding strategy for the sharded engine (never affects
     /// results, only barrier counts and wall-clock speed).
     pub lookahead: Lookahead,
+    /// The deterministic fault plan (see [`crate::faults`]). Empty by
+    /// default: without faults the simulation is byte-identical to a
+    /// network built before the fault plane existed.
+    pub faults: FaultPlan,
 }
 
 impl Default for NetworkConfig {
@@ -105,6 +110,7 @@ impl Default for NetworkConfig {
             seed: 0,
             scheduler: SchedulerKind::Auto,
             lookahead: Lookahead::Adaptive,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -131,6 +137,15 @@ pub trait MessageAcceptor: Send {
     /// released on schedule even when the topic carries no traffic.
     /// The default does nothing (stateless validators).
     fn on_heartbeat(&mut self, _local_ms: SimTime) {}
+
+    /// The peer rejoined cold after a scheduled crash (fault plane). The
+    /// gossip layer has already rebuilt its in-memory state; this hook is
+    /// where a validator models *its* crash semantics. Durable defense
+    /// state — the RLN nullifier store persists like any on-disk
+    /// database — should be round-tripped through its snapshot/restore
+    /// path; purely in-memory validator state should be dropped. The
+    /// default does nothing (stateless validators).
+    fn on_restart(&mut self, _local_ms: SimTime) {}
 }
 
 impl<F: FnMut(PeerId, &Message, SimTime) -> Validation + Send> MessageAcceptor for F {
@@ -244,6 +259,36 @@ impl Network {
                 key,
                 target: p,
                 event: SimEvent::Heartbeat,
+            });
+        }
+
+        // Fault timeline (fault plane): crash windows are compiled into
+        // each slot's downtime list (a pure time predicate checked at
+        // dispatch — no RNG draws), and the restart / clock-skew events
+        // are minted from the target peer's own key stream, exactly like
+        // the heartbeat stagger above, so the timeline is
+        // scheduler-invariant by the same argument.
+        config.faults.validate(config.peers);
+        for crash in &config.faults.crashes {
+            let slot = &mut slots[crash.peer];
+            slot.downtime.push((crash.crash_ms, crash.restart_ms));
+            if crash.restart_ms < SimTime::MAX {
+                let key = slot.next_key(crash.peer, crash.restart_ms);
+                scheduler.enqueue(QueuedEvent {
+                    key,
+                    target: crash.peer,
+                    event: SimEvent::Restart,
+                });
+            }
+        }
+        for skew in &config.faults.skews {
+            let key = slots[skew.peer].next_key(skew.peer, skew.at_ms);
+            scheduler.enqueue(QueuedEvent {
+                key,
+                target: skew.peer,
+                event: SimEvent::ClockSkew {
+                    delta_ms: skew.delta_ms,
+                },
             });
         }
 
@@ -394,6 +439,24 @@ impl Network {
             .collect()
     }
 
+    /// First deliveries of messages *published at or after* `from`, split
+    /// `(honest, spam)` — the re-convergence measurement fault scenarios
+    /// take after the last partition heal / peer rejoin.
+    pub fn deliveries_published_since(&self, from: SimTime) -> (u64, u64) {
+        let mut honest = 0;
+        let mut spam = 0;
+        for (_, d) in self.slots.iter().flat_map(|s| s.deliveries.iter()) {
+            if d.published_at >= from {
+                match d.class {
+                    TrafficClass::Honest => honest += 1,
+                    TrafficClass::Spam => spam += 1,
+                    TrafficClass::Invalid => {}
+                }
+            }
+        }
+        (honest, spam)
+    }
+
     /// Score neighbor `of` currently assigns to `subject`.
     pub fn score(&self, of: PeerId, subject: PeerId) -> f64 {
         self.slots[of].score_of(subject, &self.config.scoring)
@@ -426,6 +489,12 @@ impl Network {
         net.add(ids.invalid_delivered, totals.invalid_delivered);
         net.add(ids.rejected, totals.rejected);
         net.add(ids.ignored, totals.ignored);
+        // Snapshot-time fill from the plan + the (scheduler-invariant)
+        // clock: which scheduled partitions have healed by now.
+        net.add(
+            ids.partition_heals,
+            self.config.faults.partitions_healed(self.now),
+        );
 
         let mut snapshot = peers.snapshot();
         snapshot.merge(&net.snapshot());
@@ -635,6 +704,162 @@ mod tests {
         serial.retain(|d| !d.name.starts_with("engine_"));
         sharded.retain(|d| !d.name.starts_with("engine_"));
         assert_eq!(serial, sharded);
+    }
+
+    /// Link drops thin delivery but the seeded outcome is identical
+    /// across schedulers, and every drop is counted.
+    #[test]
+    fn link_faults_are_deterministic_across_schedulers() {
+        let run = |scheduler: SchedulerKind| {
+            let mut net = Network::new(NetworkConfig {
+                peers: 30,
+                degree: 6,
+                seed: 21,
+                scheduler,
+                faults: crate::faults::FaultPlan {
+                    seed: 77,
+                    link: crate::faults::LinkFaults {
+                        drop_permille: 150,
+                        duplicate_permille: 30,
+                        reorder_permille: 50,
+                        extra_jitter_ms: 40,
+                        reorder_delay_ms: 200,
+                    },
+                    ..Default::default()
+                },
+                ..NetworkConfig::default()
+            });
+            net.subscribe_all(TOPIC);
+            net.run_until(3_000);
+            for i in 0..8u64 {
+                net.publish_at(
+                    3_000 + i * 500,
+                    (i as usize) % 30,
+                    TOPIC,
+                    format!("f{i}").into_bytes(),
+                    TrafficClass::Honest,
+                );
+            }
+            net.run_until(25_000);
+            let snap = net.metrics_snapshot();
+            let t = net.total_stats();
+            (
+                t.honest_delivered,
+                t.bytes_sent,
+                net.events_processed(),
+                snap.scalar("engine_msgs_dropped_fault"),
+            )
+        };
+        let serial = run(SchedulerKind::Serial);
+        assert!(serial.3 > 0, "faults actually fired: {serial:?}");
+        for shards in [2, 7, 30] {
+            assert_eq!(serial, run(SchedulerKind::Sharded { shards }), "{shards}");
+        }
+    }
+
+    /// A crashed peer stops receiving, rejoins cold at its restart time,
+    /// and catches up: messages published after the restart reach it.
+    #[test]
+    fn crashed_peer_rejoins_and_receives_again() {
+        let crash = crate::faults::CrashSpec {
+            peer: 7,
+            crash_ms: 4_000,
+            restart_ms: 9_000,
+        };
+        let mut net = Network::new(NetworkConfig {
+            peers: 30,
+            degree: 6,
+            seed: 13,
+            faults: crate::faults::FaultPlan {
+                crashes: vec![crash],
+                ..Default::default()
+            },
+            ..NetworkConfig::default()
+        });
+        net.subscribe_all(TOPIC);
+        net.run_until(3_000);
+        // Published while peer 7 is down: lost to it (mcache windows at
+        // the default heartbeat have expired by the 9 s restart).
+        net.publish_at(5_000, 0, TOPIC, b"during".to_vec(), TrafficClass::Honest);
+        // Published after the restart: must reach all 29 receivers again.
+        net.publish_at(15_000, 0, TOPIC, b"after".to_vec(), TrafficClass::Honest);
+        net.run_until(40_000);
+        let snap = net.metrics_snapshot();
+        assert_eq!(snap.scalar("peer_restarts"), 1);
+        let (honest, _) = net.deliveries_published_since(15_000);
+        assert_eq!(honest, 29, "post-restart publish reaches everyone");
+        let down_window = net.stats(7).honest_delivered;
+        assert!(
+            down_window >= 1,
+            "peer 7 is back in the mesh and receiving: {down_window}"
+        );
+    }
+
+    /// While partitioned, no traffic crosses the cut; after healing,
+    /// publishes reach both sides again, and the heal is counted.
+    #[test]
+    fn partition_blocks_cross_traffic_until_heal() {
+        let mut net = Network::new(NetworkConfig {
+            peers: 30,
+            degree: 6,
+            seed: 17,
+            faults: crate::faults::FaultPlan {
+                partitions: vec![crate::faults::PartitionSpec {
+                    start_ms: 3_000,
+                    end_ms: 12_000,
+                    cut: 15,
+                }],
+                ..Default::default()
+            },
+            ..NetworkConfig::default()
+        });
+        net.subscribe_all(TOPIC);
+        net.run_until(3_000);
+        net.publish_at(5_000, 0, TOPIC, b"cut off".to_vec(), TrafficClass::Honest);
+        net.run_until(11_000);
+        let reached_far_side = (15..30).map(|p| net.stats(p).honest_delivered).sum::<u64>();
+        assert_eq!(reached_far_side, 0, "nothing crosses a live partition");
+        // After the heal, a fresh publish reaches everyone (the partitioned
+        // message itself has left every mcache window by then).
+        net.publish_at(20_000, 0, TOPIC, b"healed".to_vec(), TrafficClass::Honest);
+        net.run_until(40_000);
+        let (honest, _) = net.deliveries_published_since(20_000);
+        assert_eq!(honest, 29, "full propagation after healing");
+        assert_eq!(net.metrics_snapshot().scalar("partition_heals"), 1);
+    }
+
+    /// Clock-skew steps land at their scheduled times and move the
+    /// peer's drifted clock by exactly the configured deltas.
+    #[test]
+    fn clock_skew_steps_apply_on_schedule() {
+        let mut net = Network::new(NetworkConfig {
+            peers: 30,
+            degree: 6,
+            seed: 19,
+            clock_drift_ms: 0,
+            faults: crate::faults::FaultPlan {
+                skews: vec![
+                    crate::faults::SkewSpec {
+                        peer: 3,
+                        at_ms: 5_000,
+                        delta_ms: 2_500,
+                    },
+                    crate::faults::SkewSpec {
+                        peer: 3,
+                        at_ms: 10_000,
+                        delta_ms: -4_000,
+                    },
+                ],
+                ..Default::default()
+            },
+            ..NetworkConfig::default()
+        });
+        net.subscribe_all(TOPIC);
+        assert_eq!(net.drift_ms(3), 0);
+        net.run_until(6_000);
+        assert_eq!(net.drift_ms(3), 2_500, "first step applied");
+        net.run_until(11_000);
+        assert_eq!(net.drift_ms(3), -1_500, "backwards step accumulated");
     }
 
     /// The tentpole invariant, at transport level: serial and sharded

@@ -69,6 +69,32 @@ impl EpochManager {
         ((network_delay_secs + clock_asynchrony_secs) / self.epoch_length_secs as f64).ceil() as u64
     }
 
+    /// The skew-tolerance bound: the largest combined offset (network
+    /// delay + clock skew, in seconds) a publisher can carry and still
+    /// have every honest message accepted by a router enforcing `thr`.
+    ///
+    /// An honest publisher whose local clock runs `x` seconds from the
+    /// router's stamps epochs at most `⌈x / T⌉` apart from the router's
+    /// current epoch — the inverse of [`EpochManager::max_epoch_gap`].
+    /// The gap check accepts iff `⌈x / T⌉ ≤ Thr`, i.e. iff
+    /// `x ≤ Thr · T` — the product this method names. The bound is
+    /// *inclusive and tight*:
+    ///
+    /// * `offset == Thr · T` — worst-case stamp lands exactly `Thr`
+    ///   epochs away; accepted.
+    /// * `offset == Thr · T + ε` — the stamp can land `Thr + 1` epochs
+    ///   away near an epoch boundary; those messages bounce with
+    ///   [`crate::validation::Outcome::EpochOutOfRange`] (and, past the
+    ///   store window, the `rln_out_of_window_total` counter).
+    /// * `offset ≥ (Thr + 1) · T` — the *minimum* gap `⌊x / T⌋` already
+    ///   exceeds `Thr`: every message bounces, not just boundary ones.
+    ///
+    /// The E9 skew scenarios in `waku-sim` drive validators on both
+    /// sides of this line.
+    pub fn max_tolerated_skew_secs(&self, thr: u64) -> u64 {
+        thr * self.epoch_length_secs
+    }
+
     /// Absolute distance between two epochs.
     pub fn gap(a: u64, b: u64) -> u64 {
         a.abs_diff(b)
@@ -105,6 +131,54 @@ mod tests {
         let em1 = EpochManager::new(1);
         assert_eq!(em1.max_epoch_gap(0.4, 0.2), 1);
         assert_eq!(em1.max_epoch_gap(2.5, 0.6), 4);
+    }
+
+    #[test]
+    fn skew_tolerance_is_thr_times_epoch_length() {
+        let em = EpochManager::new(10);
+        assert_eq!(em.max_tolerated_skew_secs(1), 10);
+        assert_eq!(em.max_tolerated_skew_secs(3), 30);
+        // Round trip with the Thr formula: an offset AT the bound needs
+        // exactly thr epochs of slack, one second past it needs thr + 1.
+        for thr in 1..=4u64 {
+            let bound = em.max_tolerated_skew_secs(thr);
+            assert_eq!(em.max_epoch_gap(bound as f64, 0.0), thr);
+            assert_eq!(em.max_epoch_gap(bound as f64 + 1.0, 0.0), thr + 1);
+        }
+    }
+
+    #[test]
+    fn skew_bound_is_tight_at_epoch_boundaries() {
+        // T = 10, Thr = 1 → bound = 10 s. A publisher running exactly
+        // 10 s fast stamps at most one epoch ahead of the router — always
+        // accepted. At 11 s, stamps near a boundary land 2 epochs ahead.
+        let em = EpochManager::new(10);
+        let thr = 1u64;
+        let bound = em.max_tolerated_skew_secs(thr);
+
+        let worst_gap = |offset: u64| {
+            (0..em.epoch_length())
+                .map(|phase| {
+                    let now = 1_000 + phase;
+                    EpochManager::gap(em.epoch_at(now + offset), em.epoch_at(now))
+                })
+                .max()
+                .unwrap()
+        };
+        assert_eq!(worst_gap(bound), thr, "at the bound: worst case = Thr");
+        assert!(worst_gap(bound + 1) > thr, "past the bound: some bounce");
+        // At (Thr + 1)·T even the BEST case exceeds Thr: total collapse.
+        let min_gap = (0..em.epoch_length())
+            .map(|phase| {
+                let now = 1_000 + phase;
+                EpochManager::gap(
+                    em.epoch_at(now + bound + em.epoch_length()),
+                    em.epoch_at(now),
+                )
+            })
+            .min()
+            .unwrap();
+        assert!(min_gap > thr);
     }
 
     #[test]

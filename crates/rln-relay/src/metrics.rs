@@ -24,6 +24,7 @@ pub(crate) struct MetricIds {
     pub proof_rejected: CounterId,
     pub duplicates: CounterId,
     pub spam_detected: CounterId,
+    pub out_of_window: CounterId,
     pub nullifier_entries: GaugeId,
     pub epochs_pruned: GaugeId,
     pub validation_latency: HistogramId,
@@ -64,6 +65,12 @@ pub(crate) fn catalogue() -> &'static (Arc<Layout>, MetricIds) {
             spam_detected: b.counter(
                 "rln_validation_spam_detected_total",
                 "Rate violations detected (slashing evidence produced).",
+            ),
+            out_of_window: b.counter(
+                "rln_out_of_window_total",
+                "Rate checks refused because the epoch left the nullifier \
+                 window (clock skew or a monotone store running ahead of a \
+                 stale local clock).",
             ),
             nullifier_entries: b.gauge(
                 "rln_nullifier_entries",
@@ -112,6 +119,7 @@ pub(crate) struct ValidationHandles {
     pub proof_rejected: Counter,
     pub duplicates: Counter,
     pub spam_detected: Counter,
+    pub out_of_window: Counter,
     pub nullifier_entries: Gauge,
     pub epochs_pruned: Gauge,
     pub validation_latency: Histogram,
@@ -129,6 +137,7 @@ impl ValidationHandles {
             proof_rejected: registry.counter(ids.proof_rejected),
             duplicates: registry.counter(ids.duplicates),
             spam_detected: registry.counter(ids.spam_detected),
+            out_of_window: registry.counter(ids.out_of_window),
             nullifier_entries: registry.gauge(ids.nullifier_entries),
             epochs_pruned: registry.gauge(ids.epochs_pruned),
             validation_latency: registry.histogram(ids.validation_latency),
@@ -176,6 +185,10 @@ pub struct ValidationMetrics {
     pub duplicates: u64,
     /// Rate violations detected (slashing evidence produced).
     pub spam_detected: u64,
+    /// Rate checks refused because the message's epoch had already left
+    /// the nullifier window — the signature of clock skew beyond the
+    /// tolerance bound (see `EpochManager::max_tolerated_skew_secs`).
+    pub out_of_window: u64,
     /// Shares currently resident in the windowed nullifier store — a
     /// gauge, bounded by O(window × signals-per-epoch) by construction.
     pub nullifier_entries: u64,
@@ -197,6 +210,7 @@ impl From<&Registry> for ValidationMetrics {
             proof_rejected: snap.scalar("rln_validation_proof_rejected_total"),
             duplicates: snap.scalar("rln_validation_duplicates_total"),
             spam_detected: snap.scalar("rln_validation_spam_detected_total"),
+            out_of_window: snap.scalar("rln_out_of_window_total"),
             nullifier_entries: snap.scalar("rln_nullifier_entries"),
             epochs_pruned: snap.scalar("rln_epochs_pruned"),
         }

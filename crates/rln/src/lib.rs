@@ -45,7 +45,8 @@ pub mod slashing;
 pub use circuit::{RlnPublicInputs, RlnWitness};
 pub use identity::Identity;
 pub use nullifier::{
-    derive, epoch_coefficient, external_nullifier, internal_nullifier, message_hash, NullifierStore,
+    derive, epoch_coefficient, external_nullifier, internal_nullifier, message_hash,
+    NullifierSnapshot, NullifierStore,
 };
 pub use prover::{RlnMessageBundle, RlnProver, RlnVerifier};
 pub use slashing::{NullifierMap, RateCheck, SpamEvidence};

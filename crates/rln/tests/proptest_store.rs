@@ -209,6 +209,63 @@ proptest! {
         prop_assert_eq!(store.epochs_pruned(), 1);
     }
 
+    // Snapshot/restore is behaviorally lossless under arbitrary op
+    // histories: after any interleaving of advances and checks, a store
+    // rebuilt from its snapshot gives the same verdict as the original
+    // for every subsequent check — and both keep agreeing with the
+    // oracle. This is the property peer-crash recovery in the fault
+    // plane leans on (a restarted peer resumes from a snapshot and must
+    // be indistinguishable from one that never went down).
+    #[test]
+    fn snapshot_restore_round_trips_any_history(
+        max_gap in 0u64..3,
+        history in proptest::collection::vec(arb_op(), 1..120),
+        probes in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut store = NullifierStore::new(max_gap);
+        let mut clock = 10u64;
+        store.advance_to(clock);
+        for op in history {
+            match op {
+                Op::Advance(step) => {
+                    clock += step;
+                    store.advance_to(clock);
+                }
+                Op::Check { epoch_offset, nullifier, x, y } => {
+                    let epoch = (clock + epoch_offset).saturating_sub(3);
+                    store.check_shares(epoch, nullifier, (Fr::from_u64(x), Fr::from_u64(y)));
+                }
+            }
+        }
+        let snapshot = store.snapshot();
+        let mut restored = NullifierStore::restore(&snapshot);
+        prop_assert_eq!(restored.current_epoch(), store.current_epoch());
+        prop_assert_eq!(restored.len(), store.len());
+        prop_assert_eq!(restored.epochs_pruned(), store.epochs_pruned());
+        // The snapshot of the restore is the snapshot (idempotent).
+        prop_assert_eq!(restored.snapshot(), snapshot);
+        // From here on the two stores must be indistinguishable.
+        for op in probes {
+            match op {
+                Op::Advance(step) => {
+                    clock += step;
+                    store.advance_to(clock);
+                    restored.advance_to(clock);
+                }
+                Op::Check { epoch_offset, nullifier, x, y } => {
+                    let epoch = (clock + epoch_offset).saturating_sub(3);
+                    let share = (Fr::from_u64(x), Fr::from_u64(y));
+                    prop_assert_eq!(
+                        store.check_shares(epoch, nullifier, share),
+                        restored.check_shares(epoch, nullifier, share)
+                    );
+                }
+            }
+            prop_assert_eq!(restored.len(), store.len());
+            prop_assert_eq!(restored.epochs_pruned(), store.epochs_pruned());
+        }
+    }
+
     // Colliding fingerprints never alias: two distinct nullifiers with
     // identical 8-byte prefixes keep independent duplicate/spam state.
     #[test]

@@ -8,14 +8,23 @@
 //! * [`epoch_gap`] — `Thr` sensitivity sweeps (experiment E7, ablation A4),
 //! * [`steady_state`] — long-horizon multi-epoch runs with publisher
 //!   churn (experiment E7b: the nullifier-lifecycle memory bound),
+//! * [`faults`] — graceful-degradation runs under the deterministic
+//!   fault plane: link loss, partitions, churn, clock skew
+//!   (experiment E9),
 //! * [`report`] — metrics aggregation and markdown tables.
 
 pub mod epoch_gap;
+pub mod faults;
 pub mod report;
 pub mod scenario;
 pub mod steady_state;
 
 pub use epoch_gap::{sweep_thr, EpochGapPoint};
+pub use faults::{
+    rolling_churn, run_drop_sweep, run_fault_scenario, FaultReport, FaultScenarioConfig,
+    DROP_SWEEP_PERMILLE, HONEST_FLOOR_AT_MAX_DROP, POST_DISRUPTION_HONEST_FLOOR,
+    SPAM_CONTAINMENT_SLACK,
+};
 pub use report::{percentile, ScenarioReport};
 pub use scenario::{
     peers_from_env, run_scenario, run_scenario_instrumented, run_scenario_with_metrics, Defense,

@@ -39,6 +39,23 @@ pub struct ScenarioReport {
     pub honest_send_delay_p50_ms: u64,
     /// Wei an attacker must stake for this spam rate (economic cost).
     pub attack_cost_wei: u128,
+    /// Start of the post-disruption observation window (sim ms): the
+    /// instant the last scheduled fault ends (final partition heal /
+    /// final peer restart). 0 when the run had no fault plan, making the
+    /// post-window counters equal their whole-run counterparts.
+    pub post_window_from_ms: u64,
+    /// Honest messages published at/after [`Self::post_window_from_ms`].
+    pub post_honest_sent: u64,
+    /// Spam messages published at/after [`Self::post_window_from_ms`].
+    pub post_spam_sent: u64,
+    /// First deliveries of honest messages published in the post window
+    /// — the re-convergence signal the E9 fault scenarios gate on: after
+    /// the last heal/rejoin, delivery must return to near fault-free.
+    pub post_honest_delivered: u64,
+    /// First deliveries of spam messages published in the post window.
+    pub post_spam_delivered: u64,
+    /// post_honest_delivered / (post_honest_sent · (peers − 1)).
+    pub post_honest_delivery_ratio: f64,
 }
 
 /// Percentile of a sample (nearest-rank); 0 for empty input.

@@ -27,7 +27,9 @@ use waku_baselines::SybilCostModel;
 use waku_gossip::{
     Message, MessageAcceptor, Network, NetworkConfig, PeerId, SimTime, TrafficClass, Validation,
 };
-use waku_metrics::{GaugeFold, GaugeId, Layout, LayoutBuilder, RecorderShards, Snapshot};
+use waku_metrics::{
+    CounterId, GaugeFold, GaugeId, Layout, LayoutBuilder, RecorderShards, Snapshot,
+};
 use waku_rln::{
     derive, external_nullifier, message_hash, Identity, NullifierMap, NullifierStore, RateCheck,
 };
@@ -227,6 +229,7 @@ struct StoreIds {
     resident: GaugeId,
     high_water: GaugeId,
     pruned: GaugeId,
+    out_of_window: CounterId,
 }
 
 /// The scenario-harness metric catalogue. The gauge names match the
@@ -251,6 +254,12 @@ fn store_catalogue() -> &'static (Arc<Layout>, StoreIds) {
                 "rln_epochs_pruned",
                 "Expired epochs recycled across all validators.",
                 GaugeFold::Sum,
+            ),
+            out_of_window: b.counter(
+                "rln_out_of_window_total",
+                "Rate checks refused because the epoch left the nullifier \
+                 window — reached when a validator's clock skews backward \
+                 past the monotone store (the skew-tolerance bound).",
             ),
         };
         (b.build(), ids)
@@ -357,9 +366,18 @@ impl MessageAcceptor for RlnValidator {
                     .record(self.peer, evidence.recovered_secret.to_le_bytes());
                 Validation::Reject
             }
-            // Unreachable behind the gap check (same Thr both sides);
-            // treat like any other out-of-range message.
-            RateCheck::OutOfWindow => Validation::Ignore,
+            // Reachable under clock skew: the store's window is monotone
+            // (pinned to the highest epoch this validator ever observed),
+            // so after a backward skew step the gap check — which follows
+            // the *current* drifted clock — admits epochs the store no
+            // longer retains. Count and ignore; the E9 skew scenarios
+            // assert this counter moves exactly when skew exceeds the
+            // tolerance bound.
+            RateCheck::OutOfWindow => {
+                let ids = &store_catalogue().1;
+                self.stats.record(self.peer, |r| r.inc(ids.out_of_window));
+                Validation::Ignore
+            }
         }
     }
 
@@ -368,6 +386,23 @@ impl MessageAcceptor for RlnValidator {
         // epochs are recycled even when the topic carries no traffic.
         let current_epoch = self.current_epoch(local_ms);
         if let Retention::Windowed(store) = &mut self.nullifiers {
+            store.advance_to(current_epoch);
+        }
+        self.publish_stats();
+    }
+
+    fn on_restart(&mut self, local_ms: SimTime) {
+        // A crashed peer rejoins cold: gossip state (seen set, mcache,
+        // mesh) was dropped by the engine, but rate-limit state is
+        // durable — a router that forgot this epoch's nullifiers would
+        // relay a spammer's second signal as fresh. Round-trip the store
+        // through its crash-survival snapshot (the path a real node's
+        // disk persistence takes), then catch the window up to the local
+        // clock so epochs that expired during the outage are recycled.
+        let current_epoch = self.current_epoch(local_ms);
+        if let Retention::Windowed(store) = &mut self.nullifiers {
+            let snapshot = store.snapshot();
+            *store = NullifierStore::restore(&snapshot);
             store.advance_to(current_epoch);
         }
         self.publish_stats();
@@ -452,7 +487,7 @@ pub fn run_scenario_with_metrics(
     let mut net = Network::new(NetworkConfig {
         peers: config.peers,
         seed: config.seed,
-        ..config.net
+        ..config.net.clone()
     });
     net.subscribe_all(TOPIC);
 
@@ -506,6 +541,14 @@ pub fn run_scenario_with_metrics(
     let mut spam_sent = 0u64;
     let mut send_delays: Vec<u64> = Vec::new();
     let end = WARMUP_MS + config.duration_ms;
+
+    // Post-disruption window: everything published at/after the last
+    // scheduled fault ends (final heal / final rejoin) measures
+    // re-convergence. With no fault plan this is 0 — the post counters
+    // then mirror the whole-run counters.
+    let post_from = config.net.faults.last_disruption_ms().min(end);
+    let mut post_honest_sent = 0u64;
+    let mut post_spam_sent = 0u64;
 
     // Honest publishers are the first `honest_publishers` peers after the
     // spammers (`None` = every honest peer publishes). Under publisher
@@ -601,8 +644,10 @@ pub fn run_scenario_with_metrics(
                 }
                 Defense::RlnRelay { epoch_secs, .. } => {
                     // The publisher stamps the epoch from its own drifted
-                    // clock (§III-D).
-                    let local_publish_ms = (t as i64 + net.drift_ms(peer)).max(0) as u64;
+                    // clock (§III-D), including any fault-plane skew step
+                    // in effect at publish time.
+                    let skew = config.net.faults.skew_at(peer, t);
+                    let local_publish_ms = (t as i64 + net.drift_ms(peer) + skew).max(0) as u64;
                     let epoch = (local_publish_ms / 1000) / epoch_secs;
                     if !is_spammer && last_epoch == Some(epoch) {
                         // honest local rate limit: wait for the next epoch
@@ -617,8 +662,10 @@ pub fn run_scenario_with_metrics(
             };
             if is_spammer {
                 spam_sent += 1;
+                post_spam_sent += (publish_at >= post_from) as u64;
             } else {
                 honest_sent += 1;
+                post_honest_sent += (publish_at >= post_from) as u64;
             }
             net.publish_at(publish_at, peer, TOPIC, data, class);
             t += rng.gen_range(interval / 2..=interval + interval / 2).max(1);
@@ -629,6 +676,7 @@ pub fn run_scenario_with_metrics(
     net.run_until(end + 10_000); // drain the network
 
     let totals = net.total_stats();
+    let (post_honest_delivered, post_spam_delivered) = net.deliveries_published_since(post_from);
     let receivers = (config.peers - 1) as f64;
     let mut honest_latencies = net.delivery_latencies();
     let mut metrics = store_stats.merged();
@@ -664,6 +712,16 @@ pub fn run_scenario_with_metrics(
         honest_latency_p95_ms: percentile(&mut honest_latencies, 95.0),
         honest_send_delay_p50_ms: percentile(&mut send_delays, 50.0),
         attack_cost_wei: attack_cost(config),
+        post_window_from_ms: post_from,
+        post_honest_sent,
+        post_spam_sent,
+        post_honest_delivered,
+        post_spam_delivered,
+        post_honest_delivery_ratio: if post_honest_sent == 0 {
+            0.0
+        } else {
+            post_honest_delivered as f64 / (post_honest_sent as f64 * receivers)
+        },
     };
     (report, engine, metrics)
 }

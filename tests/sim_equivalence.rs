@@ -10,7 +10,10 @@
 //! The reports compare with `==` across every field, including f64 ratios
 //! and latency percentiles — not "statistically close", identical.
 
-use waku_suite::gossip::{Lookahead, NetworkConfig, SchedulerKind};
+use waku_suite::gossip::{
+    CrashSpec, FaultPlan, LinkFaults, Lookahead, NetworkConfig, PartitionSpec, SchedulerKind,
+    SkewSpec,
+};
 use waku_suite::metrics::Snapshot;
 use waku_suite::pool::with_threads;
 use waku_suite::sim::{
@@ -212,6 +215,119 @@ fn metrics_snapshots_identical_across_schedulers() {
         for shards in [2usize, 25] {
             let (report, _, snap) = run(SchedulerKind::Sharded { shards }, threads);
             assert_eq!(report, reference_report);
+            assert_eq!(
+                strip_engine(snap),
+                reference,
+                "sharded {shards} shards @ {threads} threads"
+            );
+        }
+    }
+}
+
+/// The fault plane's determinism invariant, end-to-end: faults are drawn
+/// from event-keyed hash streams (not scheduler order), so a seeded run
+/// under a non-trivial `FaultPlan` — lossy/duplicating/reordering links,
+/// a mid-run partition that heals, one peer that crashes and rejoins
+/// cold, one that never comes back, and clock skew in both directions —
+/// produces a bit-identical `ScenarioReport` AND metrics snapshot across
+/// the serial and sharded schedulers at every tested shard count and
+/// pool size. The fault counters themselves ride in the per-peer engine
+/// catalogue (stripped below as `engine_`-prefixed), so they are
+/// asserted equal explicitly: the *number of faults injected* must not
+/// depend on how the simulation was scheduled either.
+#[test]
+fn fault_plan_runs_identical_across_schedulers() {
+    let faulted = |scheduler| {
+        let mut c = config(RLN, scheduler, Lookahead::Adaptive);
+        c.net.faults = FaultPlan {
+            seed: 0xF417,
+            link: LinkFaults {
+                drop_permille: 50,
+                duplicate_permille: 30,
+                reorder_permille: 40,
+                extra_jitter_ms: 30,
+                reorder_delay_ms: 25,
+            },
+            partitions: vec![PartitionSpec {
+                start_ms: 5_000,
+                end_ms: 9_000,
+                cut: 40,
+            }],
+            crashes: vec![
+                CrashSpec {
+                    peer: 70,
+                    crash_ms: 4_000,
+                    restart_ms: 8_000,
+                },
+                CrashSpec {
+                    peer: 71,
+                    crash_ms: 6_000,
+                    restart_ms: u64::MAX,
+                },
+            ],
+            skews: vec![
+                SkewSpec {
+                    peer: 80,
+                    at_ms: 3_500,
+                    delta_ms: 700,
+                },
+                SkewSpec {
+                    peer: 81,
+                    at_ms: 6_000,
+                    delta_ms: -1_500,
+                },
+            ],
+        };
+        c
+    };
+    let strip_engine = |mut snap: Snapshot| {
+        snap.retain(|desc| !desc.name.starts_with("engine_"));
+        snap
+    };
+    let run = |scheduler, threads: usize| {
+        with_threads(threads, || run_scenario_with_metrics(&faulted(scheduler)))
+    };
+
+    let (reference_report, _, reference_snap) = run(SchedulerKind::Serial, 1);
+    // Sanity: every fault class actually fired in the reference run.
+    let reference_dropped = reference_snap.scalar("engine_msgs_dropped_fault");
+    assert!(reference_dropped > 0, "link faults never bit");
+    assert_eq!(
+        reference_snap.scalar("peer_restarts"),
+        1,
+        "one crash rejoins, the other never does"
+    );
+    assert_eq!(reference_snap.scalar("partition_heals"), 1);
+    assert_eq!(
+        reference_report.post_window_from_ms, 9_000,
+        "post window opens at the partition heal (the never-ending crash is ignored)"
+    );
+    assert!(reference_report.honest_delivered > 0);
+    let reference = strip_engine(reference_snap);
+
+    for threads in [1usize, 2, 8] {
+        let (serial_report, _, serial_snap) = run(SchedulerKind::Serial, threads);
+        assert_eq!(
+            reference_report, serial_report,
+            "serial @ {threads} threads"
+        );
+        assert_eq!(
+            serial_snap.scalar("engine_msgs_dropped_fault"),
+            reference_dropped,
+            "serial @ {threads} threads"
+        );
+        assert_eq!(reference, strip_engine(serial_snap));
+        for shards in [2usize, 8, 25] {
+            let (report, _, snap) = run(SchedulerKind::Sharded { shards }, threads);
+            assert_eq!(
+                reference_report, report,
+                "sharded {shards} shards @ {threads} threads"
+            );
+            assert_eq!(
+                snap.scalar("engine_msgs_dropped_fault"),
+                reference_dropped,
+                "fault injection count depends on scheduling: {shards} shards @ {threads} threads"
+            );
             assert_eq!(
                 strip_engine(snap),
                 reference,

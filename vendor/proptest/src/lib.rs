@@ -4,10 +4,15 @@
 //! range / tuple / vec / array strategies, `sample::Index`, and the
 //! `prop_assert*` / `prop_assume!` macros.
 //!
-//! Unlike the real crate there is no shrinking: a failing case panics with
-//! the case number and the strategy inputs' `Debug` rendering where
-//! available. The number of cases per property defaults to 32 and can be
-//! raised with the `PROPTEST_CASES` environment variable.
+//! Shrinking is basic but real: integer range strategies shrink toward the
+//! range start, `collection::vec` shrinks to shorter prefixes, and tuples
+//! shrink one component at a time. When a case fails, the runner greedily
+//! re-runs shrink candidates until none still fails (capped at 4096 steps)
+//! and panics with both the original and the minimal failing inputs.
+//! Strategies without a meaningful shrink (`prop_map`, `any`, arrays)
+//! simply report the original case. The number of cases per property
+//! defaults to 32 and can be raised with the `PROPTEST_CASES` environment
+//! variable.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +26,14 @@ pub mod strategy {
 
         fn new_value(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Candidate simplifications of a failing `value`, "smallest"
+        /// first. Each candidate must itself be producible by this
+        /// strategy. The default is no shrinking; the `proptest!` runner
+        /// then reports the original failing case unchanged.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -29,7 +42,8 @@ pub mod strategy {
         }
     }
 
-    /// Result of [`Strategy::prop_map`].
+    /// Result of [`Strategy::prop_map`]. Does not shrink: the mapping is
+    /// one-way, so a shrunk output cannot be traced back to an input.
     pub struct Map<S, F> {
         pub(crate) inner: S,
         pub(crate) f: F,
@@ -61,25 +75,47 @@ pub mod strategy {
         fn new_value(&self, rng: &mut TestRng) -> S::Value {
             (**self).new_value(rng)
         }
+
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            (**self).shrink(value)
+        }
     }
 
+    // Tuple strategies shrink one component at a time, holding the
+    // others fixed (hence the `Value: Clone` bounds): replacing exactly
+    // one slot is a clone of the whole tuple plus one field assignment.
     macro_rules! impl_strategy_tuple {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
 
-                #[allow(non_snake_case)]
                 fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.new_value(rng),)+)
+                    ($(self.$idx.new_value(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
-    impl_strategy_tuple!(A);
-    impl_strategy_tuple!(A, B);
-    impl_strategy_tuple!(A, B, C);
-    impl_strategy_tuple!(A, B, C, D);
+    impl_strategy_tuple!((A, 0));
+    impl_strategy_tuple!((A, 0), (B, 1));
+    impl_strategy_tuple!((A, 0), (B, 1), (C, 2));
+    impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
     macro_rules! impl_strategy_range {
         ($($t:ty),*) => {$(
@@ -88,15 +124,74 @@ pub mod strategy {
                 fn new_value(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    integer_shrink(self.start, *value)
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
                 fn new_value(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    integer_shrink(*self.start(), *value)
+                }
             }
         )*};
     }
+
+    // Candidates toward the range start: the start itself (the biggest
+    // jump), the midpoint, and `value − 1` (the smallest step),
+    // ascending and deduplicated. Empty when the value already sits at
+    // the start.
+    fn integer_shrink<T>(lo: T, value: T) -> Vec<T>
+    where
+        T: Copy + PartialOrd + PartialEq + ShrinkArith,
+    {
+        let mut out = Vec::new();
+        if value > lo {
+            out.push(lo);
+            if let Some(span) = value.checked_sub_s(lo) {
+                let mid = lo.add_s(span.half());
+                if mid > lo && mid < value {
+                    out.push(mid);
+                }
+            }
+            out.push(value.dec());
+            out.dedup_by(|a, b| a == b);
+        }
+        out
+    }
+
+    /// The little arithmetic `integer_shrink` needs, implemented for
+    /// every integer type the range strategies cover.
+    trait ShrinkArith: Sized {
+        fn checked_sub_s(self, rhs: Self) -> Option<Self>;
+        fn add_s(self, rhs: Self) -> Self;
+        fn half(self) -> Self;
+        fn dec(self) -> Self;
+    }
+
+    macro_rules! impl_shrink_arith {
+        ($($t:ty),*) => {$(
+            impl ShrinkArith for $t {
+                fn checked_sub_s(self, rhs: Self) -> Option<Self> {
+                    self.checked_sub(rhs)
+                }
+                fn add_s(self, rhs: Self) -> Self {
+                    self + rhs
+                }
+                fn half(self) -> Self {
+                    self / 2
+                }
+                fn dec(self) -> Self {
+                    self - 1
+                }
+            }
+        )*};
+    }
+    impl_shrink_arith!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
     impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
 }
 
@@ -134,6 +229,90 @@ pub fn cases() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(32)
+}
+
+/// Cap on shrink candidates tried while minimizing one failing case.
+pub const MAX_SHRINK_STEPS: usize = 4096;
+
+/// The engine behind `proptest!`: runs `cases` random cases of `run`,
+/// skipping `prop_assume!` rejections, and on failure greedily minimizes
+/// the inputs via [`Strategy::shrink`] before panicking with both the
+/// original and the minimal failing case. `render` turns a value tuple
+/// into the `name = value, ...` listing for the panic message.
+#[doc(hidden)]
+pub fn run_property<S, R, F>(
+    name: &str,
+    strategies: &S,
+    cases: usize,
+    rng: &mut TestRng,
+    render: R,
+    run: F,
+) where
+    S: Strategy,
+    S::Value: Clone,
+    R: Fn(&S::Value) -> String,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0usize;
+    let mut case = 0usize;
+    while case < cases {
+        let vals = strategies.new_value(rng);
+        match run(vals.clone()) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > cases * 16 {
+                    panic!("proptest {name}: too many prop_assume rejections");
+                }
+            }
+            Err(TestCaseError::Fail(first_msg)) => {
+                let original = render(&vals);
+                let (minimal_vals, msg, steps) = minimize(strategies, vals, first_msg, &run);
+                let minimal = render(&minimal_vals);
+                panic!(
+                    "proptest {name} failed at case {case} with inputs [{original}]: {msg}\n  \
+                     minimal inputs: [{minimal}] ({steps} shrink steps)"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy minimization: adopt the first shrink candidate that still
+/// fails and restart from it; stop when every candidate passes (or is
+/// rejected by `prop_assume!`) or at [`MAX_SHRINK_STEPS`].
+fn minimize<S, F>(
+    strategies: &S,
+    initial: S::Value,
+    first_msg: String,
+    run: &F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut vals = initial;
+    let mut msg = first_msg;
+    let mut steps = 0usize;
+    loop {
+        let mut advanced = false;
+        for candidate in strategies.shrink(&vals) {
+            steps += 1;
+            if steps > MAX_SHRINK_STEPS {
+                return (vals, msg, steps);
+            }
+            if let Err(TestCaseError::Fail(m)) = run(candidate.clone()) {
+                vals = candidate;
+                msg = m;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (vals, msg, steps);
+        }
+    }
 }
 
 /// Per-`proptest!`-block configuration (`#![proptest_config(...)]`).
@@ -234,12 +413,32 @@ pub mod collection {
         len_range: core::ops::Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_range(self.len_range.clone());
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        /// Shrinks to shorter prefixes: the minimum length (the biggest
+        /// jump), half way down, and one element shorter, deduplicated.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.len_range.start;
+            let mut out: Vec<Self::Value> = Vec::new();
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half > min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                out.dedup_by(|a, b| a.len() == b.len());
+            }
+            out
         }
     }
 
@@ -281,55 +480,54 @@ pub mod prelude {
 }
 
 /// Runs each `#[test] fn name(binding in strategy, ...) { body }` as a
-/// standard test executing [`cases()`] random cases.
+/// standard test executing [`cases()`] random cases. On failure the
+/// inputs are greedily minimized via [`Strategy::shrink`] (integer
+/// ranges shrink toward their start, `collection::vec` to shorter
+/// prefixes) and the panic message carries both the original and the
+/// minimal failing inputs.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)]
-     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+     $(#[test] $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             #[test]
+            $(#[$meta])*
             fn $name() {
                 let mut rng = $crate::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
                 let config: $crate::ProptestConfig = $cfg;
-                let cases = config.resolved_cases();
-                let mut rejected = 0usize;
-                let mut case = 0usize;
-                while case < cases {
-                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
-                    // Render inputs up front: the body may move them, and on
-                    // failure they are what makes the case reproducible.
-                    let inputs = [$(
-                        format!(concat!(stringify!($arg), " = {:?}"), $arg),
-                    )+].join(", ");
-                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                // All bindings ride in one tuple strategy so the shrinker
+                // can re-run the body with any single binding simplified.
+                let strategies = ($($strat,)+);
+                $crate::run_property(
+                    stringify!($name),
+                    &strategies,
+                    config.resolved_cases(),
+                    &mut rng,
+                    |vals| {
+                        let ($($arg,)+) = vals;
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), $arg),)+].join(", ")
+                    },
+                    // Each case gets the inputs by value (cloned by the
+                    // runner), so the body may freely move them and
+                    // shrinking can replay. A binding may legitimately go
+                    // unused in the body (e.g. it only feeds the failure
+                    // rendering), hence the allow.
+                    |vals| {
+                        #[allow(unused_variables)]
+                        let ($($arg,)+) = vals;
                         $body
-                        Ok(())
-                    })();
-                    match outcome {
-                        Ok(()) => case += 1,
-                        Err($crate::TestCaseError::Reject) => {
-                            rejected += 1;
-                            if rejected > cases * 16 {
-                                panic!("proptest {}: too many prop_assume rejections", stringify!($name));
-                            }
-                        }
-                        Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!(
-                                "proptest {} failed at case {} with inputs [{}]: {}",
-                                stringify!($name), case, inputs, msg,
-                            )
-                        }
-                    }
-                }
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )+
     };
-    ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+    ($(#[test] $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $crate::proptest! {
             #![proptest_config($crate::ProptestConfig::default())]
-            $(#[test] fn $name($($arg in $strat),+) $body)+
+            $(#[test] $(#[$meta])* fn $name($($arg in $strat),+) $body)+
         }
     };
 }
@@ -421,5 +619,62 @@ mod tests {
             prop_assert_eq!(bytes.len(), 32);
             prop_assert!(idx.index(10) < 10);
         }
+    }
+
+    // Shrinking: each failing property below minimizes to the smallest
+    // input that still violates it, and the panic message names it.
+    proptest! {
+        #[test]
+        #[should_panic(expected = "minimal inputs: [x = 10]")]
+        fn integers_shrink_toward_the_range_start(x in 0u64..100) {
+            // Fails for every x ≥ 10; the boundary case 10 is minimal.
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        #[should_panic(expected = "minimal inputs: [v = [0, 0, 0]]")]
+        fn vecs_shrink_to_the_shortest_failing_prefix(v in crate::collection::vec(Just(0u8), 3..40)) {
+            // Fails for every generated length (3..40), so shrinking
+            // bottoms out at the 3-element minimum prefix.
+            prop_assert!(v.len() < 3);
+        }
+
+        #[test]
+        #[should_panic(expected = "minimal inputs: [x = 3, y = 20]")]
+        fn tuples_shrink_one_component_at_a_time(x in 3u64..50, y in 0u64..90) {
+            // Fails whenever y ≥ 20 regardless of x, so x shrinks all the
+            // way to its range start and y stops at the boundary.
+            prop_assert!(y < 20);
+        }
+    }
+
+    #[test]
+    fn range_shrink_candidates_move_toward_the_start() {
+        use crate::Strategy;
+        let s = 3u64..17;
+        assert_eq!(s.shrink(&3), Vec::<u64>::new());
+        assert_eq!(s.shrink(&4), vec![3]);
+        assert_eq!(s.shrink(&16), vec![3, 9, 15]);
+        let inclusive = 0usize..=4;
+        assert_eq!(inclusive.shrink(&4), vec![0, 2, 3]);
+        let signed = -5i8..10;
+        assert_eq!(signed.shrink(&-4), vec![-5]);
+        assert_eq!(signed.shrink(&9), vec![-5, 2, 8]);
+    }
+
+    #[test]
+    fn vec_shrink_yields_prefixes_down_to_the_minimum_length() {
+        use crate::Strategy;
+        let s = crate::collection::vec(Just(7u8), 1..10);
+        assert_eq!(s.shrink(&vec![7; 5]), vec![vec![7], vec![7; 3], vec![7; 4]]);
+        assert_eq!(s.shrink(&vec![7]), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn tuple_shrink_holds_the_other_components_fixed() {
+        use crate::Strategy;
+        let s = (3u64..17, 0usize..=4);
+        assert_eq!(s.shrink(&(5, 2)), vec![(3, 2), (4, 2), (5, 0), (5, 1)]);
+        assert_eq!(s.shrink(&(3, 0)), Vec::<(u64, usize)>::new());
     }
 }
