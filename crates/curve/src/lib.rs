@@ -23,6 +23,7 @@
 //! assert_eq!(lhs, rhs);
 //! ```
 
+pub mod endo;
 pub mod fp12;
 pub mod fp2;
 pub mod fp6;
@@ -32,10 +33,11 @@ pub mod msm;
 pub mod pairing;
 pub mod point;
 
+pub use endo::{g2_msm, g2_mul_gls, psi};
 pub use fp12::Fp12;
 pub use fp2::Fp2;
 pub use fp6::Fp6;
 pub use g1::{G1Affine, G1Projective};
 pub use g2::{G2Affine, G2Projective};
 pub use msm::{msm, naive_msm, WindowTable};
-pub use pairing::{final_exponentiation, miller_loop, multi_pairing, pairing};
+pub use pairing::{final_exponentiation, miller_loop, multi_pairing, pairing, G2Prepared};

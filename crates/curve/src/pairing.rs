@@ -1,14 +1,34 @@
 //! The optimal ate pairing on BN254.
 //!
-//! Strategy: correctness over micro-optimization. G2 points are *untwisted*
-//! into `E(Fp12)` (for the D-twist the map is `(x', y') ↦ (x'·w², y'·w³)`,
-//! which is coefficient shuffling, not multiplication), G1 points are
-//! embedded via the base field, and Miller's algorithm runs in plain affine
-//! coordinates over Fp12. The Frobenius steps of the optimal ate formula
-//! then reduce to coordinate-wise Frobenius maps — no twist-specific
-//! correction constants to get wrong. The final exponentiation does the easy
-//! part with Frobenius/conjugation and the hard part by a straight
-//! square-and-multiply over the derived exponent `(p⁴ − p² + 1)/r`.
+//! The Miller loop runs in *twist coordinates*: the accumulator `T` and the
+//! line slopes stay in Fp2, because the untwist `(x', y') ↦ (x'·w², y'·w³)`
+//! maps the affine group law on `E'(Fp2)` to the one on `E(Fp12)`
+//! coefficient-for-coefficient (`λ = λ'·w`, so `x₃` stays in the `w²` slot
+//! and `y₃` in the `w³` slot). A line evaluated at an embedded G1 point
+//! `(px, py)` is then the sparse element
+//!
+//! ```text
+//! l = py − (λ'·px)·w + (λ'·x' − y')·w³,
+//! ```
+//!
+//! assembled by coefficient placement. The two Frobenius correction steps
+//! of the optimal ate formula become the GLS endomorphism `ψ` in twist
+//! coordinates (see [`crate::endo`]): `Q₁ = ψ(Q)`, `Q₂ = −ψ²(Q)`.
+//!
+//! Two batching levers sit on top:
+//!
+//! * [`G2Prepared`] — for a *fixed* G2 point the sequence of line
+//!   coefficients `(λ', x', y')` depends only on the point, so a verifier
+//!   precomputes them once and each pairing replays ~90 stored
+//!   coefficients with no G2 arithmetic and no inversions at all.
+//! * [`miller_loop_mixed`] — runs any number of dynamic and prepared pairs
+//!   under one shared `f`-squaring chain, and amortizes the dynamic pairs'
+//!   slope denominators with one Fp2 batch inversion per step. This is the
+//!   engine under batch Groth16 verification.
+//!
+//! The final exponentiation does the easy part with Frobenius/conjugation
+//! and the hard part by a straight square-and-multiply over the derived
+//! exponent `(p⁴ − p² + 1)/r`.
 //!
 //! The BN parameter is `x = 4965661367192848881`; the Miller loop runs over
 //! `6x + 2 = 29793968203157093288`.
@@ -19,152 +39,299 @@ use waku_arith::biguint::BigUint;
 use waku_arith::fields::{Fq, Fr};
 use waku_arith::traits::{Field, PrimeField};
 
+use crate::endo::psi;
 use crate::fp12::Fp12;
+use crate::fp2::Fp2;
 use crate::fp6::Fp6;
 use crate::g1::G1Affine;
 use crate::g2::G2Affine;
+use crate::point::BatchInvert;
 
 /// The BN curve parameter `x`.
 pub const BN_X: u64 = 4965661367192848881;
 /// Miller loop count `6x + 2` (65 bits, hence `u128`).
 pub const ATE_LOOP_COUNT: u128 = 6 * (BN_X as u128) + 2;
 
-/// A (never-infinite during the loop) affine point on `E(Fp12)`.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-struct EPoint {
-    x: Fp12,
-    y: Fp12,
+/// One recorded (or freshly computed) Miller-loop line, in twist
+/// coordinates relative to the pre-step accumulator.
+#[derive(Copy, Clone, Debug)]
+enum LineCoeff {
+    /// Tangent or chord with slope `λ'` through `(x', y')`.
+    Line { lambda: Fp2, x: Fp2, y: Fp2 },
+    /// Vertical line `X − x'·w²` (the points cancelled).
+    Vertical { x: Fp2 },
+    /// A step touching the point at infinity: neutral factor.
+    One,
+}
+
+/// Denominator of the tangent slope at `t` (placeholder 1 when no
+/// inversion will be needed), collected before the batch inversion.
+fn double_denom(t: &G2Affine) -> Fp2 {
+    if t.is_identity() {
+        Fp2::one()
+    } else {
+        t.y.double()
+    }
+}
+
+/// Denominator of the chord slope through `t` and `q` (placeholder 1 for
+/// the identity/vertical cases). Classification is a pure function of the
+/// two inputs, so the collection and application passes agree.
+fn add_denom(t: &G2Affine, q: &G2Affine) -> Fp2 {
+    if t.is_identity() || q.is_identity() {
+        Fp2::one()
+    } else if t.x == q.x {
+        if t.y == q.y {
+            t.y.double()
+        } else {
+            Fp2::one()
+        }
+    } else {
+        q.x - t.x
+    }
+}
+
+/// Tangent step `t ← 2t` given the inverted denominator; returns the line.
+fn double_step(t: &mut G2Affine, inv: &Fp2) -> LineCoeff {
+    if t.is_identity() {
+        return LineCoeff::One;
+    }
+    let xx = t.x.square();
+    let lambda = (xx.double() + xx) * *inv;
+    let coeff = LineCoeff::Line {
+        lambda,
+        x: t.x,
+        y: t.y,
+    };
+    let x3 = lambda.square() - t.x.double();
+    let y3 = lambda * (t.x - x3) - t.y;
+    *t = G2Affine::new_unchecked(x3, y3);
+    coeff
+}
+
+/// Chord step `t ← t + q` given the inverted denominator; returns the
+/// line. Handles the degenerate cases (identity inputs, doubling,
+/// cancellation) the same way in both the prepare and replay paths.
+fn add_step(t: &mut G2Affine, q: &G2Affine, inv: &Fp2) -> LineCoeff {
+    if q.is_identity() {
+        return LineCoeff::One;
+    }
+    if t.is_identity() {
+        *t = *q;
+        return LineCoeff::One;
+    }
+    if t.x == q.x {
+        if t.y == q.y {
+            return double_step(t, inv);
+        }
+        let coeff = LineCoeff::Vertical { x: t.x };
+        *t = G2Affine::identity();
+        return coeff;
+    }
+    let lambda = (q.y - t.y) * *inv;
+    let coeff = LineCoeff::Line {
+        lambda,
+        x: t.x,
+        y: t.y,
+    };
+    let x3 = lambda.square() - t.x - q.x;
+    let y3 = lambda * (t.x - x3) - t.y;
+    *t = G2Affine::new_unchecked(x3, y3);
+    coeff
+}
+
+/// Evaluates a recorded line at the embedded G1 point `(px, py)`,
+/// assembling the sparse Fp12 value by coefficient placement
+/// (`1 → c0.c0`, `w² = v → c0.c1`, `w → c1.c0`, `w³ = v·w → c1.c1`).
+fn eval_line(coeff: &LineCoeff, px: Fq, py: Fq) -> Fp12 {
+    match coeff {
+        LineCoeff::Line { lambda, x, y } => Fp12::new(
+            Fp6::new(Fp2::from_base(py), Fp2::zero(), Fp2::zero()),
+            Fp6::new(-lambda.scale(px), *lambda * *x - *y, Fp2::zero()),
+        ),
+        LineCoeff::Vertical { x } => {
+            Fp12::new(Fp6::new(Fp2::from_base(px), -*x, Fp2::zero()), Fp6::zero())
+        }
+        LineCoeff::One => Fp12::one(),
+    }
+}
+
+/// Precomputed Miller-loop line coefficients for a fixed G2 point.
+///
+/// Replaying the stored `(λ', x', y')` triples costs no G2 arithmetic and
+/// no field inversions, so pairings against fixed points (the `γ`/`δ`
+/// elements of a Groth16 verifying key) skip the accumulator work
+/// entirely. ~90 triples ≈ 8.6 KiB per point.
+#[derive(Clone, Debug)]
+pub struct G2Prepared {
+    coeffs: Vec<LineCoeff>,
     infinity: bool,
 }
 
-impl EPoint {
-    fn infinity() -> Self {
-        EPoint {
-            x: Fp12::zero(),
-            y: Fp12::one(),
-            infinity: true,
+impl G2Prepared {
+    /// Runs the ate-loop schedule once for `q`, recording every line.
+    pub fn new(q: &G2Affine) -> Self {
+        if q.is_identity() {
+            return G2Prepared {
+                coeffs: Vec::new(),
+                infinity: true,
+            };
         }
-    }
-
-    fn neg(&self) -> Self {
-        EPoint {
-            x: self.x,
-            y: -self.y,
-            infinity: self.infinity,
+        let mut t = *q;
+        let mut coeffs = Vec::with_capacity(103);
+        let loop_bits = 128 - ATE_LOOP_COUNT.leading_zeros();
+        for i in (0..loop_bits - 1).rev() {
+            let inv = double_denom(&t)
+                .inverse()
+                .expect("no 2-torsion on the twist");
+            coeffs.push(double_step(&mut t, &inv));
+            if (ATE_LOOP_COUNT >> i) & 1 == 1 {
+                let inv = add_denom(&t, q).inverse().expect("placeholder is 1");
+                coeffs.push(add_step(&mut t, q, &inv));
+            }
         }
-    }
-
-    /// Coordinate-wise Frobenius: the image of an `E(Fp12)` point under
-    /// `π_p^power` is again on `E` because the curve is defined over Fq.
-    fn frobenius(&self, power: usize) -> Self {
-        EPoint {
-            x: self.x.frobenius_map(power),
-            y: self.y.frobenius_map(power),
-            infinity: self.infinity,
+        let q1 = psi(q);
+        let q2 = psi(&q1).neg();
+        for corr in [&q1, &q2] {
+            let inv = add_denom(&t, corr).inverse().expect("placeholder is 1");
+            coeffs.push(add_step(&mut t, corr, &inv));
+        }
+        G2Prepared {
+            coeffs,
+            infinity: false,
         }
     }
 }
 
-/// Untwists a G2 point to `E(Fp12)`: `(x', y') ↦ (x'·w², y'·w³)`.
-/// `w² = v` and `w³ = v·w`, so this just places the Fp2 coefficients.
-fn untwist(q: &G2Affine) -> EPoint {
-    if q.is_identity() {
-        return EPoint::infinity();
-    }
-    let x = Fp12::new(
-        Fp6::new(crate::fp2::Fp2::zero(), q.x, crate::fp2::Fp2::zero()),
-        Fp6::zero(),
-    );
-    let y = Fp12::new(
-        Fp6::zero(),
-        Fp6::new(crate::fp2::Fp2::zero(), q.y, crate::fp2::Fp2::zero()),
-    );
-    EPoint {
-        x,
-        y,
-        infinity: false,
+impl From<&G2Affine> for G2Prepared {
+    fn from(q: &G2Affine) -> Self {
+        G2Prepared::new(q)
     }
 }
 
-/// Embeds a G1 point's coordinates into Fp12.
-fn embed(p: &G1Affine) -> (Fp12, Fp12) {
-    (Fp12::from_base(p.x), Fp12::from_base(p.y))
+/// A dynamic pair's loop state: the embedded G1 coordinates, the original
+/// G2 point, and the running accumulator.
+struct DynPair {
+    px: Fq,
+    py: Fq,
+    q: G2Affine,
+    t: G2Affine,
 }
 
-/// Tangent line at `t` evaluated at `(px, py)`; advances `t ← 2t`.
-fn line_double(t: &mut EPoint, px: Fp12, py: Fp12) -> Fp12 {
-    debug_assert!(!t.infinity);
-    let three = Fp12::from_base(Fq::from_u64(3));
-    let two = Fp12::from_base(Fq::from_u64(2));
-    let lambda = three * t.x.square() * (two * t.y).inverse().expect("2y ≠ 0 on prime-order point");
-    let x3 = lambda.square() - t.x.double();
-    let y3 = lambda * (t.x - x3) - t.y;
-    let l = py - t.y - lambda * (px - t.x);
-    t.x = x3;
-    t.y = y3;
-    l
-}
+/// Product of Miller loops over `dynamic` (fresh G2 points) and `prepared`
+/// (fixed G2 points with recorded lines) pairs, sharing one `f`-squaring
+/// chain, *without* the final exponentiation.
+///
+/// All dynamic pairs advance in lock-step, so each doubling/addition phase
+/// needs a single Fp2 batch inversion across the whole batch — the
+/// marginal pairing cost of one more pair is roughly its line arithmetic.
+/// Pairs with an identity element on either side are skipped (contribute
+/// the neutral factor 1).
+pub fn miller_loop_mixed(
+    dynamic: &[(G1Affine, G2Affine)],
+    prepared: &[(G1Affine, &G2Prepared)],
+) -> Fp12 {
+    let mut dyns: Vec<DynPair> = dynamic
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+        .map(|(p, q)| DynPair {
+            px: p.x,
+            py: p.y,
+            q: *q,
+            t: *q,
+        })
+        .collect();
+    let preps: Vec<(Fq, Fq, &G2Prepared)> = prepared
+        .iter()
+        .filter(|(p, prep)| !p.is_identity() && !prep.infinity)
+        .map(|(p, prep)| (p.x, p.y, *prep))
+        .collect();
+    if dyns.is_empty() && preps.is_empty() {
+        return Fp12::one();
+    }
 
-/// Chord line through `t` and `q` evaluated at `(px, py)`; advances
-/// `t ← t + q`. Handles the vertical-line case defensively.
-fn line_add(t: &mut EPoint, q: &EPoint, px: Fp12, py: Fp12) -> Fp12 {
-    debug_assert!(!t.infinity && !q.infinity);
-    if t.x == q.x {
-        if t.y == q.y {
-            return line_double(t, px, py);
+    let mut f = Fp12::one();
+    let mut denoms: Vec<Fp2> = Vec::with_capacity(dyns.len());
+    let mut cursor = 0usize;
+
+    // One double or add phase across every pair: collect the dynamic
+    // pairs' denominators, invert them together, step + evaluate, then
+    // replay the prepared pairs' stored coefficient for this position.
+    macro_rules! phase {
+        ($denom:expr, $step:expr) => {{
+            denoms.clear();
+            for d in dyns.iter() {
+                #[allow(clippy::redundant_closure_call)]
+                denoms.push($denom(d));
+            }
+            Fp2::batch_invert(&mut denoms);
+            for (d, inv) in dyns.iter_mut().zip(denoms.iter()) {
+                #[allow(clippy::redundant_closure_call)]
+                let coeff = $step(d, inv);
+                f *= eval_line(&coeff, d.px, d.py);
+            }
+            for (px, py, prep) in preps.iter() {
+                f *= eval_line(&prep.coeffs[cursor], *px, *py);
+            }
+            cursor += 1;
+        }};
+    }
+
+    let loop_bits = 128 - ATE_LOOP_COUNT.leading_zeros();
+    // Standard double-and-add over the bits of 6x+2, MSB (skipped) downward.
+    for i in (0..loop_bits - 1).rev() {
+        f = f.square();
+        phase!(
+            |d: &DynPair| double_denom(&d.t),
+            |d: &mut DynPair, inv: &Fp2| double_step(&mut d.t, inv)
+        );
+        if (ATE_LOOP_COUNT >> i) & 1 == 1 {
+            phase!(
+                |d: &DynPair| add_denom(&d.t, &d.q),
+                |d: &mut DynPair, inv: &Fp2| {
+                    let q = d.q;
+                    add_step(&mut d.t, &q, inv)
+                }
+            );
         }
-        // Vertical line x − x_T; resulting point is infinity.
-        let l = px - t.x;
-        *t = EPoint::infinity();
-        return l;
     }
-    let lambda = (q.y - t.y) * (q.x - t.x).inverse().expect("distinct x");
-    let x3 = lambda.square() - t.x - q.x;
-    let y3 = lambda * (t.x - x3) - t.y;
-    let l = py - t.y - lambda * (px - t.x);
-    t.x = x3;
-    t.y = y3;
-    l
+
+    // Optimal-ate correction: two Frobenius addition steps, Q₁ = ψ(Q) and
+    // Q₂ = −ψ²(Q) in twist coordinates.
+    let corrections: Vec<(G2Affine, G2Affine)> = dyns
+        .iter()
+        .map(|d| {
+            let q1 = psi(&d.q);
+            let q2 = psi(&q1).neg();
+            (q1, q2)
+        })
+        .collect();
+    for pick in [0usize, 1] {
+        let corr = &corrections;
+        denoms.clear();
+        for (d, c) in dyns.iter().zip(corr.iter()) {
+            let target = if pick == 0 { &c.0 } else { &c.1 };
+            denoms.push(add_denom(&d.t, target));
+        }
+        Fp2::batch_invert(&mut denoms);
+        for ((d, c), inv) in dyns.iter_mut().zip(corr.iter()).zip(denoms.iter()) {
+            let target = if pick == 0 { c.0 } else { c.1 };
+            let coeff = add_step(&mut d.t, &target, inv);
+            f *= eval_line(&coeff, d.px, d.py);
+        }
+        for (px, py, prep) in preps.iter() {
+            f *= eval_line(&prep.coeffs[cursor], *px, *py);
+        }
+        cursor += 1;
+    }
+    f
 }
 
 /// Product of Miller loops `∏ f_{6x+2, Qᵢ}(Pᵢ) · (frobenius line steps)`,
 /// *without* the final exponentiation. Pairs with an identity element on
 /// either side are skipped (contribute the neutral factor 1).
 pub fn miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fp12 {
-    let active: Vec<((Fp12, Fp12), EPoint)> = pairs
-        .iter()
-        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
-        .map(|(p, q)| (embed(p), untwist(q)))
-        .collect();
-    if active.is_empty() {
-        return Fp12::one();
-    }
-
-    let mut f = Fp12::one();
-    let mut ts: Vec<EPoint> = active.iter().map(|(_, q)| *q).collect();
-
-    let loop_bits = 128 - ATE_LOOP_COUNT.leading_zeros();
-    // Standard double-and-add over the bits of 6x+2, MSB (skipped) downward.
-    for i in (0..loop_bits - 1).rev() {
-        f = f.square();
-        for (((px, py), _), t) in active.iter().zip(ts.iter_mut()) {
-            f *= line_double(t, *px, *py);
-        }
-        if (ATE_LOOP_COUNT >> i) & 1 == 1 {
-            for (((px, py), q), t) in active.iter().zip(ts.iter_mut()) {
-                f *= line_add(t, q, *px, *py);
-            }
-        }
-    }
-
-    // Optimal-ate correction: two Frobenius addition steps.
-    for (((px, py), q), t) in active.iter().zip(ts.iter_mut()) {
-        let q1 = q.frobenius(1);
-        let q2 = q.frobenius(2).neg();
-        f *= line_add(t, &q1, *px, *py);
-        f *= line_add(t, &q2, *px, *py);
-    }
-    f
+    miller_loop_mixed(pairs, &[])
 }
 
 /// The hard-part exponent `(p⁴ − p² + 1) / r`, derived once.
@@ -300,11 +467,14 @@ mod tests {
 
     #[test]
     fn untwisted_generator_is_on_e_fp12() {
-        let q = untwist(&G2Affine::generator());
+        // The untwist (x', y') ↦ (x'·w², y'·w³) by coefficient placement.
+        let g = G2Affine::generator();
+        let x = Fp12::new(Fp6::new(Fp2::zero(), g.x, Fp2::zero()), Fp6::zero());
+        let y = Fp12::new(Fp6::zero(), Fp6::new(Fp2::zero(), g.y, Fp2::zero()));
         let b = Fp12::from_base(Fq::from_u64(3));
         assert_eq!(
-            q.y.square(),
-            q.x.square() * q.x + b,
+            y.square(),
+            x.square() * x + b,
             "untwist must land on y² = x³ + 3 over Fp12"
         );
     }
@@ -323,5 +493,66 @@ mod tests {
             (g1.mul(a * b).neg().to_affine(), G2Affine::generator()),
         ]);
         assert_eq!(left, Fp12::one());
+    }
+
+    #[test]
+    fn prepared_miller_loop_matches_dynamic() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p1 = G1Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let p2 = G1Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let q1 = G2Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let q2 = G2Projective::generator()
+            .mul(Fr::random(&mut rng))
+            .to_affine();
+        let dynamic = miller_loop(&[(p1, q1), (p2, q2)]);
+        let q1p = G2Prepared::new(&q1);
+        let q2p = G2Prepared::new(&q2);
+        let replayed = miller_loop_mixed(&[], &[(p1, &q1p), (p2, &q2p)]);
+        assert_eq!(dynamic, replayed, "prepared lines must replay exactly");
+        let mixed = miller_loop_mixed(&[(p1, q1)], &[(p2, &q2p)]);
+        assert_eq!(dynamic, mixed, "mixed dynamic/prepared must agree");
+    }
+
+    #[test]
+    fn prepared_identity_and_identity_g1_are_skipped() {
+        let prep_inf = G2Prepared::new(&G2Affine::identity());
+        let p = G1Affine::generator();
+        assert_eq!(miller_loop_mixed(&[], &[(p, &prep_inf)]), Fp12::one());
+        let prep = G2Prepared::new(&G2Affine::generator());
+        assert_eq!(
+            miller_loop_mixed(&[], &[(G1Affine::identity(), &prep)]),
+            Fp12::one()
+        );
+    }
+
+    #[test]
+    fn batched_dynamic_pairs_match_separate_loops() {
+        // Four dynamic pairs in one lock-step loop (one batch inversion per
+        // phase) must equal the product of four separate loops.
+        let mut rng = StdRng::seed_from_u64(17);
+        let pairs: Vec<(G1Affine, G2Affine)> = (0..4)
+            .map(|_| {
+                (
+                    G1Projective::generator()
+                        .mul(Fr::random(&mut rng))
+                        .to_affine(),
+                    G2Projective::generator()
+                        .mul(Fr::random(&mut rng))
+                        .to_affine(),
+                )
+            })
+            .collect();
+        let batched = miller_loop(&pairs);
+        let mut separate = Fp12::one();
+        for pair in &pairs {
+            separate *= miller_loop(std::slice::from_ref(pair));
+        }
+        assert_eq!(batched, separate);
     }
 }

@@ -11,6 +11,8 @@
 //! * [`group`] — the off-chain identity tree synced from contract events
 //!   (§III-C, Figure 2),
 //! * [`validation`] — the four-step routing pipeline (§III-F, Figure 3),
+//! * [`batch`] — micro-batched proof verification in front of step 3
+//!   (one RLC pairing check per flush instead of one per message),
 //! * [`slasher`] — commit-reveal slashing against the membership contract,
 //! * [`node`] — [`node::WakuRlnRelayNode`], tying it all together,
 //! * [`metrics`] — the node's metric catalogue: snapshot views
@@ -43,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod epoch;
 pub mod group;
 pub mod metrics;
@@ -50,6 +53,7 @@ pub mod node;
 pub mod slasher;
 pub mod validation;
 
+pub use batch::{BatchConfig, BatchingValidator};
 pub use epoch::EpochManager;
 pub use group::GroupManager;
 pub use metrics::{NodeMetrics, ValidationMetrics};

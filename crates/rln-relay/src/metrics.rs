@@ -29,6 +29,8 @@ pub(crate) struct MetricIds {
     pub epochs_pruned: GaugeId,
     pub validation_latency: HistogramId,
     pub proof_verify: HistogramId,
+    pub batch_size: HistogramId,
+    pub proof_verify_batch: HistogramId,
     pub published: CounterId,
     pub rate_limited_locally: CounterId,
     pub slash_commits: CounterId,
@@ -88,7 +90,19 @@ pub(crate) fn catalogue() -> &'static (Arc<Layout>, MetricIds) {
             ),
             proof_verify: b.histogram(
                 "rln_proof_verify_ns",
-                "Wall-clock time of the Groth16 proof verification (ns).",
+                "Wall-clock time of the Groth16 proof verification (ns). \
+                 On the batched path each proof observes its amortized \
+                 share of the batch check, keeping the series comparable \
+                 with the sequential pipeline.",
+            ),
+            batch_size: b.histogram(
+                "rln_batch_size",
+                "Number of proofs per batched verification flush.",
+            ),
+            proof_verify_batch: b.histogram(
+                "rln_proof_verify_batch_ns",
+                "Wall-clock time of one batched (RLC) Groth16 verification \
+                 over the whole flush (ns).",
             ),
             published: b.counter("node_published_total", "Messages this node published."),
             rate_limited_locally: b.counter(
@@ -124,6 +138,8 @@ pub(crate) struct ValidationHandles {
     pub epochs_pruned: Gauge,
     pub validation_latency: Histogram,
     pub proof_verify: Histogram,
+    pub batch_size: Histogram,
+    pub proof_verify_batch: Histogram,
 }
 
 impl ValidationHandles {
@@ -142,6 +158,8 @@ impl ValidationHandles {
             epochs_pruned: registry.gauge(ids.epochs_pruned),
             validation_latency: registry.histogram(ids.validation_latency),
             proof_verify: registry.histogram(ids.proof_verify),
+            batch_size: registry.histogram(ids.batch_size),
+            proof_verify_batch: registry.histogram(ids.proof_verify_batch),
         }
     }
 }

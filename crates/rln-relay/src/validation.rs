@@ -122,6 +122,37 @@ impl MessageValidator {
         group: &GroupManager,
         now_secs: u64,
     ) -> Outcome {
+        if let Some(drop) = self.precheck(bundle, group, now_secs) {
+            return drop;
+        }
+
+        // 3. zero-knowledge proof
+        let verify_started = Instant::now();
+        let proof_ok = self.verifier.verify_bundle(bundle);
+        self.m
+            .proof_verify
+            .observe(verify_started.elapsed().as_nanos() as u64);
+        if !proof_ok {
+            self.m.proof_rejected.inc();
+            return Outcome::InvalidProof;
+        }
+
+        self.rate_check(bundle)
+    }
+
+    /// Pipeline steps 0–2 (epoch rollover, gap check, root recency):
+    /// everything that precedes proof verification and costs microseconds,
+    /// not milliseconds. Returns `Some(drop)` when the bundle is rejected
+    /// before its proof is ever looked at. Shared verbatim between the
+    /// sequential path ([`MessageValidator::validate`]) and the batching
+    /// queue ([`crate::batch::BatchingValidator`]), which runs it at
+    /// enqueue time so only proof-worthy bundles occupy queue slots.
+    pub(crate) fn precheck(
+        &mut self,
+        bundle: &RlnMessageBundle,
+        group: &GroupManager,
+        now_secs: u64,
+    ) -> Option<Outcome> {
         self.m.total.inc();
 
         // 0. epoch rollover: slide the nullifier window to the local
@@ -142,27 +173,21 @@ impl MessageValidator {
         let gap = EpochManager::gap(current_epoch, bundle.epoch);
         if gap > self.max_gap {
             self.m.epoch_dropped.inc();
-            return Outcome::EpochOutOfRange(gap);
+            return Some(Outcome::EpochOutOfRange(gap));
         }
 
         // 2. root recency
         if !group.is_known_root(bundle.root) {
             self.m.root_dropped.inc();
-            return Outcome::UnknownRoot;
+            return Some(Outcome::UnknownRoot);
         }
+        None
+    }
 
-        // 3. zero-knowledge proof
-        let verify_started = Instant::now();
-        let proof_ok = self.verifier.verify_bundle(bundle);
-        self.m
-            .proof_verify
-            .observe(verify_started.elapsed().as_nanos() as u64);
-        if !proof_ok {
-            self.m.proof_rejected.inc();
-            return Outcome::InvalidProof;
-        }
-
-        // 4. rate limit via the windowed nullifier store
+    /// Pipeline step 4: the rate limit via the windowed nullifier store,
+    /// for a bundle whose proof has already been established as valid.
+    pub(crate) fn rate_check(&mut self, bundle: &RlnMessageBundle) -> Outcome {
+        let gap = EpochManager::gap(self.nullifiers.current_epoch(), bundle.epoch);
         let outcome = match self.nullifiers.check_bundle(bundle) {
             RateCheck::Fresh => {
                 self.m.relayed.inc();
@@ -202,6 +227,17 @@ impl MessageValidator {
         self.nullifiers.advance_to(self.epochs.epoch_at(now_secs));
         self.m.epochs_pruned.set(self.nullifiers.epochs_pruned());
         self.m.nullifier_entries.set(self.nullifiers.len() as u64);
+    }
+
+    /// Hot-path metric handles (shared with the batching queue so both
+    /// paths record into the same series).
+    pub(crate) fn handles(&self) -> &ValidationHandles {
+        &self.m
+    }
+
+    /// The verifier (the batching queue needs its batch entry points).
+    pub(crate) fn verifier(&self) -> &RlnVerifier {
+        &self.verifier
     }
 
     /// The windowed nullifier store (resident-footprint introspection).

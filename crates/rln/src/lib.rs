@@ -13,6 +13,8 @@
 //!   nullifier correctness),
 //! * [`prover`] — Groth16 proof generation/verification and the message
 //!   bundle `(m, (x,y), φ, epoch, τ, π)`,
+//! * [`keycache`] — versioned on-disk proving-key blobs so node restarts
+//!   skip the trusted-setup simulation,
 //! * [`slashing`] — the per-epoch nullifier map, duplicate/spam
 //!   classification, and `sk` recovery.
 //!
@@ -38,6 +40,7 @@
 
 pub mod circuit;
 pub mod identity;
+pub mod keycache;
 pub mod nullifier;
 pub mod prover;
 pub mod slashing;

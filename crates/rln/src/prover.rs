@@ -200,6 +200,42 @@ impl RlnProver {
         )
     }
 
+    /// Like [`RlnProver::keygen`], but backed by the on-disk key cache at
+    /// `cache_path`: a valid cached blob for this `depth` turns the
+    /// ~second-long trusted-setup simulation into a file read (paper §IV
+    /// measures the 3.89 MB key as the dominant cold-start artifact).
+    ///
+    /// On a cache miss — missing file, corruption, version or depth
+    /// mismatch — keys are generated with `rng` and written back
+    /// (best-effort: a read-only cache directory degrades to plain
+    /// keygen, never an error).
+    pub fn keygen_or_load<R: Rng + ?Sized>(
+        depth: usize,
+        cache_path: &std::path::Path,
+        rng: &mut R,
+    ) -> (RlnProver, RlnVerifier) {
+        if let Some((pk, template)) = crate::keycache::load_keys(cache_path, depth) {
+            let verifier = RlnVerifier {
+                depth,
+                pvk: PreparedVerifyingKey::from(pk.vk.clone()),
+            };
+            let solver = waku_snark::WitnessSolver::analyze(&template);
+            debug_assert_eq!(solver.free_indices().len(), 1 + 2 * depth);
+            return (
+                RlnProver {
+                    depth,
+                    pk,
+                    template,
+                    solver,
+                },
+                verifier,
+            );
+        }
+        let pair = Self::keygen(depth, rng);
+        let _ = crate::keycache::save_keys(cache_path, depth, &pair.0.pk, &pair.0.template);
+        pair
+    }
+
     /// Tree depth this prover is bound to.
     pub fn depth(&self) -> usize {
         self.depth
@@ -314,6 +350,35 @@ impl RlnVerifier {
         self.pvk
             .verify(&bundle.proof, &bundle.public_inputs().to_vec())
             .unwrap_or(false)
+    }
+
+    /// Verifies a batch of bundles with one randomized-linear-combination
+    /// pairing check (one multi-Miller-loop + one final exponentiation for
+    /// the whole batch) instead of `n` independent pairings.
+    ///
+    /// Returns `true` iff *every* bundle's proof is valid — a single bad
+    /// proof fails the whole batch; use
+    /// [`RlnVerifier::isolate_invalid`] afterwards to find the culprits.
+    /// An empty batch is vacuously valid.
+    pub fn verify_batch(&self, bundles: &[&RlnMessageBundle]) -> bool {
+        let proofs: Vec<_> = bundles.iter().map(|b| b.proof).collect();
+        let inputs: Vec<_> = bundles.iter().map(|b| b.public_inputs().to_vec()).collect();
+        self.pvk.verify_batch(&proofs, &inputs).unwrap_or(false)
+    }
+
+    /// Bisects a failed batch down to the indices of the invalid bundles
+    /// (ascending). Cost is `O(k · log n)` sub-batch checks for `k` bad
+    /// proofs — cheap when invalid proofs are rare, which is the expected
+    /// steady state (spam is rate-limited upstream of proof checking).
+    pub fn isolate_invalid(&self, bundles: &[&RlnMessageBundle]) -> Vec<usize> {
+        let proofs: Vec<_> = bundles.iter().map(|b| b.proof).collect();
+        let inputs: Vec<_> = bundles.iter().map(|b| b.public_inputs().to_vec()).collect();
+        match self.pvk.verify_batch_isolating(&proofs, &inputs) {
+            Ok(bad) => bad,
+            // Structural errors (wrong input arity) cannot be attributed
+            // to one index by bisection; conservatively flag everything.
+            Err(_) => (0..bundles.len()).collect(),
+        }
     }
 }
 
@@ -473,6 +538,72 @@ mod tests {
         let y_offset = 4 + bundle.payload.len() + 31;
         corrupt[y_offset] = 0xFF; // non-canonical field element
         assert!(RlnMessageBundle::from_bytes(&corrupt).is_none());
+    }
+
+    #[test]
+    fn keygen_or_load_roundtrips_through_cache() {
+        let path =
+            std::env::temp_dir().join(format!("waku-rln-keycache-test-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        // Cold start: generates and writes the blob.
+        let (cold_prover, cold_verifier) = RlnProver::keygen_or_load(4, &path, &mut rng);
+        assert!(path.exists(), "cold start must populate the cache");
+        // Warm start: must load the same key material from disk.
+        let (warm_prover, warm_verifier) = RlnProver::keygen_or_load(4, &path, &mut rng);
+        assert_eq!(
+            warm_prover.proving_key().vk,
+            cold_prover.proving_key().vk,
+            "warm start reloads the cached ceremony"
+        );
+        // A proof from the warm prover verifies under the cold verifier
+        // and vice versa.
+        let id = Identity::random(&mut rng);
+        let mut tree = DenseTree::new(4);
+        tree.set(3, id.commitment());
+        let bundle = warm_prover
+            .prove_message(&id, &tree.proof(3), b"warm", 7, &mut rng)
+            .unwrap();
+        assert!(cold_verifier.verify_bundle(&bundle));
+        assert!(warm_verifier.verify_bundle(&bundle));
+        // Wrong-depth request ignores the cache instead of mis-loading.
+        let (other, _) = RlnProver::keygen_or_load(3, &path, &mut rng);
+        assert_eq!(other.depth(), 3);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+    }
+
+    #[test]
+    fn batch_verification_matches_per_bundle_verdicts() {
+        let (prover, verifier) = keys();
+        let (id, tree, index) = registered_identity(30);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut bundles: Vec<RlnMessageBundle> = (0..4)
+            .map(|i| {
+                prover
+                    .prove_message(
+                        &id,
+                        &tree.proof(index),
+                        format!("msg {i}").as_bytes(),
+                        100 + i,
+                        &mut rng,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let refs: Vec<&RlnMessageBundle> = bundles.iter().collect();
+        assert!(verifier.verify_batch(&refs));
+        assert!(verifier.isolate_invalid(&refs).is_empty());
+        assert!(verifier.verify_batch(&[]), "empty batch is vacuously valid");
+
+        // Corrupt one bundle: the batch fails and bisection pins it.
+        bundles[2].epoch += 1;
+        let refs: Vec<&RlnMessageBundle> = bundles.iter().collect();
+        assert!(!verifier.verify_batch(&refs));
+        assert_eq!(verifier.isolate_invalid(&refs), vec![2]);
+        for (i, b) in bundles.iter().enumerate() {
+            assert_eq!(verifier.verify_bundle(b), i != 2);
+        }
     }
 
     #[test]

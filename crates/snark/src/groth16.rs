@@ -8,6 +8,8 @@
 //! caller's RNG and dropped, which preserves every protocol behaviour the
 //! reproduction measures.
 
+use std::sync::{Arc, Mutex};
+
 use rand::Rng;
 use waku_arith::fields::Fr;
 use waku_arith::traits::{Field, PrimeField};
@@ -15,7 +17,7 @@ use waku_curve::fp12::Fp12;
 use waku_curve::g1::{G1Affine, G1Projective};
 use waku_curve::g2::{G2Affine, G2Projective};
 use waku_curve::msm::{msm, msm_chunked, WindowTable};
-use waku_curve::pairing::{final_exponentiation, miller_loop, pairing};
+use waku_curve::pairing::{final_exponentiation, miller_loop_mixed, pairing, G2Prepared};
 use waku_curve::point::Projective;
 
 use crate::qap;
@@ -282,20 +284,33 @@ pub fn prove<R: Rng + ?Sized>(
     })
 }
 
-/// A verifying key with the `e(α, β)` pairing precomputed — verification
-/// then costs one 3-term Miller loop plus a final exponentiation
-/// (the constant ≈30 ms figure of §IV).
+/// A verifying key with the `e(α, β)` pairing *and* the Miller-loop line
+/// coefficients of the fixed G2 elements (γ, δ) precomputed.
+///
+/// Single verification then costs one dynamic Miller pair plus two
+/// prepared-line replays and a final exponentiation; batches of proofs
+/// share the replays, the squaring chain, and the final exponentiation
+/// through [`PreparedVerifyingKey::verify_batch`].
 #[derive(Clone, Debug)]
 pub struct PreparedVerifyingKey {
     /// The underlying verifying key.
     pub vk: VerifyingKey,
     alpha_beta: Fp12,
+    gamma_prepared: G2Prepared,
+    delta_prepared: G2Prepared,
 }
 
 impl From<VerifyingKey> for PreparedVerifyingKey {
     fn from(vk: VerifyingKey) -> Self {
         let alpha_beta = pairing(&vk.alpha_g1, &vk.beta_g2);
-        PreparedVerifyingKey { vk, alpha_beta }
+        let gamma_prepared = G2Prepared::new(&vk.gamma_g2);
+        let delta_prepared = G2Prepared::new(&vk.delta_g2);
+        PreparedVerifyingKey {
+            vk,
+            alpha_beta,
+            gamma_prepared,
+            delta_prepared,
+        }
     }
 }
 
@@ -315,31 +330,237 @@ impl PreparedVerifyingKey {
         if !proof.a.is_on_curve() || !proof.b.is_on_curve() || !proof.c.is_on_curve() {
             return Ok(false);
         }
-        let mut ic = self.vk.ic[0].to_projective();
-        for (input, base) in public_inputs.iter().zip(self.vk.ic[1..].iter()) {
-            ic = ic.add(&base.mul(*input));
-        }
+        let ic = self.aggregate_ic(public_inputs);
         // e(A,B) = e(α,β)·e(IC,γ)·e(C,δ)
         //  ⟺ FE(ml(−A,B)·ml(IC,γ)·ml(C,δ)) · e(α,β) = 1
-        let ml = miller_loop(&[
-            (proof.a.neg(), proof.b),
-            (ic.to_affine(), self.vk.gamma_g2),
-            (proof.c, self.vk.delta_g2),
-        ]);
+        let ml = miller_loop_mixed(
+            &[(proof.a.neg(), proof.b)],
+            &[(ic, &self.gamma_prepared), (proof.c, &self.delta_prepared)],
+        );
         let Some(fe) = final_exponentiation(&ml) else {
             return Ok(false);
         };
         Ok(fe * self.alpha_beta == Fp12::one())
     }
+
+    /// `IC₀ + Σ xⱼ·ICⱼ₊₁` for one instance vector.
+    fn aggregate_ic(&self, public_inputs: &[Fr]) -> G1Affine {
+        let mut ic = self.vk.ic[0].to_projective();
+        for (input, base) in public_inputs.iter().zip(self.vk.ic[1..].iter()) {
+            ic = ic.add(&base.mul(*input));
+        }
+        ic.to_affine()
+    }
+
+    /// Verifies `proofs[i]` against `inputs[i]` for all `i` at once via a
+    /// random linear combination: with transcript-derived 128-bit scalars
+    /// `rᵢ`, the N pairing equations collapse into
+    ///
+    /// ```text
+    /// FE( ∏ᵢ ml(−rᵢA_i, B_i) · ml(Σᵢ rᵢIC_i, γ) · ml(Σᵢ rᵢC_i, δ) )
+    ///   · e(α,β)^(Σᵢ rᵢ)  ==  1,
+    /// ```
+    ///
+    /// one mixed Miller loop (the dynamic pairs share every squaring and a
+    /// per-step batch inversion, γ/δ replay prepared lines) and one final
+    /// exponentiation. The `rᵢ` are drawn by Fiat–Shamir from a hash over
+    /// the verifying key, every proof, and every public input, so an
+    /// adversary cannot craft proofs whose errors cancel: any invalid
+    /// member fails the whole batch except with probability ≈2⁻¹²⁸.
+    ///
+    /// Returns `Ok(true)` for the empty batch. Use
+    /// [`PreparedVerifyingKey::verify_batch_isolating`] to find *which*
+    /// members of a failing batch are invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnarkError::InputLengthMismatch`] when `proofs` and
+    /// `inputs` differ in length or any input vector does not match the
+    /// key.
+    pub fn verify_batch(&self, proofs: &[Proof], inputs: &[Vec<Fr>]) -> Result<bool, SnarkError> {
+        if proofs.len() != inputs.len() {
+            return Err(SnarkError::InputLengthMismatch);
+        }
+        if inputs.iter().any(|x| x.len() + 1 != self.vk.ic.len()) {
+            return Err(SnarkError::InputLengthMismatch);
+        }
+        match proofs.len() {
+            0 => return Ok(true),
+            1 => return self.verify(&proofs[0], &inputs[0]),
+            _ => {}
+        }
+        if proofs
+            .iter()
+            .any(|p| !p.a.is_on_curve() || !p.b.is_on_curve() || !p.c.is_on_curve())
+        {
+            return Ok(false);
+        }
+
+        let rs = self.batch_scalars(proofs, inputs);
+
+        // −rᵢ·Aᵢ: half-width double-and-add per proof, fanned out on the
+        // pool (the per-proof Miller pair dominates; this keeps the RLC
+        // scaling off the critical path).
+        let jobs: Vec<(G1Affine, [u64; 2])> = proofs
+            .iter()
+            .zip(rs.iter())
+            .map(|(p, r)| (p.a, [r.0 as u64, (r.0 >> 64) as u64]))
+            .collect();
+        let scaled =
+            waku_pool::par_map(&jobs, |(a, limbs)| a.to_projective().mul_limbs(limbs).neg());
+        let neg_a: Vec<G1Affine> = Projective::batch_to_affine(&scaled);
+        let dynamic: Vec<(G1Affine, G2Affine)> = neg_a
+            .into_iter()
+            .zip(proofs.iter())
+            .map(|(a, p)| (a, p.b))
+            .collect();
+
+        let r_fr: Vec<Fr> = rs.iter().map(|r| r.1).collect();
+        // Σᵢ rᵢ·ICᵢ folded per *base*: (Σrᵢ)·IC₀ + Σⱼ (Σᵢ rᵢxᵢⱼ)·ICⱼ₊₁ —
+        // one tiny MSM over the key's IC points instead of N point adds.
+        let mut ic_coeffs = vec![Fr::zero(); self.vk.ic.len()];
+        for (r, x) in r_fr.iter().zip(inputs.iter()) {
+            ic_coeffs[0] += *r;
+            for (c, xj) in ic_coeffs[1..].iter_mut().zip(x.iter()) {
+                *c += *r * *xj;
+            }
+        }
+        // Σᵢ rᵢ·Cᵢ runs as a pooled Pippenger MSM alongside the IC fold.
+        let (ic_agg, c_agg) = waku_pool::join(
+            || msm(&self.vk.ic, &ic_coeffs).to_affine(),
+            || {
+                let c_points: Vec<G1Affine> = proofs.iter().map(|p| p.c).collect();
+                msm(&c_points, &r_fr).to_affine()
+            },
+        );
+
+        let ml = miller_loop_mixed(
+            &dynamic,
+            &[
+                (ic_agg, &self.gamma_prepared),
+                (c_agg, &self.delta_prepared),
+            ],
+        );
+        let Some(fe) = final_exponentiation(&ml) else {
+            return Ok(false);
+        };
+        let r_sum = r_fr.iter().fold(Fr::zero(), |acc, r| acc + *r);
+        Ok(fe * self.alpha_beta.pow(&r_sum.to_canonical_limbs()) == Fp12::one())
+    }
+
+    /// Verifies a batch and, when it fails, bisects to return the indices
+    /// of exactly the invalid members (sorted ascending; empty means the
+    /// whole batch verified). Cost is one batch check when all-valid, plus
+    /// `O(k·log N)` sub-batch checks for `k` offenders.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PreparedVerifyingKey::verify_batch`].
+    pub fn verify_batch_isolating(
+        &self,
+        proofs: &[Proof],
+        inputs: &[Vec<Fr>],
+    ) -> Result<Vec<usize>, SnarkError> {
+        let mut bad = Vec::new();
+        self.isolate(proofs, inputs, 0, &mut bad)?;
+        Ok(bad)
+    }
+
+    fn isolate(
+        &self,
+        proofs: &[Proof],
+        inputs: &[Vec<Fr>],
+        offset: usize,
+        bad: &mut Vec<usize>,
+    ) -> Result<(), SnarkError> {
+        if proofs.is_empty() || self.verify_batch(proofs, inputs)? {
+            return Ok(());
+        }
+        if proofs.len() == 1 {
+            bad.push(offset);
+            return Ok(());
+        }
+        let mid = proofs.len() / 2;
+        self.isolate(&proofs[..mid], &inputs[..mid], offset, bad)?;
+        self.isolate(&proofs[mid..], &inputs[mid..], offset + mid, bad)
+    }
+
+    /// Fiat–Shamir RLC scalars: a running SHA-256 transcript over a domain
+    /// tag, the verifying key, and every (proof, inputs) pair, squeezed
+    /// into one 128-bit scalar per proof (zero remapped to 1).
+    fn batch_scalars(&self, proofs: &[Proof], inputs: &[Vec<Fr>]) -> Vec<(u128, Fr)> {
+        let mut h = waku_hash::Sha256::new();
+        h.update(b"waku-groth16-batch-v1");
+        h.update(&self.vk.alpha_g1.x.to_le_bytes());
+        h.update(&self.vk.alpha_g1.y.to_le_bytes());
+        for g2 in [&self.vk.beta_g2, &self.vk.gamma_g2, &self.vk.delta_g2] {
+            h.update(&g2.x.c0.to_le_bytes());
+            h.update(&g2.x.c1.to_le_bytes());
+            h.update(&g2.y.c0.to_le_bytes());
+            h.update(&g2.y.c1.to_le_bytes());
+        }
+        for ic in &self.vk.ic {
+            h.update(&ic.x.to_le_bytes());
+            h.update(&ic.y.to_le_bytes());
+        }
+        for (proof, x) in proofs.iter().zip(inputs.iter()) {
+            h.update(&proof.to_bytes());
+            for xi in x {
+                h.update(&xi.to_le_bytes());
+            }
+        }
+        let seed = h.finalize();
+        (0..proofs.len() as u64)
+            .map(|i| {
+                let mut h = waku_hash::Sha256::new();
+                h.update(&seed);
+                h.update(&i.to_le_bytes());
+                let digest = h.finalize();
+                let lo = u64::from_le_bytes(digest[0..8].try_into().unwrap());
+                let hi = u64::from_le_bytes(digest[8..16].try_into().unwrap());
+                let r = ((hi as u128) << 64 | lo as u128).max(1);
+                let fr = Fr::from_canonical_limbs([r as u64, (r >> 64) as u64, 0, 0])
+                    .expect("128-bit value < r");
+                (r, fr)
+            })
+            .collect()
+    }
 }
 
-/// One-shot verification without precomputation.
+/// Process-wide cache of prepared verifying keys for the free-function
+/// [`verify`] path, so repeated one-shot calls against the same key do not
+/// re-derive `e(α, β)` and the γ/δ line coefficients every time.
+fn cached_pvk(vk: &VerifyingKey) -> Arc<PreparedVerifyingKey> {
+    const CAPACITY: usize = 4;
+    static CACHE: Mutex<Vec<(VerifyingKey, Arc<PreparedVerifyingKey>)>> = Mutex::new(Vec::new());
+    if let Some(hit) = {
+        let cache = CACHE.lock().expect("pvk cache poisoned");
+        cache
+            .iter()
+            .find(|(k, _)| k == vk)
+            .map(|(_, pvk)| Arc::clone(pvk))
+    } {
+        return hit;
+    }
+    // Prepare outside the lock (it does real pairing work); a racing
+    // duplicate insert is harmless — most-recently-used stays resident.
+    let prepared = Arc::new(PreparedVerifyingKey::from(vk.clone()));
+    let mut cache = CACHE.lock().expect("pvk cache poisoned");
+    if !cache.iter().any(|(k, _)| k == vk) {
+        cache.insert(0, (vk.clone(), Arc::clone(&prepared)));
+        cache.truncate(CAPACITY);
+    }
+    prepared
+}
+
+/// One-shot verification through a process-wide [`PreparedVerifyingKey`]
+/// cache (first use of a key pays the preparation, repeats are free).
 ///
 /// # Errors
 ///
 /// Same as [`PreparedVerifyingKey::verify`].
 pub fn verify(vk: &VerifyingKey, proof: &Proof, public_inputs: &[Fr]) -> Result<bool, SnarkError> {
-    PreparedVerifyingKey::from(vk.clone()).verify(proof, public_inputs)
+    cached_pvk(vk).verify(proof, public_inputs)
 }
 
 #[cfg(test)]
@@ -458,6 +679,58 @@ mod tests {
         let proof = prove(&pk, &cs, &mut rng).unwrap();
         let pvk = PreparedVerifyingKey::from(pk.vk.clone());
         assert!(pvk.verify(&proof, &[Fr::from_u64(35)]).unwrap());
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_rejects_corrupted() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let pvk = PreparedVerifyingKey::from(pk.vk.clone());
+        let proofs: Vec<Proof> = (0..5).map(|_| prove(&pk, &cs, &mut rng).unwrap()).collect();
+        let inputs: Vec<Vec<Fr>> = vec![vec![Fr::from_u64(35)]; 5];
+        assert!(pvk.verify_batch(&proofs, &inputs).unwrap());
+        assert!(pvk.verify_batch(&[], &[]).unwrap(), "empty batch is valid");
+
+        // Corrupt one member: the whole batch must fail, and bisection
+        // must name exactly that index.
+        let mut tampered = proofs.clone();
+        tampered[3] = Proof {
+            a: proofs[3].c,
+            b: proofs[3].b,
+            c: proofs[3].a,
+        };
+        assert!(!pvk.verify_batch(&tampered, &inputs).unwrap());
+        assert_eq!(
+            pvk.verify_batch_isolating(&tampered, &inputs).unwrap(),
+            vec![3]
+        );
+
+        // A corrupted *public input* is caught the same way.
+        let mut bad_inputs = inputs.clone();
+        bad_inputs[1] = vec![Fr::from_u64(36)];
+        assert!(!pvk.verify_batch(&proofs, &bad_inputs).unwrap());
+        assert_eq!(
+            pvk.verify_batch_isolating(&proofs, &bad_inputs).unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn batch_verify_length_mismatches_error() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cs = cubic_cs(3, 35);
+        let pk = setup(&cs, &mut rng);
+        let pvk = PreparedVerifyingKey::from(pk.vk.clone());
+        let proof = prove(&pk, &cs, &mut rng).unwrap();
+        assert!(matches!(
+            pvk.verify_batch(&[proof], &[]),
+            Err(SnarkError::InputLengthMismatch)
+        ));
+        assert!(matches!(
+            pvk.verify_batch(&[proof], &[vec![]]),
+            Err(SnarkError::InputLengthMismatch)
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod gadgets;
 pub mod groth16;
 pub mod qap;
 pub mod r1cs;
+pub mod serialize;
 pub mod solver;
 
 pub use groth16::{prove, setup, verify, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};

@@ -272,6 +272,27 @@ impl ConstraintSystem {
         self.finalized
     }
 
+    /// Rebuilds a system from a deserialized *shape* (see
+    /// [`crate::serialize`]): the assignment is zeroed except for the
+    /// constant-one instance variable, exactly like a template whose
+    /// values have not been bound yet.
+    pub fn from_shape(
+        num_instance: usize,
+        num_witness: usize,
+        constraints: Vec<(LinearCombination, LinearCombination, LinearCombination)>,
+        finalized: bool,
+    ) -> Self {
+        assert!(num_instance >= 1, "instance 0 is the constant one");
+        let mut instance = vec![Fr::zero(); num_instance];
+        instance[0] = Fr::one();
+        ConstraintSystem {
+            instance,
+            witness: vec![Fr::zero(); num_witness],
+            constraints: Arc::new(constraints),
+            finalized,
+        }
+    }
+
     /// Checks every constraint against the current assignment.
     ///
     /// # Errors

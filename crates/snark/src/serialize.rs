@@ -1,0 +1,359 @@
+//! Flat binary serialization for proving keys and constraint-system
+//! shapes — the payload format under `waku-rln`'s on-disk keygen cache.
+//!
+//! Everything is little-endian and length-prefixed; group points are
+//! uncompressed affine coordinates with `(0, 0)` (not on either curve, as
+//! `b ≠ 0`) denoting the point at infinity. Deserialization re-checks
+//! canonicity of every field element and curve membership of every point,
+//! so a corrupted blob yields `None` rather than an invalid key.
+
+use waku_arith::fields::{Fq, Fr};
+use waku_arith::traits::PrimeField;
+use waku_curve::fp2::Fp2;
+use waku_curve::g1::G1Affine;
+use waku_curve::g2::G2Affine;
+
+use crate::groth16::{ProvingKey, VerifyingKey};
+use crate::r1cs::{ConstraintSystem, LinearCombination, Variable};
+
+fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&u32::try_from(v).expect("count fits u32").to_le_bytes());
+}
+
+fn put_fr(out: &mut Vec<u8>, v: &Fr) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_g1(out: &mut Vec<u8>, p: &G1Affine) {
+    if p.is_identity() {
+        out.extend_from_slice(&[0u8; 64]);
+    } else {
+        out.extend_from_slice(&p.x.to_le_bytes());
+        out.extend_from_slice(&p.y.to_le_bytes());
+    }
+}
+
+fn put_g2(out: &mut Vec<u8>, p: &G2Affine) {
+    if p.is_identity() {
+        out.extend_from_slice(&[0u8; 128]);
+    } else {
+        out.extend_from_slice(&p.x.c0.to_le_bytes());
+        out.extend_from_slice(&p.x.c1.to_le_bytes());
+        out.extend_from_slice(&p.y.c0.to_le_bytes());
+        out.extend_from_slice(&p.y.c1.to_le_bytes());
+    }
+}
+
+/// Cursor over a byte slice; every accessor returns `None` on truncation
+/// or a non-canonical value.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<usize> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize)
+    }
+
+    fn fr(&mut self) -> Option<Fr> {
+        Fr::from_le_bytes(self.take(32)?.try_into().ok()?)
+    }
+
+    fn g1(&mut self) -> Option<G1Affine> {
+        let bytes = self.take(64)?;
+        if bytes.iter().all(|b| *b == 0) {
+            return Some(G1Affine::identity());
+        }
+        let x = Fq::from_le_bytes(bytes[0..32].try_into().ok()?)?;
+        let y = Fq::from_le_bytes(bytes[32..64].try_into().ok()?)?;
+        G1Affine::new(x, y)
+    }
+
+    fn g2(&mut self) -> Option<G2Affine> {
+        let bytes = self.take(128)?;
+        if bytes.iter().all(|b| *b == 0) {
+            return Some(G2Affine::identity());
+        }
+        let fq = |r: std::ops::Range<usize>| Fq::from_le_bytes(bytes[r].try_into().ok()?);
+        let x = Fp2::new(fq(0..32)?, fq(32..64)?);
+        let y = Fp2::new(fq(64..96)?, fq(96..128)?);
+        G2Affine::new(x, y)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_g1_vec(out: &mut Vec<u8>, points: &[G1Affine]) {
+    put_u32(out, points.len());
+    for p in points {
+        put_g1(out, p);
+    }
+}
+
+fn read_g1_vec(r: &mut Reader) -> Option<Vec<G1Affine>> {
+    let n = r.u32()?;
+    // Reject length prefixes the buffer cannot possibly satisfy before
+    // allocating (64 bytes per point).
+    if n > r.buf.len() / 64 + 1 {
+        return None;
+    }
+    (0..n).map(|_| r.g1()).collect()
+}
+
+/// Serializes a verifying key.
+pub fn vk_to_bytes(vk: &VerifyingKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vk.size_in_bytes() + 8);
+    put_g1(&mut out, &vk.alpha_g1);
+    put_g2(&mut out, &vk.beta_g2);
+    put_g2(&mut out, &vk.gamma_g2);
+    put_g2(&mut out, &vk.delta_g2);
+    put_g1_vec(&mut out, &vk.ic);
+    out
+}
+
+fn read_vk(r: &mut Reader) -> Option<VerifyingKey> {
+    Some(VerifyingKey {
+        alpha_g1: r.g1()?,
+        beta_g2: r.g2()?,
+        gamma_g2: r.g2()?,
+        delta_g2: r.g2()?,
+        ic: read_g1_vec(r)?,
+    })
+}
+
+/// Serializes a proving key (embedded verifying key included).
+pub fn pk_to_bytes(pk: &ProvingKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pk.size_in_bytes() + 32);
+    out.extend_from_slice(&vk_to_bytes(&pk.vk));
+    put_g1(&mut out, &pk.beta_g1);
+    put_g1(&mut out, &pk.delta_g1);
+    put_g1_vec(&mut out, &pk.a_query);
+    put_g1_vec(&mut out, &pk.b_g1_query);
+    put_u32(&mut out, pk.b_g2_query.len());
+    for p in &pk.b_g2_query {
+        put_g2(&mut out, p);
+    }
+    put_g1_vec(&mut out, &pk.h_query);
+    put_g1_vec(&mut out, &pk.l_query);
+    out
+}
+
+/// Deserializes a proving key, validating every point.
+///
+/// Returns `None` on truncation, trailing bytes, non-canonical field
+/// elements, or off-curve points.
+pub fn pk_from_bytes(bytes: &[u8]) -> Option<ProvingKey> {
+    let mut r = Reader::new(bytes);
+    let pk = read_pk(&mut r)?;
+    r.done().then_some(pk)
+}
+
+fn read_pk(r: &mut Reader) -> Option<ProvingKey> {
+    let vk = read_vk(r)?;
+    let beta_g1 = r.g1()?;
+    let delta_g1 = r.g1()?;
+    let a_query = read_g1_vec(r)?;
+    let b_g1_query = read_g1_vec(r)?;
+    let n_b2 = r.u32()?;
+    if n_b2 > r.buf.len() / 128 + 1 {
+        return None;
+    }
+    let b_g2_query: Vec<G2Affine> = (0..n_b2).map(|_| r.g2()).collect::<Option<_>>()?;
+    let h_query = read_g1_vec(r)?;
+    let l_query = read_g1_vec(r)?;
+    Some(ProvingKey {
+        vk,
+        beta_g1,
+        delta_g1,
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        h_query,
+        l_query,
+    })
+}
+
+fn put_lc(out: &mut Vec<u8>, lc: &LinearCombination) {
+    put_u32(out, lc.0.len());
+    for (var, coeff) in &lc.0 {
+        match var {
+            Variable::Instance(i) => {
+                out.push(0);
+                put_u32(out, *i);
+            }
+            Variable::Witness(i) => {
+                out.push(1);
+                put_u32(out, *i);
+            }
+        }
+        put_fr(out, coeff);
+    }
+}
+
+fn read_lc(r: &mut Reader, num_instance: usize, num_witness: usize) -> Option<LinearCombination> {
+    let n = r.u32()?;
+    if n > r.buf.len() / 37 + 1 {
+        return None;
+    }
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let var = match r.u8()? {
+            0 => {
+                let i = r.u32()?;
+                (i < num_instance).then_some(Variable::Instance(i))?
+            }
+            1 => {
+                let i = r.u32()?;
+                (i < num_witness).then_some(Variable::Witness(i))?
+            }
+            _ => return None,
+        };
+        terms.push((var, r.fr()?));
+    }
+    Some(LinearCombination(terms))
+}
+
+/// Serializes a constraint system's *shape* (variable counts and
+/// constraints — not the assignment, which provers rebind per proof).
+pub fn cs_shape_to_bytes(cs: &ConstraintSystem) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, cs.num_instance());
+    put_u32(&mut out, cs.num_witness());
+    out.push(cs.is_finalized() as u8);
+    put_u32(&mut out, cs.num_constraints());
+    for (a, b, c) in cs.constraints() {
+        put_lc(&mut out, a);
+        put_lc(&mut out, b);
+        put_lc(&mut out, c);
+    }
+    out
+}
+
+/// Deserializes a constraint-system shape; the assignment comes back
+/// zeroed (constant one aside) for the caller to rebind.
+pub fn cs_shape_from_bytes(bytes: &[u8]) -> Option<ConstraintSystem> {
+    let mut r = Reader::new(bytes);
+    let num_instance = r.u32()?;
+    let num_witness = r.u32()?;
+    if num_instance == 0 {
+        return None;
+    }
+    let finalized = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let n = r.u32()?;
+    if n > r.buf.len() / 3 + 1 {
+        return None;
+    }
+    let mut constraints = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = read_lc(&mut r, num_instance, num_witness)?;
+        let b = read_lc(&mut r, num_instance, num_witness)?;
+        let c = read_lc(&mut r, num_instance, num_witness)?;
+        constraints.push((a, b, c));
+    }
+    r.done()
+        .then(|| ConstraintSystem::from_shape(num_instance, num_witness, constraints, finalized))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groth16::{prove, setup, verify};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_cs() -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new();
+        let out = cs.alloc_input(Fr::from_u64(12));
+        let a = cs.alloc_witness(Fr::from_u64(3));
+        let b = cs.alloc_witness(Fr::from_u64(4));
+        cs.enforce(a, b, out);
+        cs.finalize();
+        cs
+    }
+
+    #[test]
+    fn pk_roundtrip_and_prove_with_restored_key() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cs = toy_cs();
+        let pk = setup(&cs, &mut rng);
+        let bytes = pk_to_bytes(&pk);
+        let restored = pk_from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(restored.vk, pk.vk);
+        assert_eq!(restored.a_query, pk.a_query);
+        assert_eq!(restored.b_g2_query, pk.b_g2_query);
+        // A proof from the restored key verifies under the original vk.
+        let proof = prove(&restored, &cs, &mut rng).unwrap();
+        assert!(verify(&pk.vk, &proof, &[Fr::from_u64(12)]).unwrap());
+    }
+
+    #[test]
+    fn cs_shape_roundtrip_preserves_constraints() {
+        let cs = toy_cs();
+        let bytes = cs_shape_to_bytes(&cs);
+        let restored = cs_shape_from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(restored.num_instance(), cs.num_instance());
+        assert_eq!(restored.num_witness(), cs.num_witness());
+        assert_eq!(restored.is_finalized(), cs.is_finalized());
+        assert_eq!(restored.constraints(), cs.constraints());
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cs = toy_cs();
+        let pk = setup(&cs, &mut rng);
+        let bytes = pk_to_bytes(&pk);
+        // Truncation.
+        assert!(pk_from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(pk_from_bytes(&long).is_none());
+        // A flipped coordinate byte lands off-curve (or non-canonical).
+        let mut flipped = bytes.clone();
+        let coord_start = bytes.len() - 64; // inside the last l_query point
+        flipped[coord_start] ^= 1;
+        assert!(pk_from_bytes(&flipped).is_none());
+
+        let shape = cs_shape_to_bytes(&cs);
+        assert!(cs_shape_from_bytes(&shape[..shape.len() - 1]).is_none());
+        // Out-of-range variable index.
+        let mut bad = shape.clone();
+        let lc_start = 4 + 4 + 1 + 4 + 4 + 1; // first term's index field
+        bad[lc_start..lc_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(cs_shape_from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn infinity_points_roundtrip() {
+        let mut out = Vec::new();
+        put_g1(&mut out, &G1Affine::identity());
+        put_g2(&mut out, &G2Affine::identity());
+        let mut r = Reader::new(&out);
+        assert!(r.g1().unwrap().is_identity());
+        assert!(r.g2().unwrap().is_identity());
+        assert!(r.done());
+    }
+}
