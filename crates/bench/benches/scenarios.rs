@@ -32,11 +32,11 @@ fn scale_config(peers: usize) -> ScenarioConfig {
             epoch_secs: 1,
             thr: 1,
         },
-        net: NetworkConfig {
-            // Valid for tiny WAKU_SIM_PEERS overrides too.
-            degree: 8.min(peers - 1),
-            ..NetworkConfig::default()
-        },
+        // Degree valid for tiny WAKU_SIM_PEERS overrides too.
+        net: NetworkConfig::builder()
+            .degree(8.min(peers - 1))
+            .build()
+            .expect("valid net config"),
         seed: 2024,
         ..ScenarioConfig::default()
     }
@@ -54,10 +54,10 @@ fn bench_small_sweep(c: &mut Criterion) {
             epoch_secs: 1,
             thr: 1,
         },
-        net: NetworkConfig {
-            degree: 8,
-            ..NetworkConfig::default()
-        },
+        net: NetworkConfig::builder()
+            .degree(8)
+            .build()
+            .expect("valid net config"),
         seed: 7,
         ..ScenarioConfig::default()
     };

@@ -46,11 +46,11 @@ fn sweep_config(peers: usize, duration_ms: u64) -> ScenarioConfig {
             epoch_secs: 1,
             thr: 1,
         },
-        net: NetworkConfig {
-            // Valid for tiny sweeps too (degree must be < peers).
-            degree: 8.min(peers - 1),
-            ..NetworkConfig::default()
-        },
+        // Degree valid for tiny sweeps too (degree must be < peers).
+        net: NetworkConfig::builder()
+            .degree(8.min(peers - 1))
+            .build()
+            .expect("valid net config"),
         seed: 2024,
         ..ScenarioConfig::default()
     }

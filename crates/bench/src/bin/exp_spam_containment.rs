@@ -34,10 +34,10 @@ fn main() {
             honest_interval_ms: 5_000,
             spam_interval_ms: 500,
             defense,
-            net: NetworkConfig {
-                degree: 8,
-                ..NetworkConfig::default()
-            },
+            net: NetworkConfig::builder()
+                .degree(8)
+                .build()
+                .expect("valid net config"),
             seed: 2022,
             ..ScenarioConfig::default()
         };

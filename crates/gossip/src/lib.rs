@@ -44,7 +44,8 @@ pub mod scoring;
 pub use faults::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec, SkewSpec};
 pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 pub use network::{
-    DeliveryRecord, GossipConfig, MessageAcceptor, Network, NetworkConfig, PeerStats, Validator,
+    ConfigError, DeliveryRecord, GossipConfig, MessageAcceptor, Network, NetworkConfig,
+    NetworkConfigBuilder, PeerStats, Validator,
 };
 pub use scheduler::{Lookahead, SchedulerKind};
 pub use scoring::{PeerScore, ScoreParams};

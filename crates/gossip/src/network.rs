@@ -66,7 +66,37 @@ impl Default for GossipConfig {
     }
 }
 
+/// A network-configuration invariant rejected at
+/// [`NetworkConfigBuilder::build`] time.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The builder field that was rejected.
+    pub field: &'static str,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid network config: `{}` {}",
+            self.field, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Network construction parameters.
+///
+/// `#[non_exhaustive]`: construct via [`NetworkConfig::default`] or
+/// [`NetworkConfig::builder`]; derive a variant of an existing config
+/// with [`NetworkConfig::to_builder`] (struct-literal functional update
+/// is not available across crates). The builder validates its
+/// invariants once at build time.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
     /// Number of peers.
@@ -112,6 +142,122 @@ impl Default for NetworkConfig {
             lookahead: Lookahead::Adaptive,
             faults: FaultPlan::default(),
         }
+    }
+}
+
+impl NetworkConfig {
+    /// Starts building a config from the defaults.
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder::from_config(NetworkConfig::default())
+    }
+
+    /// Starts a builder pre-loaded with this config — the cross-crate
+    /// replacement for struct-literal functional update.
+    pub fn to_builder(&self) -> NetworkConfigBuilder {
+        NetworkConfigBuilder::from_config(self.clone())
+    }
+}
+
+/// Builder for [`NetworkConfig`] — see [`NetworkConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct NetworkConfigBuilder {
+    config: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
+    fn from_config(config: NetworkConfig) -> Self {
+        NetworkConfigBuilder { config }
+    }
+
+    /// Sets the number of peers (≥ 1).
+    pub fn peers(mut self, peers: usize) -> Self {
+        self.config.peers = peers;
+        self
+    }
+
+    /// Sets the connections per peer (≥ 1).
+    pub fn degree(mut self, degree: usize) -> Self {
+        self.config.degree = degree;
+        self
+    }
+
+    /// Sets the one-way link latency range `[min, max]` in milliseconds
+    /// (`min ≤ max`; the sharded scheduler clamps its quantum to ≥ 1 ms
+    /// internally, so `min = 0` is allowed).
+    pub fn latency_ms(mut self, min: u64, max: u64) -> Self {
+        self.config.latency_min_ms = min;
+        self.config.latency_max_ms = max;
+        self
+    }
+
+    /// Sets the clock-drift half-width in milliseconds.
+    pub fn clock_drift_ms(mut self, drift: u64) -> Self {
+        self.config.clock_drift_ms = drift;
+        self
+    }
+
+    /// Sets the GossipSub parameters.
+    pub fn gossip(mut self, gossip: GossipConfig) -> Self {
+        self.config.gossip = gossip;
+        self
+    }
+
+    /// Sets the peer-scoring parameters.
+    pub fn scoring(mut self, scoring: ScoreParams) -> Self {
+        self.config.scoring = scoring;
+        self
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the execution engine.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the round-bounding strategy for the sharded engine.
+    pub fn lookahead(mut self, lookahead: Lookahead) -> Self {
+        self.config.lookahead = lookahead;
+        self
+    }
+
+    /// Installs a deterministic fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Validates the invariants and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when `peers` or `degree` is zero, or the latency
+    /// range is inverted (`min > max`).
+    pub fn build(self) -> Result<NetworkConfig, ConfigError> {
+        if self.config.peers == 0 {
+            return Err(ConfigError {
+                field: "peers",
+                reason: "must be at least 1",
+            });
+        }
+        if self.config.degree == 0 {
+            return Err(ConfigError {
+                field: "degree",
+                reason: "must be at least 1",
+            });
+        }
+        if self.config.latency_min_ms > self.config.latency_max_ms {
+            return Err(ConfigError {
+                field: "latency_min_ms",
+                reason: "must not exceed latency_max_ms",
+            });
+        }
+        Ok(self.config)
     }
 }
 

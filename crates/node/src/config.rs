@@ -1,0 +1,182 @@
+//! Service configuration, following the builder discipline of
+//! [`NodeConfig`] — `#[non_exhaustive]` structs, invariants validated
+//! once at `build()`, `Default` preserved for the common case.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use waku_relay::SegmentConfig;
+use waku_rln_relay::NodeConfig;
+
+use crate::error::ServiceError;
+
+/// Everything the long-running relayer service needs to open: where its
+/// state lives, how its node validates, how its store persists, and how
+/// often it heartbeats and checkpoints.
+///
+/// Construct via [`ServiceConfig::builder`].
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Root directory for all persistent state: `keys.bin` (proving-key
+    /// cache), `store/` (message segments), `nullifiers.snap` (rate-limit
+    /// window), `publish.guard` (own-publish epoch).
+    pub data_dir: PathBuf,
+    /// The RLN node configuration (epoch length, `Thr`, batching, …).
+    pub node: NodeConfig,
+    /// The segment-log shape for the durable message store.
+    pub segment: SegmentConfig,
+    /// Seconds between heartbeats (window slide + queue deadline check).
+    pub heartbeat_secs: u64,
+    /// Seconds between durable checkpoints (store flush + nullifier
+    /// snapshot + publish guard). Bounds how much rate-limit memory a
+    /// crash can lose.
+    pub checkpoint_secs: u64,
+    /// Content topic this service stores relayed payloads under.
+    pub content_topic: String,
+    /// Seed for the service's deterministic RNG (identity + proving).
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// Starts building a config rooted at `data_dir`.
+    pub fn builder(data_dir: impl Into<PathBuf>) -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            data_dir: data_dir.into(),
+            node: NodeConfig::default(),
+            segment: SegmentConfig::default(),
+            heartbeat: Duration::from_secs(1),
+            checkpoint: Duration::from_secs(30),
+            content_topic: "/waku-node/1/relayed/proto".to_string(),
+            seed: 1,
+        }
+    }
+}
+
+/// Builder for [`ServiceConfig`] — see [`ServiceConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfigBuilder {
+    data_dir: PathBuf,
+    node: NodeConfig,
+    segment: SegmentConfig,
+    heartbeat: Duration,
+    checkpoint: Duration,
+    content_topic: String,
+    seed: u64,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the node (validator) configuration.
+    pub fn node(mut self, node: NodeConfig) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Sets the segment-log shape for the message store.
+    pub fn segment(mut self, segment: SegmentConfig) -> Self {
+        self.segment = segment;
+        self
+    }
+
+    /// Sets the heartbeat interval (whole seconds, ≥ 1).
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = interval;
+        self
+    }
+
+    /// Sets the checkpoint interval (whole seconds, ≥ 1).
+    pub fn checkpoint(mut self, interval: Duration) -> Self {
+        self.checkpoint = interval;
+        self
+    }
+
+    /// Sets the content topic relayed payloads are stored under.
+    pub fn content_topic(mut self, topic: impl Into<String>) -> Self {
+        self.content_topic = topic.into();
+        self
+    }
+
+    /// Sets the deterministic RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the invariants and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when `data_dir` is empty, an
+    /// interval is zero or sub-second, or the content topic is empty.
+    pub fn build(self) -> Result<ServiceConfig, ServiceError> {
+        if self.data_dir.as_os_str().is_empty() {
+            return Err(ServiceError::InvalidConfig {
+                field: "data_dir",
+                reason: "must not be empty",
+            });
+        }
+        let whole_secs = |d: Duration, field: &'static str| -> Result<u64, ServiceError> {
+            if d.as_secs() == 0 || d.subsec_nanos() != 0 {
+                return Err(ServiceError::InvalidConfig {
+                    field,
+                    reason: "must be a whole number of seconds ≥ 1",
+                });
+            }
+            Ok(d.as_secs())
+        };
+        let heartbeat_secs = whole_secs(self.heartbeat, "heartbeat")?;
+        let checkpoint_secs = whole_secs(self.checkpoint, "checkpoint")?;
+        if self.content_topic.is_empty() {
+            return Err(ServiceError::InvalidConfig {
+                field: "content_topic",
+                reason: "must not be empty",
+            });
+        }
+        Ok(ServiceConfig {
+            data_dir: self.data_dir,
+            node: self.node,
+            segment: self.segment,
+            heartbeat_secs,
+            checkpoint_secs,
+            content_topic: self.content_topic,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_invariants() {
+        let field = |r: Result<ServiceConfig, ServiceError>| match r.unwrap_err() {
+            ServiceError::InvalidConfig { field, .. } => field,
+            other => panic!("expected InvalidConfig, got {other}"),
+        };
+        assert_eq!(field(ServiceConfig::builder("").build()), "data_dir");
+        assert_eq!(
+            field(
+                ServiceConfig::builder("/tmp/x")
+                    .heartbeat(Duration::from_millis(500))
+                    .build()
+            ),
+            "heartbeat"
+        );
+        assert_eq!(
+            field(
+                ServiceConfig::builder("/tmp/x")
+                    .checkpoint(Duration::ZERO)
+                    .build()
+            ),
+            "checkpoint"
+        );
+        assert_eq!(
+            field(ServiceConfig::builder("/tmp/x").content_topic("").build()),
+            "content_topic"
+        );
+        let ok = ServiceConfig::builder("/tmp/x").build().unwrap();
+        assert_eq!(ok.heartbeat_secs, 1);
+        assert_eq!(ok.checkpoint_secs, 30);
+    }
+}

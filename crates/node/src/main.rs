@@ -1,0 +1,273 @@
+//! The `waku-node` binary: a supervised WAKU-RLN-RELAY relayer.
+//!
+//! Wires [`RelayerService`] to the wall clock and POSIX signals:
+//!
+//! ```text
+//! waku-node --data-dir ./node-data --listen 127.0.0.1:9090
+//! ```
+//!
+//! The event loop heartbeats once per configured interval (window
+//! slides, micro-batch deadlines, scheduled checkpoints), optionally
+//! publishes its own rate-limited message each epoch, and serves the
+//! Prometheus exposition. SIGINT/SIGTERM (or `--duration-secs`) trigger
+//! a clean shutdown that flushes the queue and persists every piece of
+//! durable state — restarting from the same `--data-dir` recovers it.
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waku_node::{MetricsServer, RelayerService, ServiceConfig, ServiceError};
+use waku_rln_relay::{BatchConfig, NodeConfig};
+
+const USAGE: &str = "\
+waku-node: run a WAKU-RLN-RELAY relayer as a long-running service
+
+USAGE:
+    waku-node [OPTIONS]
+
+OPTIONS:
+    --data-dir <PATH>             persistent state root [default: ./waku-node-data]
+    --depth <N>                   RLN membership tree depth [default: 10]
+    --epoch-secs <N>              rate-limit epoch length [default: 10]
+    --max-gap <N>                 max accepted epoch gap Thr [default: 2]
+    --batch <N>                   micro-batch size (1 = sequential) [default: 1]
+    --heartbeat-secs <N>          heartbeat interval [default: 1]
+    --checkpoint-secs <N>         durable checkpoint interval [default: 30]
+    --listen <ADDR>               serve /metrics on this address (e.g. 127.0.0.1:9090)
+    --prom-dump <PATH>            also write the exposition to a file each heartbeat
+    --publish-interval-secs <N>   publish an own message this often (0 = never) [default: 0]
+    --duration-secs <N>           exit cleanly after N seconds (0 = until signal) [default: 0]
+    --seed <N>                    deterministic identity/proving seed [default: 1]
+    -h, --help                    print this help
+";
+
+/// Cooperative stop flag, flipped by SIGINT/SIGTERM.
+mod stop {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn handle(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs handlers for SIGINT (2) and SIGTERM (15). Raw
+    /// `signal(2)` through the C runtime — the store above is
+    /// async-signal-safe, and no crate dependency is needed.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(2, handle);
+            signal(15, handle);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+struct Cli {
+    data_dir: String,
+    depth: usize,
+    epoch_secs: u64,
+    max_gap: u64,
+    batch: usize,
+    heartbeat_secs: u64,
+    checkpoint_secs: u64,
+    listen: Option<String>,
+    prom_dump: Option<String>,
+    publish_interval_secs: u64,
+    duration_secs: u64,
+    seed: u64,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        data_dir: "./waku-node-data".to_string(),
+        depth: 10,
+        epoch_secs: 10,
+        max_gap: 2,
+        batch: 1,
+        heartbeat_secs: 1,
+        checkpoint_secs: 30,
+        listen: None,
+        prom_dump: None,
+        publish_interval_secs: 0,
+        duration_secs: 0,
+        seed: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--data-dir" => cli.data_dir = value("--data-dir")?,
+            "--depth" => cli.depth = num(&value("--depth")?, "--depth")? as usize,
+            "--epoch-secs" => cli.epoch_secs = num(&value("--epoch-secs")?, "--epoch-secs")?,
+            "--max-gap" => cli.max_gap = num(&value("--max-gap")?, "--max-gap")?,
+            "--batch" => cli.batch = num(&value("--batch")?, "--batch")? as usize,
+            "--heartbeat-secs" => {
+                cli.heartbeat_secs = num(&value("--heartbeat-secs")?, "--heartbeat-secs")?
+            }
+            "--checkpoint-secs" => {
+                cli.checkpoint_secs = num(&value("--checkpoint-secs")?, "--checkpoint-secs")?
+            }
+            "--listen" => cli.listen = Some(value("--listen")?),
+            "--prom-dump" => cli.prom_dump = Some(value("--prom-dump")?),
+            "--publish-interval-secs" => {
+                cli.publish_interval_secs = num(
+                    &value("--publish-interval-secs")?,
+                    "--publish-interval-secs",
+                )?
+            }
+            "--duration-secs" => {
+                cli.duration_secs = num(&value("--duration-secs")?, "--duration-secs")?
+            }
+            "--seed" => cli.seed = num(&value("--seed")?, "--seed")?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn num(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("{flag} expects a non-negative integer, got `{s}`"))
+}
+
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("system clock before the Unix epoch")
+        .as_secs()
+}
+
+fn report(e: &dyn std::error::Error) {
+    eprintln!("waku-node: error: {e}");
+    let mut cause = e.source();
+    while let Some(c) = cause {
+        eprintln!("  caused by: {c}");
+        cause = c.source();
+    }
+}
+
+fn run(cli: Cli) -> Result<(), ServiceError> {
+    let mut node = NodeConfig::builder()
+        .tree_depth(cli.depth)
+        .epoch_length(Duration::from_secs(cli.epoch_secs))
+        .max_epoch_gap(cli.max_gap);
+    if cli.batch > 1 {
+        node = node.batching(BatchConfig::builder().max_batch(cli.batch).build()?);
+    }
+    let config = ServiceConfig::builder(&cli.data_dir)
+        .node(node.build()?)
+        .heartbeat(Duration::from_secs(cli.heartbeat_secs))
+        .checkpoint(Duration::from_secs(cli.checkpoint_secs))
+        .seed(cli.seed)
+        .build()?;
+
+    stop::install();
+    let mut service = RelayerService::open(config)?;
+    let recovery = service.recovery();
+    eprintln!(
+        "waku-node: open (keys: {}, recovered {} messages, nullifier snapshot: {}, publish guard: {:?})",
+        if recovery.cold_keygen { "fresh ceremony" } else { "cache" },
+        recovery.recovered_messages,
+        if recovery.snapshot_restored { "restored" } else { "none" },
+        recovery.publish_guard,
+    );
+
+    let server = match &cli.listen {
+        Some(addr) => {
+            let server = MetricsServer::bind(addr)?;
+            eprintln!("waku-node: serving /metrics on {}", server.local_addr()?);
+            Some(server)
+        }
+        None => None,
+    };
+
+    let started = now_secs();
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x7075_626C);
+    let mut next_heartbeat = started;
+    let mut last_publish: Option<u64> = None;
+    let mut published = 0u64;
+
+    loop {
+        let now = now_secs();
+        if stop::requested() {
+            eprintln!("waku-node: signal received, shutting down");
+            break;
+        }
+        if cli.duration_secs > 0 && now.saturating_sub(started) >= cli.duration_secs {
+            eprintln!("waku-node: duration elapsed, shutting down");
+            break;
+        }
+
+        if now >= next_heartbeat {
+            service.step(now)?;
+            next_heartbeat = now + cli.heartbeat_secs.max(1);
+
+            if cli.publish_interval_secs > 0
+                && last_publish.is_none_or(|t| now - t >= cli.publish_interval_secs)
+            {
+                let payload = format!("waku-node heartbeat message {published}");
+                match service.publish(payload.as_bytes(), now, &mut rng) {
+                    Ok(_) => {
+                        published += 1;
+                        last_publish = Some(now);
+                    }
+                    // Same epoch as the previous publish: just wait for
+                    // the next one — that is the rate limit working.
+                    Err(ServiceError::Node(waku_rln_relay::NodeError::RateLimitedLocally)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+
+            if let Some(path) = &cli.prom_dump {
+                std::fs::write(path, service.metrics_text())?;
+            }
+        }
+
+        if let Some(server) = &server {
+            server.poll(&service.metrics_text())?;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let now = now_secs();
+    let status = service.status();
+    let summary = service.shutdown(now)?;
+    eprintln!(
+        "waku-node: clean shutdown (flushed {} queued, {} messages / {} bytes durable, {} resident nullifiers)",
+        summary.flushed, summary.messages_stored, summary.disk_bytes, status.resident_nullifiers,
+    );
+    Ok(())
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("waku-node: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cli) {
+        report(&e);
+        std::process::exit(1);
+    }
+}

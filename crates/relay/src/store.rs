@@ -1,9 +1,16 @@
 //! 13/WAKU2-STORE: resourceful peers persist message history and answer
 //! paginated queries from peers that were offline (paper §I).
+//!
+//! [`MessageStore`] is the bounded in-memory backend; it implements
+//! [`StorageBackend`] like every other store, so relayers swap it for
+//! the durable [`crate::SegmentLog`] without touching query code. The
+//! pagination/cursor contract lives on the trait (see
+//! [`crate::storage`]), not on any concrete store.
 
 use std::collections::VecDeque;
 
 use crate::message::WakuMessage;
+use crate::storage::{StorageBackend, StorageError};
 
 /// Query direction.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -80,39 +87,46 @@ impl MessageStore {
         self.messages.push_back(message);
     }
 
-    /// Answers a paginated history query.
+    /// Answers a paginated history query (the [`StorageBackend::query`]
+    /// provided method, kept as an inherent method so callers need not
+    /// import the trait).
     pub fn query(&self, q: &HistoryQuery) -> HistoryResponse {
-        let page_size = if q.page_size == 0 { 20 } else { q.page_size } as usize;
-        let mut matching: Vec<&WakuMessage> = self
-            .messages
-            .iter()
-            .filter(|m| {
-                (q.content_topics.is_empty() || q.content_topics.contains(&m.content_topic))
-                    && q.start_time.is_none_or(|s| m.timestamp >= s)
-                    && q.end_time.is_none_or(|e| m.timestamp <= e)
-            })
-            .collect();
-        matching.sort_by_key(|m| m.timestamp);
-        if q.direction == Direction::Backward {
-            matching.reverse();
+        StorageBackend::query(self, q)
+    }
+}
+
+impl StorageBackend for MessageStore {
+    fn append(&mut self, message: WakuMessage) -> Result<(), StorageError> {
+        self.insert(message);
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    fn scan_range(
+        &self,
+        start: Option<u64>,
+        end: Option<u64>,
+        visit: &mut dyn FnMut(&WakuMessage),
+    ) {
+        for m in &self.messages {
+            if start.is_none_or(|s| m.timestamp >= s) && end.is_none_or(|e| m.timestamp <= e) {
+                visit(m);
+            }
         }
-        let start = q.cursor.unwrap_or(0) as usize;
-        let page: Vec<WakuMessage> = matching
-            .iter()
-            .skip(start)
-            .take(page_size)
-            .map(|m| (*m).clone())
-            .collect();
-        let consumed = start + page.len();
-        let next_cursor = if consumed < matching.len() {
-            Some(consumed as u64)
-        } else {
-            None
-        };
-        HistoryResponse {
-            messages: page,
-            next_cursor,
-        }
+    }
+
+    fn truncate(&mut self) -> Result<(), StorageError> {
+        self.messages.clear();
+        Ok(())
+    }
+
+    /// No-op: the ring is memory-only; durability is the
+    /// [`crate::SegmentLog`]'s job.
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
     }
 }
 

@@ -1,0 +1,292 @@
+//! Property tests for the pluggable persistence layer: the append-only
+//! [`SegmentLog`] against the in-memory [`MessageStore`] ring as an
+//! oracle, under randomized insert/restart interleavings, torn-tail
+//! corruption, and pagination edge cases.
+//!
+//! The two backends share one behavioral contract ([`StorageBackend`]):
+//! for any interleaving of appends and process restarts, the segment
+//! log's live window must be *indistinguishable through the trait* from
+//! the ring's — same length, same scan, same answer to every history
+//! query. Restarts are the interesting part: the log rebuilds its
+//! window from disk (rotation, GC, CRC-checked records) while the ring
+//! simply keeps running, so any recovery bug shows up as divergence.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use waku_relay::{
+    Direction, HistoryQuery, MessageStore, SegmentConfig, SegmentLog, StorageBackend, WakuMessage,
+};
+
+const CAPACITY: usize = 16;
+const TOPICS: [&str; 3] = ["/soak/a", "/soak/b", "/soak/c"];
+
+fn segment_config() -> SegmentConfig {
+    SegmentConfig::builder()
+        .capacity(CAPACITY)
+        // Tiny segments: rotation and GC fire every few appends.
+        .records_per_segment(4)
+        .build()
+        .unwrap()
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "waku-proptest-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn message(topic_sel: u8, timestamp: u32, payload_byte: u8) -> WakuMessage {
+    WakuMessage::new(
+        vec![payload_byte; (payload_byte as usize % 5) + 1],
+        TOPICS[topic_sel as usize % TOPICS.len()].to_string(),
+        // A small timestamp domain forces duplicate timestamps, so the
+        // stable tie-break (insertion order) is actually exercised.
+        u64::from(timestamp % 50),
+    )
+}
+
+/// Every query shape the contract distinguishes: open scans, topic
+/// filters, timestamp windows, both directions, odd page sizes, and
+/// cursors at/past the end.
+fn probe_queries() -> Vec<HistoryQuery> {
+    let mut queries = vec![
+        HistoryQuery::default(),
+        HistoryQuery {
+            page_size: 1,
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            page_size: 0, // contract: 0 means the default page of 20
+            direction: Direction::Backward,
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            content_topics: vec![TOPICS[0].to_string()],
+            page_size: 3,
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            content_topics: vec![TOPICS[1].to_string(), "/nowhere".to_string()],
+            direction: Direction::Backward,
+            page_size: 2,
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            content_topics: vec!["/nowhere".to_string()], // matches nothing
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            start_time: Some(10),
+            end_time: Some(30),
+            page_size: 4,
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            start_time: Some(40),
+            end_time: Some(10), // inverted range: empty
+            ..HistoryQuery::default()
+        },
+        HistoryQuery {
+            cursor: Some(1_000_000), // far past the end: empty page, no error
+            ..HistoryQuery::default()
+        },
+    ];
+    // A cursor landing exactly on the last element's index.
+    queries.push(HistoryQuery {
+        cursor: Some(CAPACITY as u64 - 1),
+        page_size: 2,
+        ..HistoryQuery::default()
+    });
+    queries
+}
+
+/// Asserts the two backends are indistinguishable through the trait:
+/// length, full scan, and the complete cursor walk of every probe query.
+fn assert_equivalent(ring: &MessageStore, log: &SegmentLog) -> Result<(), TestCaseError> {
+    prop_assert_eq!(StorageBackend::len(ring), StorageBackend::len(log));
+
+    let collect = |b: &dyn StorageBackend| {
+        let mut all = Vec::new();
+        b.scan_range(None, None, &mut |m| all.push(m.clone()));
+        all
+    };
+    prop_assert_eq!(collect(ring), collect(log));
+
+    for q in probe_queries() {
+        let mut q = q;
+        // Walk the whole cursor chain on both sides in lockstep; bound
+        // the walk so a next_cursor cycle fails instead of hanging.
+        for _hop in 0..(CAPACITY + 2) {
+            let a = StorageBackend::query(ring, &q);
+            let b = StorageBackend::query(log, &q);
+            prop_assert_eq!(&a.messages, &b.messages);
+            prop_assert_eq!(a.next_cursor, b.next_cursor);
+            match a.next_cursor {
+                Some(next) => q.cursor = Some(next),
+                None => break,
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Random insert/restart interleavings: the recovered segment log
+    // always matches the ring oracle.
+    #[test]
+    fn segment_log_matches_ring_oracle(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>(), any::<u8>()), 1..60)
+    ) {
+        let dir = fresh_dir("oracle");
+        let mut ring = MessageStore::new(CAPACITY);
+        let mut log = SegmentLog::open(&dir, segment_config()).unwrap();
+
+        for (kind, topic_sel, ts, payload) in ops {
+            if kind.is_multiple_of(8) {
+                // Simulated process restart: flush, drop, reopen. The
+                // ring (the oracle for the *live window*) is untouched.
+                log.flush().unwrap();
+                drop(log);
+                log = SegmentLog::open(&dir, segment_config()).unwrap();
+            } else {
+                let m = message(topic_sel, ts, payload);
+                ring.append(m.clone()).unwrap();
+                log.append(m).unwrap();
+            }
+            assert_equivalent(&ring, &log)?;
+        }
+
+        // One final cold restart after everything.
+        log.flush().unwrap();
+        drop(log);
+        let log = SegmentLog::open(&dir, segment_config()).unwrap();
+        assert_equivalent(&ring, &log)?;
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Torn tails: chopping any number of bytes off the end of the
+    // newest segment file must recover a consistent prefix — never an
+    // error, never a gap, and appends keep working afterwards.
+    #[test]
+    fn torn_tail_recovers_a_consistent_prefix(
+        inserts in 1usize..30,
+        chop in 1usize..200,
+    ) {
+        let dir = fresh_dir("torn");
+        let mut log = SegmentLog::open(&dir, segment_config()).unwrap();
+        let mut appended = Vec::new();
+        for i in 0..inserts {
+            let m = message(i as u8, i as u32, i as u8);
+            log.append(m.clone()).unwrap();
+            appended.push(m);
+        }
+        log.flush().unwrap();
+        drop(log);
+
+        // Chop the newest segment file's tail mid-record.
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        segments.sort();
+        let tail = segments.last().unwrap().clone();
+        // `seg-<first_seq:020>.log`: every record before this sequence
+        // number lives in an untouched file and must survive recovery.
+        let tail_first_seq: usize = tail
+            .file_stem()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .trim_start_matches("seg-")
+            .parse()
+            .unwrap();
+        let bytes = std::fs::read(&tail).unwrap();
+        let keep = bytes.len().saturating_sub(chop);
+        std::fs::write(&tail, &bytes[..keep]).unwrap();
+
+        let mut log = SegmentLog::open(&dir, segment_config()).unwrap();
+        let mut recovered = Vec::new();
+        log.scan_range(None, None, &mut |m| recovered.push(m.clone()));
+
+        // Truncation may lose tail records (chopped file) and recovery
+        // re-windows to the newest `CAPACITY` records left on disk — so
+        // the recovered window must be one contiguous run of the append
+        // history, never reordered, never gapped.
+        prop_assert!(recovered.len() <= CAPACITY);
+        let end = (tail_first_seq..=appended.len())
+            .rev()
+            .find(|&e| e >= recovered.len() && appended[e - recovered.len()..e] == recovered[..]);
+        prop_assert!(end.is_some());
+        // And only records inside the chopped file were lost: everything
+        // before the tail segment's first sequence number survived.
+        prop_assert!(end.unwrap() >= tail_first_seq);
+
+        // And the log still works: a fresh append lands and survives
+        // another clean reopen.
+        let fresh = message(0, 49, 0xEE);
+        log.append(fresh.clone()).unwrap();
+        log.flush().unwrap();
+        drop(log);
+        let log = SegmentLog::open(&dir, segment_config()).unwrap();
+        let mut after = Vec::new();
+        log.scan_range(None, None, &mut |m| after.push(m.clone()));
+        prop_assert_eq!(after.last(), Some(&fresh));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The pagination contract's edge cases hold identically on both
+    // backends for arbitrary contents: cursor walks terminate, pages
+    // are disjoint, and their union is exactly the filtered sequence.
+    #[test]
+    fn cursor_walk_partitions_the_matching_sequence(
+        msgs in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u8>()), 0..25),
+        page_size in 0u64..7,
+    ) {
+        let dir = fresh_dir("pages");
+        let mut ring = MessageStore::new(CAPACITY);
+        let mut log = SegmentLog::open(&dir, segment_config()).unwrap();
+        for (topic_sel, ts, payload) in msgs {
+            let m = message(topic_sel, ts, payload);
+            ring.append(m.clone()).unwrap();
+            log.append(m).unwrap();
+        }
+
+        for backend in [&ring as &dyn StorageBackend, &log as &dyn StorageBackend] {
+            let mut q = HistoryQuery {
+                content_topics: vec![TOPICS[0].to_string()],
+                page_size,
+                ..HistoryQuery::default()
+            };
+            let mut walked = Vec::new();
+            for _hop in 0..(CAPACITY + 2) {
+                let page = backend.query(&q);
+                let effective = if page_size == 0 { 20 } else { page_size as usize };
+                prop_assert!(page.messages.len() <= effective);
+                walked.extend(page.messages);
+                match page.next_cursor {
+                    Some(next) => q.cursor = Some(next),
+                    None => break,
+                }
+            }
+            // The walk reproduces the whole filtered sequence, sorted by
+            // timestamp with insertion order breaking ties.
+            let mut expected = Vec::new();
+            backend.scan_range(None, None, &mut |m| {
+                if m.content_topic == TOPICS[0] {
+                    expected.push(m.clone());
+                }
+            });
+            expected.sort_by_key(|m| m.timestamp);
+            prop_assert_eq!(&walked, &expected);
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

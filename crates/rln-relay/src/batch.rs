@@ -33,6 +33,11 @@ use crate::group::GroupManager;
 use crate::validation::{MessageValidator, Outcome};
 
 /// Flush policy for the micro-batching queue.
+///
+/// `#[non_exhaustive]`, built via [`BatchConfig::builder`] — the
+/// `max_batch ≥ 1` invariant is checked once at build time, not deep
+/// inside [`BatchingValidator::new`].
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Flush as soon as this many proof-worthy bundles are queued.
@@ -45,12 +50,69 @@ pub struct BatchConfig {
     pub max_delay_secs: u64,
 }
 
+impl BatchConfig {
+    /// Starts building a flush policy (defaults: batches of 16, one
+    /// second of queueing delay).
+    pub fn builder() -> BatchConfigBuilder {
+        BatchConfigBuilder::default()
+    }
+}
+
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
             max_batch: 16,
             max_delay_secs: 1,
         }
+    }
+}
+
+/// Builder for [`BatchConfig`].
+#[derive(Clone, Debug)]
+pub struct BatchConfigBuilder {
+    max_batch: usize,
+    max_delay_secs: u64,
+}
+
+impl Default for BatchConfigBuilder {
+    fn default() -> Self {
+        let d = BatchConfig::default();
+        BatchConfigBuilder {
+            max_batch: d.max_batch,
+            max_delay_secs: d.max_delay_secs,
+        }
+    }
+}
+
+impl BatchConfigBuilder {
+    /// Sets the flush-triggering batch size.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the maximum seconds the oldest queued bundle may wait.
+    pub fn max_delay_secs(mut self, secs: u64) -> Self {
+        self.max_delay_secs = secs;
+        self
+    }
+
+    /// Validates the invariants and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ConfigError`] when `max_batch` is zero.
+    pub fn build(self) -> Result<BatchConfig, crate::errors::ConfigError> {
+        if self.max_batch == 0 {
+            return Err(crate::errors::ConfigError::new(
+                "max_batch",
+                "must be at least 1",
+            ));
+        }
+        Ok(BatchConfig {
+            max_batch: self.max_batch,
+            max_delay_secs: self.max_delay_secs,
+        })
     }
 }
 
@@ -244,6 +306,13 @@ impl BatchingValidator {
     /// The wrapped validator (metrics, nullifier store, registry).
     pub fn inner(&self) -> &MessageValidator {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped validator — the node's sequential
+    /// entry points (`handle_incoming`, `tick`) and restore hooks go
+    /// through here, bypassing the queue on purpose.
+    pub(crate) fn inner_mut(&mut self) -> &mut MessageValidator {
+        &mut self.inner
     }
 
     /// Consumes the front end, returning the wrapped validator. Queued

@@ -13,6 +13,9 @@
 //! * [`validation`] — the four-step routing pipeline (§III-F, Figure 3),
 //! * [`batch`] — micro-batched proof verification in front of step 3
 //!   (one RLC pairing check per flush instead of one per message),
+//! * [`errors`] — shared `#[non_exhaustive]` error shapes (config
+//!   validation, snapshot restore) with `source()` chains for the
+//!   service layer,
 //! * [`slasher`] — commit-reveal slashing against the membership contract,
 //! * [`node`] — [`node::WakuRlnRelayNode`], tying it all together,
 //! * [`metrics`] — the node's metric catalogue: snapshot views
@@ -47,16 +50,18 @@
 
 pub mod batch;
 pub mod epoch;
+pub mod errors;
 pub mod group;
 pub mod metrics;
 pub mod node;
 pub mod slasher;
 pub mod validation;
 
-pub use batch::{BatchConfig, BatchingValidator};
+pub use batch::{BatchConfig, BatchConfigBuilder, BatchDecision, BatchingValidator};
 pub use epoch::EpochManager;
+pub use errors::{ConfigError, SnapshotMismatch};
 pub use group::GroupManager;
 pub use metrics::{NodeMetrics, ValidationMetrics};
-pub use node::{NodeConfig, NodeError, WakuRlnRelayNode};
+pub use node::{NodeConfig, NodeConfigBuilder, NodeError, WakuRlnRelayNode};
 pub use slasher::Slasher;
 pub use validation::{MessageValidator, Outcome};

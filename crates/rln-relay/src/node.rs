@@ -8,13 +8,22 @@ use waku_chain::{Address, Chain, TxKind};
 use waku_metrics::Registry;
 use waku_rln::{Identity, RlnMessageBundle, RlnProver, RlnVerifier};
 
+use crate::batch::{BatchConfig, BatchDecision, BatchingValidator};
 use crate::epoch::EpochManager;
+use crate::errors::{ConfigError, SnapshotMismatch};
 use crate::group::GroupManager;
 use crate::metrics::{NodeHandles, NodeMetrics};
 use crate::slasher::Slasher;
 use crate::validation::{MessageValidator, Outcome};
 
 /// Node configuration.
+///
+/// `#[non_exhaustive]`: construct via [`NodeConfig::default`] or
+/// [`NodeConfig::builder`] — the builder validates every invariant once
+/// at [`NodeConfigBuilder::build`] instead of panicking later inside a
+/// constructor, and new knobs can appear without breaking downstream
+/// construction sites.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug)]
 pub struct NodeConfig {
     /// Identity tree depth (must match the prover/verifier keys).
@@ -27,6 +36,19 @@ pub struct NodeConfig {
     pub gas_price_gwei: u64,
     /// Use commit-reveal (true, §III-F recommendation) or plain slashing.
     pub commit_reveal: bool,
+    /// Flush policy for the queued-ingest path
+    /// ([`WakuRlnRelayNode::ingest_queued`]). `None` keeps the queue in
+    /// pass-through mode (batch of 1, no delay), so the sequential and
+    /// queued entry points behave identically unless batching is asked
+    /// for explicitly.
+    pub batch: Option<BatchConfig>,
+}
+
+impl NodeConfig {
+    /// Starts building a config from the defaults.
+    pub fn builder() -> NodeConfigBuilder {
+        NodeConfigBuilder::default()
+    }
 }
 
 impl Default for NodeConfig {
@@ -37,11 +59,123 @@ impl Default for NodeConfig {
             max_epoch_gap: 1,
             gas_price_gwei: 100,
             commit_reveal: true,
+            batch: None,
         }
     }
 }
 
+/// Builder for [`NodeConfig`] — see [`NodeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct NodeConfigBuilder {
+    tree_depth: usize,
+    epoch_length: std::time::Duration,
+    max_epoch_gap: u64,
+    gas_price_gwei: u64,
+    commit_reveal: bool,
+    batch: Option<BatchConfig>,
+}
+
+impl Default for NodeConfigBuilder {
+    fn default() -> Self {
+        let d = NodeConfig::default();
+        NodeConfigBuilder {
+            tree_depth: d.tree_depth,
+            epoch_length: std::time::Duration::from_secs(d.epoch_length_secs),
+            max_epoch_gap: d.max_epoch_gap,
+            gas_price_gwei: d.gas_price_gwei,
+            commit_reveal: d.commit_reveal,
+            batch: d.batch,
+        }
+    }
+}
+
+impl NodeConfigBuilder {
+    /// Sets the identity tree depth (1..=32; must match the circuit keys).
+    pub fn tree_depth(mut self, depth: usize) -> Self {
+        self.tree_depth = depth;
+        self
+    }
+
+    /// Sets the epoch length `T`. Epochs are whole seconds on the wire
+    /// (the proof binds `⌊now/T⌋`), so sub-second components are
+    /// rejected at [`NodeConfigBuilder::build`] rather than silently
+    /// truncated.
+    pub fn epoch_length(mut self, length: std::time::Duration) -> Self {
+        self.epoch_length = length;
+        self
+    }
+
+    /// Sets the maximum epoch gap `Thr` (≥ 1).
+    pub fn max_epoch_gap(mut self, gap: u64) -> Self {
+        self.max_epoch_gap = gap;
+        self
+    }
+
+    /// Sets the gas price this node bids (gwei, ≥ 1).
+    pub fn gas_price_gwei(mut self, gwei: u64) -> Self {
+        self.gas_price_gwei = gwei;
+        self
+    }
+
+    /// Chooses commit-reveal (§III-F recommendation) or plain slashing.
+    pub fn commit_reveal(mut self, enabled: bool) -> Self {
+        self.commit_reveal = enabled;
+        self
+    }
+
+    /// Enables micro-batched proof verification on the queued-ingest
+    /// path with the given flush policy.
+    pub fn batching(mut self, config: BatchConfig) -> Self {
+        self.batch = Some(config);
+        self
+    }
+
+    /// Validates every invariant and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field when `tree_depth` is
+    /// outside 1..=32, `epoch_length` is zero or not a whole number of
+    /// seconds, `max_epoch_gap` is zero, or `gas_price_gwei` is zero.
+    pub fn build(self) -> Result<NodeConfig, ConfigError> {
+        if self.tree_depth == 0 || self.tree_depth > 32 {
+            return Err(ConfigError::new("tree_depth", "must be between 1 and 32"));
+        }
+        if self.epoch_length.as_secs() == 0 {
+            return Err(ConfigError::new(
+                "epoch_length",
+                "must be at least 1 second",
+            ));
+        }
+        if self.epoch_length.subsec_nanos() != 0 {
+            return Err(ConfigError::new(
+                "epoch_length",
+                "must be a whole number of seconds",
+            ));
+        }
+        if self.max_epoch_gap == 0 {
+            return Err(ConfigError::new("max_epoch_gap", "must be at least 1"));
+        }
+        if self.gas_price_gwei == 0 {
+            return Err(ConfigError::new("gas_price_gwei", "must be at least 1"));
+        }
+        Ok(NodeConfig {
+            tree_depth: self.tree_depth,
+            epoch_length_secs: self.epoch_length.as_secs(),
+            max_epoch_gap: self.max_epoch_gap,
+            gas_price_gwei: self.gas_price_gwei,
+            commit_reveal: self.commit_reveal,
+            batch: self.batch,
+        })
+    }
+}
+
 /// Errors from node operations.
+///
+/// `#[non_exhaustive]`: match with a wildcard arm — the long-running
+/// service keeps growing failure classes, and each new one chains its
+/// cause through [`std::error::Error::source`].
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq)]
 pub enum NodeError {
     /// Not registered (or registration not yet mined/synced).
@@ -51,6 +185,8 @@ pub enum NodeError {
     RateLimitedLocally,
     /// Proof generation failed.
     Proving(waku_snark::SnarkError),
+    /// A persisted nullifier snapshot was refused at restore time.
+    Snapshot(SnapshotMismatch),
 }
 
 impl std::fmt::Display for NodeError {
@@ -61,11 +197,32 @@ impl std::fmt::Display for NodeError {
                 write!(f, "already published in this epoch (rate limit)")
             }
             NodeError::Proving(e) => write!(f, "proof generation failed: {e}"),
+            NodeError::Snapshot(e) => write!(f, "nullifier restore refused: {e}"),
         }
     }
 }
 
-impl std::error::Error for NodeError {}
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NodeError::Proving(e) => Some(e),
+            NodeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<waku_snark::SnarkError> for NodeError {
+    fn from(e: waku_snark::SnarkError) -> Self {
+        NodeError::Proving(e)
+    }
+}
+
+impl From<SnapshotMismatch> for NodeError {
+    fn from(e: SnapshotMismatch) -> Self {
+        NodeError::Snapshot(e)
+    }
+}
 
 /// A full WAKU-RLN-RELAY peer.
 pub struct WakuRlnRelayNode {
@@ -74,7 +231,11 @@ pub struct WakuRlnRelayNode {
     address: Address,
     group: GroupManager,
     epochs: EpochManager,
-    validator: MessageValidator,
+    // The validator always sits behind the batching queue; without an
+    // explicit `NodeConfig::batch` the queue runs in pass-through mode
+    // (batch of 1, no delay) and the sequential entry points bypass it
+    // entirely, so batching is strictly opt-in.
+    ingest: BatchingValidator,
     slasher: Slasher,
     prover: std::sync::Arc<RlnProver>,
     last_published_epoch: Option<u64>,
@@ -119,6 +280,13 @@ impl WakuRlnRelayNode {
             config.max_epoch_gap,
             registry.clone(),
         );
+        let ingest = BatchingValidator::new(
+            validator,
+            config.batch.unwrap_or(BatchConfig {
+                max_batch: 1,
+                max_delay_secs: 0,
+            }),
+        );
         let slasher = Slasher::new(address, config.gas_price_gwei, config.commit_reveal);
         let m = NodeHandles::bind(&registry);
         WakuRlnRelayNode {
@@ -127,7 +295,7 @@ impl WakuRlnRelayNode {
             address,
             group,
             epochs,
-            validator,
+            ingest,
             slasher,
             prover,
             last_published_epoch: None,
@@ -163,7 +331,7 @@ impl WakuRlnRelayNode {
 
     /// Validator metrics (same registry, validation-pipeline view).
     pub fn validation_metrics(&self) -> crate::metrics::ValidationMetrics {
-        self.validator.metrics()
+        self.ingest.inner().metrics()
     }
 
     /// The registry behind both metric views — hand it to an exposition
@@ -263,7 +431,10 @@ impl WakuRlnRelayNode {
         now_secs: u64,
         chain: &mut Chain,
     ) -> Outcome {
-        let outcome = self.validator.validate(bundle, &self.group, now_secs);
+        let outcome = self
+            .ingest
+            .inner_mut()
+            .validate(bundle, &self.group, now_secs);
         if let Outcome::Spam(evidence) = &outcome {
             self.m.slash_commits.inc();
             self.slasher.start(evidence.recovered_secret, chain);
@@ -274,7 +445,57 @@ impl WakuRlnRelayNode {
     /// Validates without side effects on the chain (for pure routing
     /// decisions in network simulations).
     pub fn validate_only(&mut self, bundle: &RlnMessageBundle, now_secs: u64) -> Outcome {
-        self.validator.validate(bundle, &self.group, now_secs)
+        self.ingest
+            .inner_mut()
+            .validate(bundle, &self.group, now_secs)
+    }
+
+    /// Queue-based ingest for the long-running service path: runs the
+    /// cheap prechecks now, defers the proof to the next micro-batch
+    /// flush (per [`NodeConfig::batch`]), and reacts to every decision
+    /// that completed — spam verdicts start the slashing flow exactly as
+    /// [`WakuRlnRelayNode::handle_incoming`] would.
+    pub fn ingest_queued(
+        &mut self,
+        bundle: RlnMessageBundle,
+        now_secs: u64,
+        chain: &mut Chain,
+    ) -> Vec<BatchDecision> {
+        let decisions = self.ingest.enqueue(bundle, &self.group, now_secs);
+        self.react(&decisions, chain);
+        decisions
+    }
+
+    /// Service heartbeat: slides the epoch window like
+    /// [`WakuRlnRelayNode::tick`] *and* flushes the ingest queue if the
+    /// oldest queued bundle's deadline has passed, reacting to whatever
+    /// completed.
+    pub fn heartbeat(&mut self, now_secs: u64, chain: &mut Chain) -> Vec<BatchDecision> {
+        let decisions = self.ingest.tick(now_secs);
+        self.react(&decisions, chain);
+        decisions
+    }
+
+    /// Forces every queued bundle through verification (shutdown: no
+    /// message may be left undecided in a queue that is about to drop).
+    pub fn flush_ingest(&mut self, chain: &mut Chain) -> Vec<BatchDecision> {
+        let decisions = self.ingest.flush();
+        self.react(&decisions, chain);
+        decisions
+    }
+
+    /// Bundles waiting in the ingest queue for their batch to flush.
+    pub fn queued_ingest(&self) -> usize {
+        self.ingest.queued()
+    }
+
+    fn react(&mut self, decisions: &[BatchDecision], chain: &mut Chain) {
+        for d in decisions {
+            if let Outcome::Spam(evidence) = &d.outcome {
+                self.m.slash_commits.inc();
+                self.slasher.start(evidence.recovered_secret, chain);
+            }
+        }
     }
 
     /// Advances the validator's epoch window to the local clock without
@@ -282,7 +503,7 @@ impl WakuRlnRelayNode {
     /// so nullifier state for expired epochs is released even when the
     /// node receives no traffic.
     pub fn tick(&mut self, now_secs: u64) {
-        self.validator.tick(now_secs);
+        self.ingest.inner_mut().tick(now_secs);
     }
 
     /// Shares currently resident in the validator's windowed nullifier
@@ -290,7 +511,43 @@ impl WakuRlnRelayNode {
     /// of uptime — the long-horizon memory guarantee of the epoch
     /// lifecycle subsystem.
     pub fn resident_nullifiers(&self) -> usize {
-        self.validator.nullifiers().len()
+        self.ingest.inner().nullifiers().len()
+    }
+
+    /// Snapshot of the windowed nullifier store, for the service's
+    /// periodic checkpoints (persist with `waku_rln::snapshot_io`).
+    pub fn nullifier_snapshot(&self) -> waku_rln::NullifierSnapshot {
+        self.ingest.inner().nullifiers().snapshot()
+    }
+
+    /// Restores the nullifier window from a persisted snapshot — the
+    /// crash-recovery half of [`WakuRlnRelayNode::nullifier_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Snapshot`] when the snapshot's `Thr` differs from
+    /// this node's; the current (empty) window is kept.
+    pub fn restore_nullifiers(
+        &mut self,
+        snapshot: &waku_rln::NullifierSnapshot,
+    ) -> Result<(), NodeError> {
+        self.ingest
+            .inner_mut()
+            .restore_nullifiers(snapshot)
+            .map_err(NodeError::from)
+    }
+
+    /// The epoch of this node's last publish, if any — persisted by the
+    /// service so a restart inside the same epoch cannot double-signal
+    /// (which would hand out two shares of our own key).
+    pub fn publish_guard(&self) -> Option<u64> {
+        self.last_published_epoch
+    }
+
+    /// Restores the publish guard from persisted state. Max-merges with
+    /// the current guard so a stale snapshot can never *lower* it.
+    pub fn restore_publish_guard(&mut self, epoch: Option<u64>) {
+        self.last_published_epoch = self.last_published_epoch.max(epoch);
     }
 }
 
@@ -314,13 +571,11 @@ mod tests {
     }
 
     fn config() -> NodeConfig {
-        NodeConfig {
-            tree_depth: DEPTH,
-            epoch_length_secs: 10,
-            max_epoch_gap: 1,
-            gas_price_gwei: 100,
-            commit_reveal: true,
-        }
+        NodeConfig::builder()
+            .tree_depth(DEPTH)
+            .epoch_length(std::time::Duration::from_secs(10))
+            .build()
+            .expect("valid test config")
     }
 
     fn setup(n: usize, seed: u64) -> (Chain, Vec<WakuRlnRelayNode>) {
@@ -471,6 +726,174 @@ mod tests {
             NodeError::NotRegistered,
             "the paper: removed spammers cannot publish further messages"
         );
+    }
+
+    #[test]
+    fn builder_validates_invariants_at_build_time() {
+        let err = |b: NodeConfigBuilder| b.build().unwrap_err().field;
+        assert_eq!(err(NodeConfig::builder().tree_depth(0)), "tree_depth");
+        assert_eq!(err(NodeConfig::builder().tree_depth(33)), "tree_depth");
+        assert_eq!(
+            err(NodeConfig::builder().epoch_length(std::time::Duration::from_millis(1500))),
+            "epoch_length"
+        );
+        assert_eq!(
+            err(NodeConfig::builder().epoch_length(std::time::Duration::ZERO)),
+            "epoch_length"
+        );
+        assert_eq!(err(NodeConfig::builder().max_epoch_gap(0)), "max_epoch_gap");
+        assert_eq!(
+            err(NodeConfig::builder().gas_price_gwei(0)),
+            "gas_price_gwei"
+        );
+        assert_eq!(
+            crate::BatchConfig::builder()
+                .max_batch(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "max_batch"
+        );
+        // The happy path reproduces the defaults.
+        let built = NodeConfig::builder().build().unwrap();
+        let defaults = NodeConfig::default();
+        assert_eq!(built.epoch_length_secs, defaults.epoch_length_secs);
+        assert_eq!(built.tree_depth, defaults.tree_depth);
+        assert!(built.batch.is_none());
+    }
+
+    #[test]
+    fn queued_ingest_batches_and_slashes_like_sequential() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut chain = Chain::new(ChainConfig {
+            tree_depth: DEPTH,
+            ..ChainConfig::default()
+        });
+        let (prover, verifier) = keys();
+        let batched_config = NodeConfig::builder()
+            .tree_depth(DEPTH)
+            .epoch_length(std::time::Duration::from_secs(10))
+            .batching(
+                crate::BatchConfig::builder()
+                    .max_batch(8)
+                    .max_delay_secs(100)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let mut nodes: Vec<WakuRlnRelayNode> = (0..2)
+            .map(|i| {
+                let addr = Address::from_seed(&[i as u8, 21]);
+                chain.fund(addr, 100 * ETHER);
+                let cfg = if i == 1 { batched_config } else { config() };
+                WakuRlnRelayNode::new(cfg, addr, Arc::clone(prover), verifier.clone(), &mut rng)
+            })
+            .collect();
+        for node in nodes.iter_mut() {
+            node.register(&mut chain);
+        }
+        chain.mine_block();
+        for node in nodes.iter_mut() {
+            node.sync(&mut chain);
+        }
+
+        // The spammer double-signals; the router queues both bundles.
+        let b1 = nodes[0]
+            .publish_unchecked(b"qspam 1", 1000, &mut rng)
+            .unwrap();
+        let b2 = nodes[0]
+            .publish_unchecked(b"qspam 2", 1000, &mut rng)
+            .unwrap();
+        let spammer = nodes.remove(0);
+        let router = &mut nodes[0];
+        assert!(router.ingest_queued(b1, 1000, &mut chain).is_empty());
+        assert!(router.ingest_queued(b2, 1000, &mut chain).is_empty());
+        assert_eq!(router.queued_ingest(), 2);
+
+        // Flush (shutdown path): both decide, spam starts the slashing
+        // flow exactly like the sequential entry point would.
+        let decisions = router.flush_ingest(&mut chain);
+        assert_eq!(decisions.len(), 2);
+        assert_eq!(decisions[0].outcome, Outcome::Relay);
+        assert!(matches!(decisions[1].outcome, Outcome::Spam(_)));
+        assert_eq!(router.metrics().slash_commits, 1);
+        chain.mine_block();
+        router.sync(&mut chain);
+        chain.mine_block();
+        let mut spammer = spammer;
+        spammer.sync(&mut chain);
+        assert!(!spammer.is_registered(), "queued path still slashes");
+    }
+
+    #[test]
+    fn nullifier_snapshot_survives_a_node_restart() {
+        let (mut chain, mut nodes) = setup(2, 30);
+        let mut rng = StdRng::seed_from_u64(31);
+        let b1 = nodes[0]
+            .publish_unchecked(b"pre-crash", 1000, &mut rng)
+            .unwrap();
+        let b2 = nodes[0]
+            .publish_unchecked(b"post-crash", 1000, &mut rng)
+            .unwrap();
+        assert_eq!(
+            nodes[1].handle_incoming(&b1, 1000, &mut chain),
+            Outcome::Relay
+        );
+        let snap = nodes[1].nullifier_snapshot();
+
+        // "Restart" the router: fresh node, same keys, restored window.
+        let (prover, verifier) = keys();
+        let mut reborn = WakuRlnRelayNode::new(
+            config(),
+            nodes[1].address(),
+            Arc::clone(prover),
+            verifier.clone(),
+            &mut rng,
+        );
+        reborn.sync(&mut chain);
+        reborn.restore_nullifiers(&snap).unwrap();
+        assert_eq!(reborn.resident_nullifiers(), 1);
+
+        // The second share of the pre-crash epoch is still recognized as
+        // spam — the property a forgetful reboot would lose.
+        assert!(matches!(
+            reborn.handle_incoming(&b2, 1000, &mut chain),
+            Outcome::Spam(_)
+        ));
+
+        // A snapshot from a different window geometry is refused.
+        let other = waku_rln::NullifierStore::new(3).snapshot();
+        let err = reborn.restore_nullifiers(&other).unwrap_err();
+        assert!(matches!(err, NodeError::Snapshot(_)));
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "cause is chained"
+        );
+    }
+
+    #[test]
+    fn publish_guard_restore_never_lowers() {
+        let (_chain, mut nodes) = setup(1, 32);
+        let mut rng = StdRng::seed_from_u64(33);
+        assert_eq!(nodes[0].publish_guard(), None);
+        nodes[0].publish(b"one", 1000, &mut rng).unwrap();
+        let guard = nodes[0].publish_guard();
+        assert_eq!(guard, Some(100), "T = 10s → epoch 100");
+        // A stale persisted guard cannot roll the node back...
+        nodes[0].restore_publish_guard(Some(50));
+        assert_eq!(nodes[0].publish_guard(), Some(100));
+        // ...and a restored guard carries over to a rebooted node.
+        let (prover, verifier) = keys();
+        let mut reborn = WakuRlnRelayNode::new(
+            config(),
+            Address::from_seed(b"reborn"),
+            Arc::clone(prover),
+            verifier.clone(),
+            &mut rng,
+        );
+        reborn.restore_publish_guard(guard);
+        assert_eq!(reborn.publish_guard(), guard);
     }
 
     #[test]

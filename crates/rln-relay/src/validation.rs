@@ -10,7 +10,9 @@
 use std::time::Instant;
 
 use waku_metrics::Registry;
-use waku_rln::{NullifierStore, RateCheck, RlnMessageBundle, RlnVerifier, SpamEvidence};
+use waku_rln::{
+    NullifierSnapshot, NullifierStore, RateCheck, RlnMessageBundle, RlnVerifier, SpamEvidence,
+};
 
 use crate::epoch::EpochManager;
 use crate::group::GroupManager;
@@ -227,6 +229,33 @@ impl MessageValidator {
         self.nullifiers.advance_to(self.epochs.epoch_at(now_secs));
         self.m.epochs_pruned.set(self.nullifiers.epochs_pruned());
         self.m.nullifier_entries.set(self.nullifiers.len() as u64);
+    }
+
+    /// Replaces the windowed nullifier store with one restored from a
+    /// persisted snapshot (service restart). The window gauges are
+    /// re-pointed at the restored state so the first exposition after a
+    /// restart already reads correctly.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::errors::SnapshotMismatch`] when the snapshot was taken
+    /// under a different `Thr`: the gap check and the store window must
+    /// enforce the same bound, and restoring across a `Thr` change would
+    /// let them disagree. The caller keeps its (empty) window.
+    pub fn restore_nullifiers(
+        &mut self,
+        snapshot: &NullifierSnapshot,
+    ) -> Result<(), crate::errors::SnapshotMismatch> {
+        if snapshot.max_gap() != self.max_gap {
+            return Err(crate::errors::SnapshotMismatch::new(
+                self.max_gap,
+                snapshot.max_gap(),
+            ));
+        }
+        self.nullifiers = NullifierStore::restore(snapshot);
+        self.m.epochs_pruned.set(self.nullifiers.epochs_pruned());
+        self.m.nullifier_entries.set(self.nullifiers.len() as u64);
+        Ok(())
     }
 
     /// Hot-path metric handles (shared with the batching queue so both

@@ -42,7 +42,9 @@ const VERSION: u32 = 1;
 
 /// 64-bit FNV-1a over `data` — fast enough to be free next to the file
 /// read, strong enough to catch truncation and random corruption.
-fn fnv1a64(data: &[u8]) -> u64 {
+/// Shared with [`crate::snapshot_io`], which wraps nullifier snapshots
+/// in the same checksummed-blob discipline.
+pub(crate) fn fnv1a64(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in data {
         hash ^= u64::from(*b);

@@ -15,6 +15,8 @@
 //!   bundle `(m, (x,y), φ, epoch, τ, π)`,
 //! * [`keycache`] — versioned on-disk proving-key blobs so node restarts
 //!   skip the trusted-setup simulation,
+//! * [`snapshot_io`] — the same checksummed-blob discipline for
+//!   [`NullifierStore`] snapshots (crash-surviving rate-limit state),
 //! * [`slashing`] — the per-epoch nullifier map, duplicate/spam
 //!   classification, and `sk` recovery.
 //!
@@ -44,6 +46,7 @@ pub mod keycache;
 pub mod nullifier;
 pub mod prover;
 pub mod slashing;
+pub mod snapshot_io;
 
 pub use circuit::{RlnPublicInputs, RlnWitness};
 pub use identity::Identity;

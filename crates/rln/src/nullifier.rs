@@ -449,6 +449,95 @@ impl NullifierSnapshot {
         self.hi
     }
 
+    /// The window parameter `Thr` the snapshotted store was built with.
+    pub fn max_gap(&self) -> u64 {
+        self.max_gap
+    }
+
+    /// Canonical binary encoding (length-prefixed, little-endian):
+    ///
+    /// ```text
+    /// max_gap:u64 ‖ hi:u64 ‖ epochs_pruned:u64 ‖ n_epochs:u32
+    ///   ‖ (epoch:u64 ‖ n_entries:u32 ‖ (nullifier[32] ‖ x[32] ‖ y[32])*)*
+    /// ```
+    ///
+    /// Framing (magic, version, checksum, atomic write) is the caller's
+    /// job — see [`crate::snapshot_io`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries: usize = self.epochs.iter().map(|(_, e)| e.len()).sum();
+        let mut out = Vec::with_capacity(28 + self.epochs.len() * 12 + entries * 96);
+        out.extend_from_slice(&self.max_gap.to_le_bytes());
+        out.extend_from_slice(&self.hi.to_le_bytes());
+        out.extend_from_slice(&self.epochs_pruned.to_le_bytes());
+        out.extend_from_slice(&(self.epochs.len() as u32).to_le_bytes());
+        for (epoch, entries) in &self.epochs {
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (nullifier, (x, y)) in entries {
+                out.extend_from_slice(nullifier);
+                out.extend_from_slice(&x.to_le_bytes());
+                out.extend_from_slice(&y.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a [`NullifierSnapshot::to_bytes`] encoding. Returns `None`
+    /// for any malformation: bad framing, trailing garbage, non-ascending
+    /// epochs, out-of-range field elements, or a window the store would
+    /// refuse (`max_gap` ≥ 2²⁰ epochs).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*at..*at + n)?;
+            *at += n;
+            Some(s)
+        };
+        let u64_at = |at: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(at, 8)?.try_into().ok()?))
+        };
+        let u32_at = |at: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(at, 4)?.try_into().ok()?))
+        };
+        let max_gap = u64_at(&mut at)?;
+        if 2 * max_gap + 1 > MAX_WINDOW_EPOCHS {
+            return None;
+        }
+        let hi = u64_at(&mut at)?;
+        let epochs_pruned = u64_at(&mut at)?;
+        let n_epochs = u32_at(&mut at)? as usize;
+        let mut epochs: Vec<(u64, SnapshotEntries)> = Vec::with_capacity(n_epochs.min(1024));
+        for _ in 0..n_epochs {
+            let epoch = u64_at(&mut at)?;
+            if epochs.last().is_some_and(|(prev, _)| *prev >= epoch) {
+                return None;
+            }
+            // Every retained epoch must lie inside the snapshot's own
+            // window — anything else cannot have come from `snapshot()`.
+            if epoch > hi || hi - epoch > 2 * max_gap {
+                return None;
+            }
+            let n_entries = u32_at(&mut at)? as usize;
+            let mut entries: SnapshotEntries = Vec::with_capacity(n_entries.min(4096));
+            for _ in 0..n_entries {
+                let nullifier: [u8; 32] = take(&mut at, 32)?.try_into().ok()?;
+                let x = Fr::from_le_bytes(take(&mut at, 32)?.try_into().ok()?)?;
+                let y = Fr::from_le_bytes(take(&mut at, 32)?.try_into().ok()?)?;
+                entries.push((nullifier, (x, y)));
+            }
+            epochs.push((epoch, entries));
+        }
+        if at != bytes.len() {
+            return None;
+        }
+        Some(NullifierSnapshot {
+            max_gap,
+            hi,
+            epochs_pruned,
+            epochs,
+        })
+    }
+
     /// Total shares captured across all retained epochs.
     pub fn resident(&self) -> usize {
         self.epochs.iter().map(|(_, entries)| entries.len()).sum()

@@ -1,0 +1,186 @@
+//! On-disk persistence for [`NullifierSnapshot`]s.
+//!
+//! The rate-limit state is the one piece of validator memory that must
+//! survive a crash (§III-F: a rebooted router that forgot this epoch's
+//! nullifiers would relay a spammer's second signal as fresh), so the
+//! `waku-node` service checkpoints it alongside the message store. The
+//! blob reuses [`crate::keycache`]'s framing discipline — versioned
+//! magic, FNV-1a checksum, temp-file + atomic rename — so a crash
+//! mid-checkpoint leaves either the previous snapshot or none, never a
+//! torn one:
+//!
+//! ```text
+//! "WAKURLNS" ‖ version:u32 ‖ |snapshot|:u32 ‖ snapshot
+//!            ‖ fnv1a64(all previous bytes)
+//! ```
+//!
+//! Like the key cache, any malformation parses to `None`: the caller
+//! starts with an empty window, which fails *safe* — at worst one
+//! double-signal inside the restart window goes unslashed; no honest
+//! message is ever dropped because of a bad snapshot.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::keycache::fnv1a64;
+use crate::nullifier::NullifierSnapshot;
+
+/// Blob magic: identifies a nullifier-snapshot file.
+const MAGIC: &[u8; 8] = b"WAKURLNS";
+
+/// Bumped on incompatible layout changes; stale versions are discarded,
+/// not migrated (the window refills within `2·Thr + 1` epochs anyway).
+const VERSION: u32 = 1;
+
+/// Serializes a snapshot into a versioned, checksummed blob.
+pub fn encode_snapshot(snapshot: &NullifierSnapshot) -> Vec<u8> {
+    let body = snapshot.to_bytes();
+    let mut out = Vec::with_capacity(8 + 4 + 4 + body.len() + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(body.len())
+            .expect("snapshot fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&body);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Parses a blob produced by [`encode_snapshot`], enforcing magic,
+/// version, framing, and the checksum. `None` for anything malformed.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<NullifierSnapshot> {
+    if bytes.len() < 8 + 4 + 4 + 8 || &bytes[0..8] != MAGIC {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv1a64(body) != stored {
+        return None;
+    }
+    if u32::from_le_bytes(body.get(8..12)?.try_into().ok()?) != VERSION {
+        return None;
+    }
+    let len = u32::from_le_bytes(body.get(12..16)?.try_into().ok()?) as usize;
+    let payload = body.get(16..)?;
+    if payload.len() != len {
+        return None;
+    }
+    NullifierSnapshot::from_bytes(payload)
+}
+
+/// Writes the snapshot blob to `path` through a sibling temp file and an
+/// atomic rename (same discipline as [`crate::keycache::save_keys`]).
+pub fn save_snapshot(path: &Path, snapshot: &NullifierSnapshot) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let blob = encode_snapshot(snapshot);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&blob)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and validates a snapshot blob from `path`. Any I/O or format
+/// problem yields `None` (the caller starts with an empty window).
+pub fn load_snapshot(path: &Path) -> Option<NullifierSnapshot> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .ok()?
+        .read_to_end(&mut bytes)
+        .ok()?;
+    decode_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullifier::NullifierStore;
+    use waku_arith::fields::Fr;
+    use waku_arith::traits::PrimeField;
+
+    fn populated_store() -> NullifierStore {
+        let mut store = NullifierStore::new(2);
+        store.advance_to(100);
+        for epoch in 98..=100u64 {
+            for k in 0..3u64 {
+                let mut n = [0u8; 32];
+                n[0] = epoch as u8;
+                n[1] = k as u8;
+                store.check_shares(
+                    epoch,
+                    n,
+                    (Fr::from_u64(epoch * 10 + k), Fr::from_u64(k + 1)),
+                );
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn blob_roundtrip_and_rejections() {
+        let snap = populated_store().snapshot();
+        let blob = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&blob).as_ref(), Some(&snap));
+
+        assert!(
+            decode_snapshot(&blob[..blob.len() - 1]).is_none(),
+            "truncated"
+        );
+        let mut flipped = blob.clone();
+        flipped[20] ^= 1;
+        assert!(
+            decode_snapshot(&flipped).is_none(),
+            "checksum catches flips"
+        );
+        let mut wrong_magic = blob.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_snapshot(&wrong_magic).is_none());
+        assert!(decode_snapshot(&[]).is_none());
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_recoverable() {
+        let dir = std::env::temp_dir().join(format!("waku-snap-{}", std::process::id()));
+        let path = dir.join("nullifiers.snap");
+        let store = populated_store();
+        let snap = store.snapshot();
+        save_snapshot(&path, &snap).unwrap();
+        let loaded = load_snapshot(&path).expect("snapshot loads");
+        assert_eq!(loaded, snap);
+        // The restored store behaves identically.
+        let restored = NullifierStore::restore(&loaded);
+        assert_eq!(restored.current_epoch(), store.current_epoch());
+        assert_eq!(restored.len(), store.len());
+        // Overwrite with a newer snapshot: the rename replaces in place.
+        let mut store2 = NullifierStore::restore(&snap);
+        store2.advance_to(101);
+        save_snapshot(&path, &store2.snapshot()).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().current_epoch(), 101);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_byte_codec_rejects_window_violations() {
+        let snap = populated_store().snapshot();
+        let bytes = snap.to_bytes();
+        assert_eq!(NullifierSnapshot::from_bytes(&bytes).as_ref(), Some(&snap));
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(NullifierSnapshot::from_bytes(&extended).is_none());
+        // An epoch outside the snapshot's own window is rejected: patch
+        // the first epoch (offset 28) to something far below `hi`.
+        let mut patched = bytes.clone();
+        patched[28..36].copy_from_slice(&1u64.to_le_bytes());
+        assert!(NullifierSnapshot::from_bytes(&patched).is_none());
+    }
+}

@@ -74,12 +74,11 @@ fn run_point(
         duration_ms: 30_000,
         honest_interval_ms: 3_000,
         defense: Defense::RlnRelay { epoch_secs, thr },
-        net: NetworkConfig {
-            clock_drift_ms,
-            latency_max_ms,
-            latency_min_ms: latency_max_ms / 5,
-            ..NetworkConfig::default()
-        },
+        net: NetworkConfig::builder()
+            .clock_drift_ms(clock_drift_ms)
+            .latency_ms(latency_max_ms / 5, latency_max_ms)
+            .build()
+            .expect("valid net config"),
         seed,
         ..ScenarioConfig::default()
     };

@@ -158,10 +158,10 @@ pub fn scenario_config(config: &FaultScenarioConfig) -> ScenarioConfig {
         },
         seed: config.seed,
         honest_publishers: config.honest_publishers,
-        net: NetworkConfig {
-            faults: config.plan.clone(),
-            ..NetworkConfig::default()
-        },
+        net: NetworkConfig::builder()
+            .faults(config.plan.clone())
+            .build()
+            .expect("valid net config"),
         ..ScenarioConfig::default()
     }
 }

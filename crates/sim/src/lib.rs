@@ -11,12 +11,16 @@
 //! * [`faults`] — graceful-degradation runs under the deterministic
 //!   fault plane: link loss, partitions, churn, clock skew
 //!   (experiment E9),
+//! * [`soak`] — operational soak of the real `waku-node` service on a
+//!   simulated clock: flat memory over hours, kill-and-restart
+//!   recovery,
 //! * [`report`] — metrics aggregation and markdown tables.
 
 pub mod epoch_gap;
 pub mod faults;
 pub mod report;
 pub mod scenario;
+pub mod soak;
 pub mod steady_state;
 
 pub use epoch_gap::{sweep_thr, EpochGapPoint};
@@ -30,4 +34,5 @@ pub use scenario::{
     peers_from_env, run_scenario, run_scenario_instrumented, run_scenario_with_metrics, Defense,
     EngineStats, ScenarioConfig,
 };
+pub use soak::{run_soak, SoakConfig, SoakReport, SoakRestart, SoakSample};
 pub use steady_state::{run_steady_state, SteadyStateConfig, SteadyStateReport};

@@ -484,11 +484,15 @@ pub fn run_scenario_with_metrics(
         "need at least one honest peer"
     );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5CEA_11A5);
-    let mut net = Network::new(NetworkConfig {
-        peers: config.peers,
-        seed: config.seed,
-        ..config.net.clone()
-    });
+    let mut net = Network::new(
+        config
+            .net
+            .to_builder()
+            .peers(config.peers)
+            .seed(config.seed)
+            .build()
+            .expect("valid scenario net config"),
+    );
     net.subscribe_all(TOPIC);
 
     // Every peer gets an RLN identity; spammers get one each (they paid one

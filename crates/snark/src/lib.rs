@@ -47,6 +47,12 @@ pub use r1cs::{ConstraintSystem, LinearCombination, Variable};
 pub use solver::WitnessSolver;
 
 /// Errors produced by the proof system.
+///
+/// `#[non_exhaustive]`: downstream error unification (e.g.
+/// `waku_rln_relay::NodeError::Proving` chaining this via
+/// `std::error::Error::source`) must keep compiling when new failure
+/// classes appear — match with a wildcard arm.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SnarkError {
     /// The constraint system was not finalized before setup/proving.

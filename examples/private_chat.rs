@@ -28,13 +28,11 @@ fn main() {
 
     // Epoch length 1 s: "a messaging rate of 1 per second might be
     // acceptable for a chat application" (paper §I).
-    let config = NodeConfig {
-        tree_depth: depth,
-        epoch_length_secs: 1,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    };
+    let config = NodeConfig::builder()
+        .tree_depth(depth)
+        .epoch_length(std::time::Duration::from_secs(1))
+        .build()
+        .expect("valid node config");
 
     let names = ["alice", "bob"];
     let mut nodes: Vec<WakuRlnRelayNode> = names

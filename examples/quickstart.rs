@@ -38,13 +38,11 @@ fn main() {
         tree_depth: depth,
         ..ChainConfig::default()
     });
-    let config = NodeConfig {
-        tree_depth: depth,
-        epoch_length_secs: 10,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    };
+    let config = NodeConfig::builder()
+        .tree_depth(depth)
+        .epoch_length(std::time::Duration::from_secs(10))
+        .build()
+        .expect("valid node config");
     let mut nodes: Vec<WakuRlnRelayNode> = ["alice", "bob", "carol"]
         .iter()
         .map(|name| {

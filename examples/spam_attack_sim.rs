@@ -45,10 +45,10 @@ fn main() {
             spam_interval_ms: 500,
             honest_publishers,
             defense,
-            net: NetworkConfig {
-                degree,
-                ..NetworkConfig::default()
-            },
+            net: NetworkConfig::builder()
+                .degree(degree)
+                .build()
+                .expect("valid net config"),
             seed: 99,
             ..ScenarioConfig::default()
         });

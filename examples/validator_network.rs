@@ -40,11 +40,11 @@ fn main() {
             spam_interval_ms: 250,
             honest_publishers,
             defense: Defense::RlnRelay { epoch_secs, thr },
-            net: NetworkConfig {
-                degree,
-                clock_drift_ms: 100,
-                ..NetworkConfig::default()
-            },
+            net: NetworkConfig::builder()
+                .degree(degree)
+                .clock_drift_ms(100)
+                .build()
+                .expect("valid net config"),
             seed: 4242,
             ..ScenarioConfig::default()
         });

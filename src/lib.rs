@@ -15,6 +15,9 @@
 //! * [`gossip`], [`relay`] — GossipSub-style transport and the Waku
 //!   relay/store/filter protocols (§I).
 //! * [`baselines`] — Proof-of-Work and peer-scoring comparison targets.
+//! * [`node`] — the long-running relayer service (`waku-node`): durable
+//!   state, injected clock, Prometheus endpoint (see ARCHITECTURE.md,
+//!   "Running as a service").
 //! * [`sim`] — scenario harness driving the evaluation (§IV).
 //! * [`metrics`] — the unified observability registry every layer above
 //!   records into (see ARCHITECTURE.md, "Metrics flow").
@@ -53,6 +56,7 @@ pub use waku_gossip as gossip;
 pub use waku_hash as hash;
 pub use waku_merkle as merkle;
 pub use waku_metrics as metrics;
+pub use waku_node as node;
 pub use waku_pool as pool;
 pub use waku_poseidon as poseidon;
 pub use waku_relay as relay;

@@ -27,13 +27,11 @@ fn keys() -> &'static (Arc<RlnProver>, RlnVerifier) {
 }
 
 fn node_config() -> NodeConfig {
-    NodeConfig {
-        tree_depth: DEPTH,
-        epoch_length_secs: EPOCH_SECS,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    }
+    NodeConfig::builder()
+        .tree_depth(DEPTH)
+        .epoch_length(std::time::Duration::from_secs(EPOCH_SECS))
+        .build()
+        .expect("valid node config")
 }
 
 /// Builds `n` registered-and-synced nodes plus the chain.
@@ -73,12 +71,14 @@ fn honest_bundle_propagates_through_gossip_with_real_proofs() {
     let verifier = keys().1.clone();
 
     // Gossip transport with a full RLN validator at each peer.
-    let mut net = Network::new(NetworkConfig {
-        peers: 5,
-        degree: 3,
-        seed: 3,
-        ..NetworkConfig::default()
-    });
+    let mut net = Network::new(
+        NetworkConfig::builder()
+            .peers(5)
+            .degree(3)
+            .seed(3)
+            .build()
+            .expect("valid net config"),
+    );
     net.subscribe_all(TOPIC);
     let groups: Vec<_> = nodes.iter().map(|n| n.group().clone()).collect();
     for (p, group) in groups.iter().enumerate() {
@@ -124,12 +124,14 @@ fn tampered_bundle_is_rejected_at_first_hop() {
     let mut rng = StdRng::seed_from_u64(5);
     let verifier = keys().1.clone();
 
-    let mut net = Network::new(NetworkConfig {
-        peers: 5,
-        degree: 3,
-        seed: 6,
-        ..NetworkConfig::default()
-    });
+    let mut net = Network::new(
+        NetworkConfig::builder()
+            .peers(5)
+            .degree(3)
+            .seed(6)
+            .build()
+            .expect("valid net config"),
+    );
     net.subscribe_all(TOPIC);
     let groups: Vec<_> = nodes.iter().map(|n| n.group().clone()).collect();
     for (p, group) in groups.iter().enumerate() {

@@ -28,13 +28,11 @@ fn keys() -> &'static (Arc<RlnProver>, RlnVerifier) {
 }
 
 fn config() -> NodeConfig {
-    NodeConfig {
-        tree_depth: DEPTH,
-        epoch_length_secs: 10,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    }
+    NodeConfig::builder()
+        .tree_depth(DEPTH)
+        .epoch_length(std::time::Duration::from_secs(10))
+        .build()
+        .expect("valid node config")
 }
 
 fn make_node(chain: &mut Chain, tag: &[u8], rng: &mut StdRng) -> WakuRlnRelayNode {

@@ -25,13 +25,11 @@ fn keys() -> &'static (Arc<RlnProver>, RlnVerifier) {
 fn two_nodes(seed: u64) -> (Chain, WakuRlnRelayNode, WakuRlnRelayNode) {
     let mut rng = StdRng::seed_from_u64(seed);
     let (prover, verifier) = keys();
-    let config = NodeConfig {
-        tree_depth: DEPTH,
-        epoch_length_secs: 10,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    };
+    let config = NodeConfig::builder()
+        .tree_depth(DEPTH)
+        .epoch_length(std::time::Duration::from_secs(10))
+        .build()
+        .expect("valid node config");
     let mut chain = Chain::new(ChainConfig {
         tree_depth: DEPTH,
         ..ChainConfig::default()

@@ -35,12 +35,12 @@ fn config_at(
         spam_interval_ms: 400,
         honest_publishers: Some(60),
         defense,
-        net: NetworkConfig {
-            degree: 8,
-            scheduler,
-            lookahead,
-            ..NetworkConfig::default()
-        },
+        net: NetworkConfig::builder()
+            .degree(8)
+            .scheduler(scheduler)
+            .lookahead(lookahead)
+            .build()
+            .expect("valid net config"),
         seed: 31,
         ..ScenarioConfig::default()
     }

@@ -30,13 +30,11 @@ fn setup(n: usize, seed: u64) -> (Chain, Vec<WakuRlnRelayNode>) {
         tree_depth: DEPTH,
         ..ChainConfig::default()
     });
-    let config = NodeConfig {
-        tree_depth: DEPTH,
-        epoch_length_secs: 10,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    };
+    let config = NodeConfig::builder()
+        .tree_depth(DEPTH)
+        .epoch_length(std::time::Duration::from_secs(10))
+        .build()
+        .expect("valid node config");
     let mut nodes: Vec<WakuRlnRelayNode> = (0..n)
         .map(|i| {
             let addr = Address::from_seed(&[0xEC, i as u8, seed as u8]);

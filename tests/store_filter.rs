@@ -34,13 +34,11 @@ fn store_archives_only_validated_traffic() {
         tree_depth: DEPTH,
         ..ChainConfig::default()
     });
-    let config = NodeConfig {
-        tree_depth: DEPTH,
-        epoch_length_secs: 1,
-        max_epoch_gap: 1,
-        gas_price_gwei: 100,
-        commit_reveal: true,
-    };
+    let config = NodeConfig::builder()
+        .tree_depth(DEPTH)
+        .epoch_length(std::time::Duration::from_secs(1))
+        .build()
+        .expect("valid node config");
     let mut publisher = {
         let addr = Address::from_seed(b"pub");
         chain.fund(addr, 10 * ETHER);
