@@ -1,0 +1,234 @@
+//! The multi-process driver experiment: one seeded RLN containment
+//! scenario executed in-process and then by the coordinator + N-worker
+//! distributed driver, cross-checked for bit-identity and timed.
+//!
+//! ```text
+//! exp_distributed [--peers N] [--duration-ms MS] [--workers N[,N,...]] [--json PATH]
+//! ```
+//!
+//! Defaults to `--peers 1000 --workers 1,2`. The binary re-execs itself
+//! as the worker processes (a spawned copy sees `WAKU_DIST_COORD` in its
+//! environment and routes into the worker protocol instead of `main`).
+//! Each distributed row reports wall-clock, simulated events/s, barrier
+//! rounds, and `reports_equal` — whether the distributed
+//! report **and** metrics snapshot (modulo scheduler-shape `engine_`
+//! gauges) are bit-identical to the in-process run. Any `false` fails
+//! the run (exit 2); CI greps the JSON for `"reports_equal": true`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use waku_gossip::NetworkConfig;
+use waku_metrics::Snapshot;
+use waku_sim::{
+    run_scenario_distributed, run_scenario_with_metrics, worker_from_env, Defense, ScenarioConfig,
+    WorkerCommand,
+};
+
+fn config(peers: usize, duration_ms: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        peers,
+        spammers: 5.min(peers / 10).max(1),
+        duration_ms,
+        honest_interval_ms: 5_000,
+        spam_interval_ms: 500,
+        honest_publishers: Some(100.min(peers)),
+        defense: Defense::RlnRelay {
+            epoch_secs: 1,
+            thr: 1,
+        },
+        net: NetworkConfig::builder()
+            .degree(8.min(peers - 1))
+            .build()
+            .expect("valid net config"),
+        seed: 2024,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn strip_engine(mut snap: Snapshot) -> Snapshot {
+    snap.retain(|desc| !desc.name.starts_with("engine_"));
+    snap
+}
+
+struct Row {
+    workers: usize,
+    rounds: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    reports_equal: bool,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"workers\": {}, \"rounds\": {}, \"wall_secs\": {:.3}, \
+             \"events_per_sec\": {:.0}, \"reports_equal\": {}}}",
+            self.workers, self.rounds, self.wall_secs, self.events_per_sec, self.reports_equal
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    // Worker-mode hook: a copy of this binary spawned by the coordinator
+    // must run the worker protocol, not the experiment.
+    if let Some(result) = worker_from_env() {
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("distributed worker failed: {e}");
+                ExitCode::from(3)
+            }
+        };
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut peers = 1_000usize;
+    let mut duration_ms = 15_000u64;
+    let mut worker_counts: Vec<usize> = vec![1, 2];
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--peers" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => peers = n,
+                _ => {
+                    eprintln!("--peers needs a count ≥ 2");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--duration-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => duration_ms = ms,
+                None => {
+                    eprintln!("--duration-ms needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match it.next() {
+                Some(list) => {
+                    let parsed: Option<Vec<usize>> = list
+                        .split(',')
+                        .map(|v| v.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+                        .collect();
+                    match parsed {
+                        Some(w) if !w.is_empty() => worker_counts = w,
+                        _ => {
+                            eprintln!("--workers needs a comma-separated list of counts ≥ 1");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("--workers needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: exp_distributed [--peers N] [--duration-ms MS] \
+                     [--workers N[,N,...]] [--json PATH]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let scenario = config(peers, duration_ms);
+    println!(
+        "# Multi-process driver — {peers} peers, {duration_ms} ms simulated, \
+         workers {worker_counts:?}"
+    );
+    println!();
+
+    let start = Instant::now();
+    let (reference_report, reference_engine, reference_snap) = run_scenario_with_metrics(&scenario);
+    let in_process_wall = start.elapsed().as_secs_f64();
+    let events = reference_report.events_processed.max(1);
+    let in_process_eps = events as f64 / in_process_wall.max(1e-9);
+    let reference_snap = strip_engine(reference_snap);
+    println!(
+        "in-process: {} shards, {} events, {} barriers, {:.2} s wall, {:.0} events/s",
+        reference_engine.shards,
+        reference_report.events_processed,
+        reference_engine.barriers,
+        in_process_wall,
+        in_process_eps
+    );
+    println!();
+    println!("| workers | rounds | wall (s) | events/s | reports equal |");
+    println!("|---|---|---|---|---|");
+
+    let cmd = WorkerCommand::current_exe(Vec::new()).expect("current executable");
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failed = false;
+    for &workers in &worker_counts {
+        let start = Instant::now();
+        let (report, engine, snap) = match run_scenario_distributed(&scenario, workers, &cmd) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("FAIL: distributed run @ {workers} workers: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let reports_equal = report == reference_report && strip_engine(snap) == reference_snap;
+        if !reports_equal {
+            eprintln!("FAIL: distributed run @ {workers} workers diverged from in-process");
+            failed = true;
+        }
+        let row = Row {
+            workers,
+            rounds: engine.barriers,
+            wall_secs: wall,
+            events_per_sec: events as f64 / wall.max(1e-9),
+            reports_equal,
+        };
+        println!(
+            "| {} | {} | {:.2} | {:.0} | {} |",
+            row.workers, row.rounds, row.wall_secs, row.events_per_sec, row.reports_equal
+        );
+        rows.push(row);
+    }
+
+    println!();
+    println!("reading the table: every row replays the identical seeded scenario;");
+    println!("`reports equal` asserts bit-identity of the ScenarioReport and the");
+    println!("metrics snapshot against the in-process run. events/s divides the");
+    println!("same simulated-event count by each row's wall-clock, so rows are");
+    println!("directly comparable with the in-process line above.");
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+        let json = format!(
+            "{{\n  \"peers\": {},\n  \"duration_ms\": {},\n  \"events\": {},\n  \
+             \"in_process_wall_secs\": {:.3},\n  \"in_process_events_per_sec\": {:.0},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            peers,
+            duration_ms,
+            events,
+            in_process_wall,
+            in_process_eps,
+            body.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("distributed report written to {path}");
+    }
+
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -154,6 +154,10 @@ pub(crate) struct PeerSlot {
     /// First deliveries observed by this peer (merged across peers in
     /// peer-id order for network-wide latency stats).
     pub deliveries: Vec<(MessageId, DeliveryRecord)>,
+    /// Per-topic `(bytes_in, bytes_out)` for topic-bearing RPCs — the
+    /// label dimension the flat metric catalogue can't carry. Merged
+    /// network-wide by `Network::topic_bytes`.
+    pub(crate) topic_bytes: BTreeMap<Topic, (u64, u64)>,
     pub(crate) rng: StdRng,
     pub(crate) event_seq: u64,
     /// This peer's metrics recorder (engine catalogue: event counts and
@@ -185,6 +189,7 @@ impl PeerSlot {
             downtime: Vec::new(),
             seen_window,
             deliveries: Vec::new(),
+            topic_bytes: BTreeMap::new(),
             rng: StdRng::seed_from_u64(peer_stream_seed(seed, peer)),
             event_seq: 0,
             recorder: LocalRecorder::new(Arc::clone(&engine_catalogue().0)),
@@ -258,7 +263,13 @@ impl PeerSlot {
         config: &NetworkConfig,
         out: &mut Vec<QueuedEvent>,
     ) {
-        self.stats.bytes_sent += rpc.size() as u64;
+        let size = rpc.size() as u64;
+        self.stats.bytes_sent += size;
+        if let Some(topic) = rpc.topic() {
+            self.recorder
+                .add(engine_catalogue().1.topic_bytes_out, size);
+            self.topic_bytes.entry(topic).or_insert((0, 0)).1 += size;
+        }
         let latency = self.link_latency(config);
         let plan = &config.faults;
         if !plan.affects_links() {
@@ -288,7 +299,12 @@ impl PeerSlot {
         let delay = latency + plan.link.extra_delay(word);
         if plan.link.duplicates(word) {
             let dup_delay = delay + plan.link.duplicate_lag(word);
-            self.stats.bytes_sent += rpc.size() as u64;
+            self.stats.bytes_sent += size;
+            if let Some(topic) = rpc.topic() {
+                self.recorder
+                    .add(engine_catalogue().1.topic_bytes_out, size);
+                self.topic_bytes.entry(topic).or_insert((0, 0)).1 += size;
+            }
             self.recorder.observe(engine_catalogue().1.dwell, dup_delay);
             out.push(QueuedEvent {
                 key: self.next_key(me, now + dup_delay),
@@ -438,7 +454,12 @@ impl PeerSlot {
         config: &NetworkConfig,
         out: &mut Vec<QueuedEvent>,
     ) {
-        self.stats.bytes_received += rpc.size() as u64;
+        let size = rpc.size() as u64;
+        self.stats.bytes_received += size;
+        if let Some(topic) = rpc.topic() {
+            self.recorder.add(engine_catalogue().1.topic_bytes_in, size);
+            self.topic_bytes.entry(topic).or_insert((0, 0)).0 += size;
+        }
         // Fast path: duplicate publishes (the dominant event class at
         // scale — every message arrives ~mesh-degree times) are absorbed
         // before the score lookup. Behavior is identical: a duplicate is

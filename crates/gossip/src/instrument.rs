@@ -41,6 +41,13 @@ pub(crate) struct EngineIds {
     pub dropped_fault: CounterId,
     /// Restart events dispatched (peer rejoined after a scheduled crash).
     pub restarts: CounterId,
+    /// Bytes received in topic-bearing RPCs (Publish/IHave/Graft/Prune).
+    /// `engine_` prefix by ISSUE naming, but deterministic — asserted
+    /// scheduler-independent explicitly, like `engine_msgs_dropped_fault`.
+    pub topic_bytes_in: CounterId,
+    /// Bytes sent in topic-bearing RPCs (duplicated fault transmissions
+    /// count, matching `gossip_bytes_sent_total`).
+    pub topic_bytes_out: CounterId,
 }
 
 /// The per-peer catalogue, built once per process.
@@ -64,6 +71,14 @@ pub(crate) fn engine_catalogue() -> &'static (Arc<Layout>, EngineIds) {
             restarts: b.counter(
                 "peer_restarts",
                 "Peers restarted after a scheduled crash (fault plane).",
+            ),
+            topic_bytes_in: b.counter(
+                "engine_topic_bytes_in",
+                "Bytes received in topic-bearing RPCs (per-topic split via Network::topic_bytes).",
+            ),
+            topic_bytes_out: b.counter(
+                "engine_topic_bytes_out",
+                "Bytes sent in topic-bearing RPCs (per-topic split via Network::topic_bytes).",
             ),
         };
         (b.build(), ids)

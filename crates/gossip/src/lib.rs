@@ -40,12 +40,17 @@ pub mod message;
 pub mod network;
 pub mod scheduler;
 pub mod scoring;
+pub mod transport;
 
 pub use faults::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec, SkewSpec};
 pub use message::{Message, MessageId, PeerId, Rpc, SimTime, Topic, TrafficClass, Validation};
 pub use network::{
-    ConfigError, DeliveryRecord, GossipConfig, MessageAcceptor, Network, NetworkConfig,
-    NetworkConfigBuilder, PeerStats, Validator,
+    plan_heals_snapshot, ConfigError, DeliveryRecord, GossipConfig, MessageAcceptor, Network,
+    NetworkConfig, NetworkConfigBuilder, PeerStats, Validator,
 };
 pub use scheduler::{Lookahead, SchedulerKind};
 pub use scoring::{PeerScore, ScoreParams};
+pub use transport::{
+    worker_peer_range, CodecError, CoordinatorOptions, DistributedScheduler, Frame, FrameDecoder,
+    RunOutcome, RunParams, TransportError, WireEvent, WirePayload, WorkerOptions, WorkerSession,
+};

@@ -118,6 +118,17 @@ impl Rpc {
             Rpc::Graft(_) | Rpc::Prune(_) => 8,
         }
     }
+
+    /// The topic this RPC is scoped to, when it carries one (`IWant`
+    /// requests ids across topics, so it has none) — drives the
+    /// per-topic bandwidth counters.
+    pub fn topic(&self) -> Option<Topic> {
+        match self {
+            Rpc::Publish(m) => Some(m.topic),
+            Rpc::IHave(topic, _) | Rpc::Graft(topic) | Rpc::Prune(topic) => Some(*topic),
+            Rpc::IWant(_) => None,
+        }
+    }
 }
 
 /// Validator verdict on an incoming message (mirrors libp2p's

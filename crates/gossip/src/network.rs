@@ -19,7 +19,7 @@
 //! event-sharded scheduler, at any shard count and any
 //! `WAKU_POOL_THREADS` — determinism is a tested invariant, not luck.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +28,9 @@ use crate::engine::{PeerSlot, QueuedEvent, SimEvent};
 use crate::faults::FaultPlan;
 use crate::instrument::{engine_catalogue, network_catalogue};
 use crate::message::{Message, MessageId, PeerId, SimTime, Topic, TrafficClass, Validation};
-use crate::scheduler::{Lookahead, Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler};
+use crate::scheduler::{
+    Lookahead, Scheduler, SchedulerKind, SerialScheduler, ShardedScheduler, WorkerScheduler,
+};
 use crate::scoring::ScoreParams;
 
 pub use crate::engine::DeliveryRecord;
@@ -329,9 +331,9 @@ pub struct PeerStats {
 pub struct Network {
     pub(crate) config: NetworkConfig,
     pub(crate) slots: Vec<PeerSlot>,
-    scheduler: Box<dyn Scheduler>,
-    now: SimTime,
-    events_processed: u64,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) now: SimTime,
+    pub(crate) events_processed: u64,
 }
 
 impl Network {
@@ -342,6 +344,49 @@ impl Network {
     ///
     /// Panics if `peers < 2` or `degree >= peers`.
     pub fn new(config: NetworkConfig) -> Self {
+        Network::build(config, |config, slots| {
+            let shards = config.scheduler.resolve(config.peers);
+            if shards <= 1 {
+                Box::new(SerialScheduler::new())
+            } else {
+                // Built after the topology: the adaptive lookahead derives
+                // its shard-pair latency matrix from the neighbor lists.
+                Box::new(ShardedScheduler::new(config.peers, shards, config, slots))
+            }
+        })
+    }
+
+    /// Builds the network as distributed worker `worker` of `workers`:
+    /// the full deterministic construction is replayed (drift draws,
+    /// topology, heartbeat stagger, fault timeline — so every RNG and
+    /// event-key stream is bit-identical to the in-process run), but the
+    /// scheduler only owns the worker's contiguous shard range. Events
+    /// for other workers' peers are dropped at enqueue; the owning
+    /// worker replays the same construction and enqueues its own copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Network::new`], and when `worker >= workers`.
+    pub fn new_worker(config: NetworkConfig, workers: usize, worker: usize) -> Self {
+        assert!(worker < workers, "worker index out of range");
+        Network::build(config, move |config, slots| {
+            let shards = config.scheduler.resolve(config.peers);
+            Box::new(WorkerScheduler::new(
+                config.peers,
+                shards,
+                workers,
+                worker,
+                config,
+                slots,
+            ))
+        })
+    }
+
+    /// Shared construction: everything up to the choice of scheduler.
+    fn build(
+        config: NetworkConfig,
+        make_scheduler: impl FnOnce(&NetworkConfig, &[PeerSlot]) -> Box<dyn Scheduler>,
+    ) -> Self {
         assert!(config.peers >= 2, "need at least two peers");
         assert!(config.degree < config.peers, "degree must be < peers");
         // Construction RNG: drift, topology, and heartbeat stagger are
@@ -388,14 +433,7 @@ impl Network {
             slot.neighbors.sort_unstable();
         }
 
-        let shards = config.scheduler.resolve(config.peers);
-        let mut scheduler: Box<dyn Scheduler> = if shards <= 1 {
-            Box::new(SerialScheduler::new())
-        } else {
-            // Built after the topology: the adaptive lookahead derives its
-            // shard-pair latency matrix from the peers' neighbor lists.
-            Box::new(ShardedScheduler::new(config.peers, shards, &config, &slots))
-        };
+        let mut scheduler = make_scheduler(&config, &slots);
 
         // Stagger heartbeats so the whole network doesn't thunder at once.
         for (p, slot) in slots.iter_mut().enumerate() {
@@ -616,6 +654,23 @@ impl Network {
     /// the execution strategy — filter that prefix before comparing
     /// snapshots across schedulers).
     pub fn metrics_snapshot(&self) -> waku_metrics::Snapshot {
+        let mut snapshot = self.metrics_snapshot_shard();
+        // Snapshot-time fill from the plan + the (scheduler-invariant)
+        // clock: which scheduled partitions have healed by now. Added
+        // once per *network*, not per worker — the distributed
+        // coordinator merges per-worker shard snapshots and then folds
+        // this part in exactly once (see [`plan_heals_snapshot`]).
+        snapshot.merge(&plan_heals_snapshot(&self.config.faults, self.now));
+        snapshot
+    }
+
+    /// The shard-local part of [`Network::metrics_snapshot`]: per-peer
+    /// engine recorders plus `PeerStats`-derived counters, *without* the
+    /// plan-derived `partition_heals` fill. On a distributed worker every
+    /// value here is owned-peers-only (non-owned slots never dispatch),
+    /// so merging the per-worker snapshots reproduces the in-process
+    /// totals exactly.
+    pub fn metrics_snapshot_shard(&self) -> waku_metrics::Snapshot {
         let engine_layout = &engine_catalogue().0;
         let mut peers = waku_metrics::LocalRecorder::new(std::sync::Arc::clone(engine_layout));
         for slot in &self.slots {
@@ -635,17 +690,39 @@ impl Network {
         net.add(ids.invalid_delivered, totals.invalid_delivered);
         net.add(ids.rejected, totals.rejected);
         net.add(ids.ignored, totals.ignored);
-        // Snapshot-time fill from the plan + the (scheduler-invariant)
-        // clock: which scheduled partitions have healed by now.
-        net.add(
-            ids.partition_heals,
-            self.config.faults.partitions_healed(self.now),
-        );
 
         let mut snapshot = peers.snapshot();
         snapshot.merge(&net.snapshot());
         snapshot
     }
+
+    /// Network-wide per-topic `(bytes_in, bytes_out)` for topic-bearing
+    /// RPCs — the label dimension `engine_topic_bytes_{in,out}` can't
+    /// carry. Deterministic and scheduler-independent; on a distributed
+    /// worker it covers owned peers only (merge maps across workers by
+    /// summing per topic).
+    pub fn topic_bytes(&self) -> BTreeMap<Topic, (u64, u64)> {
+        let mut merged: BTreeMap<Topic, (u64, u64)> = BTreeMap::new();
+        for slot in &self.slots {
+            for (&topic, &(b_in, b_out)) in &slot.topic_bytes {
+                let e = merged.entry(topic).or_insert((0, 0));
+                e.0 += b_in;
+                e.1 += b_out;
+            }
+        }
+        merged
+    }
+}
+
+/// The plan-derived snapshot fragment [`Network::metrics_snapshot`] adds
+/// on top of the shard part: which scheduled partitions have healed by
+/// `now`. Exposed so the distributed coordinator can fold it in exactly
+/// once after merging per-worker shard snapshots.
+pub fn plan_heals_snapshot(faults: &FaultPlan, now: SimTime) -> waku_metrics::Snapshot {
+    let (net_layout, ids) = network_catalogue();
+    let mut net = waku_metrics::LocalRecorder::new(std::sync::Arc::clone(net_layout));
+    net.add(ids.partition_heals, faults.partitions_healed(now));
+    net.snapshot()
 }
 
 #[cfg(test)]
@@ -841,11 +918,35 @@ mod tests {
             );
             assert!(snap.histogram("gossip_event_dwell_ms").unwrap().count > 0);
             assert_eq!(snap.scalar("engine_shards") as usize, net.shards());
-            (snap, net.shards())
+            // Per-topic bandwidth: the flat counters agree with the
+            // per-topic map, and topic-bearing traffic is a subset of
+            // all traffic (IWant carries no topic).
+            let by_topic = net.topic_bytes();
+            let (map_in, map_out) = by_topic
+                .values()
+                .fold((0, 0), |(i, o), &(b_in, b_out)| (i + b_in, o + b_out));
+            assert_eq!(snap.scalar("engine_topic_bytes_in"), map_in);
+            assert_eq!(snap.scalar("engine_topic_bytes_out"), map_out);
+            assert!(map_out > 0 && map_out <= net.total_stats().bytes_sent);
+            assert!(map_in <= net.total_stats().bytes_received);
+            (snap, net.shards(), by_topic)
         };
-        let (mut serial, serial_shards) = run(SchedulerKind::Serial);
-        let (mut sharded, sharded_shards) = run(SchedulerKind::Sharded { shards: 5 });
+        let (mut serial, serial_shards, serial_topics) = run(SchedulerKind::Serial);
+        let (mut sharded, sharded_shards, sharded_topics) =
+            run(SchedulerKind::Sharded { shards: 5 });
         assert_eq!((serial_shards, sharded_shards), (1, 5));
+        // The topic-bandwidth counters carry the `engine_` prefix (ISSUE
+        // naming) but are deterministic — assert their cross-scheduler
+        // equality explicitly before the prefix strip below drops them.
+        assert_eq!(
+            serial.scalar("engine_topic_bytes_in"),
+            sharded.scalar("engine_topic_bytes_in")
+        );
+        assert_eq!(
+            serial.scalar("engine_topic_bytes_out"),
+            sharded.scalar("engine_topic_bytes_out")
+        );
+        assert_eq!(serial_topics, sharded_topics);
         // Drop the strategy-dependent gauges; the rest must match exactly.
         serial.retain(|d| !d.name.starts_with("engine_"));
         sharded.retain(|d| !d.name.starts_with("engine_"));
